@@ -1,0 +1,190 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation sweeps one AdvHet design parameter and checks the paper's
+rationale holds: the asymmetric cache's single fast way, the one-CMOS-ALU
+cluster, the 6-entry register-file cache, and the steering window.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.hetcore import CpuDesign
+from repro.core.simulate import simulate_cpu
+from repro.gpu import ComputeUnit, CUConfig
+from repro.mem.asym import AsymmetricL1
+from repro.workloads import cpu_app, generate_trace, generate_kernel, gpu_kernel
+from repro.power.model import DeviceKind
+
+_T = DeviceKind.TFET
+
+_ADVHET_KW = dict(
+    alu=_T, muldiv=_T, fpu=_T, dl1=_T, l2=_T, l3=_T,
+    asym_dl1=True, dual_speed_alu=True, enlarged=True,
+)
+
+INSTRUCTIONS = 24_000
+WARMUP = 9_000
+
+
+def _advhet_time(app: str, **overrides) -> float:
+    design = CpuDesign(name="ablate", **{**_ADVHET_KW, **overrides})
+    return simulate_cpu(
+        design, app, instructions=INSTRUCTIONS, warmup=WARMUP
+    ).time_s
+
+
+def test_asym_fast_way_capacity(benchmark, record=None):
+    """More fast ways raise the fast-hit rate with diminishing returns."""
+    trace = generate_trace(cpu_app("barnes"), 30_000, seed=0)
+    import numpy as np
+    from repro.cpu.uops import UopType
+
+    mem = np.isin(trace.op, [int(UopType.LOAD), int(UopType.STORE)])
+    addrs = trace.addr[mem].tolist()
+
+    def sweep():
+        rates = {}
+        for assoc in (2, 4, 8, 16):
+            cache = AsymmetricL1(total_size_bytes=32 * 1024, assoc=assoc)
+            for addr in addrs:
+                cache.access(addr)
+            rates[assoc] = cache.stats.fast_hit_rate
+        return rates
+
+    rates = benchmark(sweep)
+    # Bigger fast way (lower assoc -> bigger way size) catches more hits...
+    assert rates[2] > rates[8]
+    # ...but the paper's 8-way/4KB point already captures most of it.
+    assert rates[8] > 0.6 * rates[2]
+
+
+def test_dual_speed_alu_count(benchmark):
+    """One CMOS ALU captures most of the benefit of four (the paper's
+    choice maximises TFET coverage)."""
+
+    def sweep():
+        times = {}
+        for fast in (0, 1, 4):
+            if fast == 0:
+                t = _advhet_time("barnes", dual_speed_alu=False)
+            elif fast == 4:
+                t = _advhet_time("barnes", alu=DeviceKind.CMOS,
+                                 muldiv=DeviceKind.CMOS, dual_speed_alu=False)
+            else:
+                t = _advhet_time("barnes")
+            times[fast] = t
+        return times
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert times[1] < times[0]  # steering helps over all-TFET ALUs
+    gain_first = times[0] - times[1]
+    gain_rest = times[1] - times[4]
+    assert gain_first > gain_rest  # diminishing returns after one CMOS ALU
+
+
+def test_rf_cache_entry_count(benchmark):
+    """Six entries per thread sit at the knee of the hit-rate curve."""
+    trace = generate_kernel(gpu_kernel("BlackScholes"))
+
+    def sweep():
+        rates = {}
+        for entries in (2, 6, 16):
+            cfg = CUConfig(
+                fma_depth=6, rf_cycles=2,
+                rf_cache_enabled=True, rf_cache_entries=entries,
+            )
+            rates[entries] = ComputeUnit(cfg).run(trace).rf_cache_hit_rate
+        return rates
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert rates[2] < rates[6] <= rates[16]
+    # The knee: 6 entries capture most of what 16 would.
+    assert rates[6] > 0.75 * rates[16]
+
+
+def test_prefetcher_contribution(benchmark):
+    """The next-line prefetcher matters for streaming apps (DESIGN.md's
+    substitution note: real hierarchies have one)."""
+    from repro.cpu.core import CoreConfig, OutOfOrderCore
+    from repro.cpu.units import FunctionalUnitPool
+    from repro.mem.hierarchy import CacheLatencies, MemoryHierarchy
+
+    trace = generate_trace(cpu_app("streamcluster"), INSTRUCTIONS, seed=0)
+
+    def run(prefetch_lines):
+        core = OutOfOrderCore(
+            CoreConfig(),
+            MemoryHierarchy(CacheLatencies(), prefetch_lines=prefetch_lines),
+            FunctionalUnitPool(),
+        )
+        return core.run(trace, warmup=WARMUP).cycles
+
+    def sweep():
+        return {0: run(0), 2: run(2)}
+
+    cycles = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert cycles[2] < cycles[0]
+
+
+def test_gpu_compiler_pass_extension(benchmark):
+    """Future-work extension: compiler rescheduling recovers part of the
+    residual AdvHet GPU loss (Section IV-C4)."""
+    from repro.gpu import reschedule_kernel
+
+    trace = generate_kernel(gpu_kernel("BlackScholes"))
+    cfg = CUConfig(fma_depth=6, rf_cycles=2, rf_cache_enabled=True)
+
+    def sweep():
+        before = ComputeUnit(cfg).run(trace).cycles
+        after = ComputeUnit(cfg).run(reschedule_kernel(trace, target_gap=6)).cycles
+        return before, after
+
+    before, after = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert after < before
+
+
+def test_partitioned_rf_alternative(benchmark):
+    """Related-work alternative (Section VIII): a Pilot-RF style static
+    partition lands between the plain TFET RF and the RF cache."""
+    from repro.gpu import profile_hot_registers
+
+    trace = generate_kernel(gpu_kernel("BlackScholes"))
+
+    def sweep():
+        plain = ComputeUnit(CUConfig(fma_depth=6, rf_cycles=2)).run(trace).cycles
+        cache = ComputeUnit(
+            CUConfig(fma_depth=6, rf_cycles=2, rf_cache_enabled=True)
+        ).run(trace).cycles
+        part = ComputeUnit(
+            CUConfig(
+                fma_depth=6, rf_cycles=2,
+                partitioned_fast_regs=profile_hot_registers(trace, 8),
+            )
+        ).run(trace).cycles
+        return plain, cache, part
+
+    plain, cache, part = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert cache < plain
+    assert part < plain
+
+
+def test_steering_window_sweep(benchmark):
+    """The consumer-distance cap trades CMOS-ALU traffic for speed."""
+    from repro.cpu.steering import DualSpeedSteering
+
+    trace = generate_trace(cpu_app("barnes"), 20_000, seed=0)
+
+    def sweep():
+        rates = {}
+        for cap in (1, 2, 4):
+            s = DualSpeedSteering(trace, window=4, max_consumer_distance=cap)
+            for i in range(len(trace)):
+                s.prefer_fast(i)
+            rates[cap] = s.preference_rate
+        return rates
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert rates[1] < rates[2] < rates[4]
+    # Even the widest window keeps the majority of ops on TFET ALUs.
+    assert rates[4] < 0.7

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 11 (GPU energy).
+
+Shape targets (paper): BaseTFET -75%, BaseHet -35%, AdvHet -40%,
+AdvHet-2X -34%.
+"""
+
+from repro.experiments.figures import figure11
+
+
+def test_figure11(benchmark, runner, record):
+    result = benchmark.pedantic(
+        figure11, args=(runner,), rounds=2, iterations=1, warmup_rounds=1
+    )
+    record(result)
+    m = result.measured_means
+    assert 0.18 < m["BaseTFET"] < 0.33
+    assert 0.5 < m["BaseHet"] < 0.8
+    assert m["AdvHet-2X"] < 1.0

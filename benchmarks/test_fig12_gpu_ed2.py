@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 12 (GPU ED^2).
+
+Shape targets (paper): BaseHet worse than BaseCMOS, AdvHet slightly
+better, AdvHet-2X ~60% lower.
+"""
+
+from repro.experiments.figures import figure12
+
+
+def test_figure12(benchmark, runner, record):
+    result = benchmark.pedantic(
+        figure12, args=(runner,), rounds=2, iterations=1, warmup_rounds=1
+    )
+    record(result)
+    m = result.measured_means
+    assert m["BaseHet"] > 1.0
+    assert m["AdvHet"] < m["BaseHet"]
+    assert m["AdvHet-2X"] < 0.6

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 9 (CPU ED^2).
+
+Shape targets (paper): BaseHet worse than BaseCMOS (slower), AdvHet best
+single-chip design, AdvHet-2X by far the best overall.
+"""
+
+from repro.experiments.figures import figure9
+
+
+def test_figure9(benchmark, runner, record):
+    result = benchmark.pedantic(
+        figure9, args=(runner,), rounds=2, iterations=1, warmup_rounds=1
+    )
+    record(result)
+    m = result.measured_means
+    assert m["BaseHet"] > 1.0
+    assert m["AdvHet"] < 1.0
+    assert m["AdvHet-2X"] < m["AdvHet"]

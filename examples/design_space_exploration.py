@@ -1,0 +1,73 @@
+"""Design-space exploration: which units should move to TFET?
+
+The paper picks its TFET units (Section IV-B) by power, pipelinability,
+latency sensitivity, and area.  This example uses the public ``CpuDesign``
+API to rebuild that argument empirically: it TFET-ifies one unit group at a
+time on a floating-point app (`blackscholes`) and a pointer chaser
+(`canneal`), then stacks the AdvHet mitigations back on, printing the time
+and energy cost of each step.
+
+Usage::
+
+    python examples/design_space_exploration.py
+"""
+
+from repro import CpuDesign, simulate_cpu
+from repro.power.model import DeviceKind
+
+_C = DeviceKind.CMOS
+_T = DeviceKind.TFET
+
+#: Single-unit moves, then the paper's stacked designs.
+DESIGNS = [
+    CpuDesign(name="all-CMOS"),
+    CpuDesign(name="+TFET FPUs", fpu=_T, muldiv=_T),
+    CpuDesign(name="+TFET ALUs", alu=_T),
+    CpuDesign(name="+TFET DL1", dl1=_T),
+    CpuDesign(name="+TFET L2+L3", l2=_T, l3=_T),
+    CpuDesign(
+        name="BaseHet(all)", alu=_T, muldiv=_T, fpu=_T, dl1=_T, l2=_T, l3=_T
+    ),
+    CpuDesign(
+        name="+dual-speed", alu=_T, muldiv=_T, fpu=_T, dl1=_T, l2=_T, l3=_T,
+        dual_speed_alu=True,
+    ),
+    CpuDesign(
+        name="+asym DL1", alu=_T, muldiv=_T, fpu=_T, dl1=_T, l2=_T, l3=_T,
+        dual_speed_alu=True, asym_dl1=True,
+    ),
+    CpuDesign(
+        name="AdvHet(+ROB)", alu=_T, muldiv=_T, fpu=_T, dl1=_T, l2=_T, l3=_T,
+        dual_speed_alu=True, asym_dl1=True, enlarged=True,
+    ),
+]
+
+
+def explore(app: str) -> None:
+    print(f"\n--- {app} ---")
+    base = simulate_cpu(DESIGNS[0], app)
+    print(f"{'design':<14}{'time':>8}{'energy':>9}{'ED^2':>8}")
+    for design in DESIGNS:
+        run = simulate_cpu(design, app)
+        print(
+            f"{design.name:<14}"
+            f"{run.time_s / base.time_s:>8.3f}"
+            f"{run.energy_j / base.energy_j:>9.3f}"
+            f"{run.ed2 / base.ed2:>8.3f}"
+        )
+
+
+def main() -> None:
+    print("=== Which units belong in TFET? ===")
+    print("(each '+' row moves ONLY that unit group; the bottom rows stack)")
+    explore("blackscholes")  # FP-dense: FPU move hurts most, ROB helps
+    explore("canneal")       # pointer chaser: DL1 move hurts most
+    print(
+        "\nNote how the asymmetric DL1 claws back nearly all of the DL1 "
+        "penalty, and the dual-speed cluster most of the ALU penalty -- "
+        "the AdvHet recipe of Section IV-C."
+    )
+
+
+if __name__ == "__main__":
+    main()

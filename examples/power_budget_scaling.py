@@ -1,0 +1,76 @@
+"""Fixed-power-budget scaling: the AdvHet-2X argument (Section VII-A1/B1).
+
+Measures the per-chip power of each design over several workloads, derives
+how many AdvHet cores (or GPU compute units) fit in the BaseCMOS budget,
+and then evaluates the scaled-up machine at fixed total work.
+
+Usage::
+
+    python examples/power_budget_scaling.py
+"""
+
+from repro import (
+    PowerBudgetAnalysis,
+    cpu_config,
+    gpu_config,
+    simulate_cpu,
+    simulate_gpu,
+)
+
+CPU_APPS = ["barnes", "lu", "fft", "blackscholes"]
+GPU_KERNELS = ["DCT", "BlackScholes", "Reduction", "MatrixTranspose"]
+
+
+def cpu_story() -> None:
+    print("=== CPU: how many AdvHet cores fit in the 4-core CMOS budget? ===")
+    base = [simulate_cpu(cpu_config("BaseCMOS"), a) for a in CPU_APPS]
+    adv = [simulate_cpu(cpu_config("AdvHet"), a) for a in CPU_APPS]
+    comparison = PowerBudgetAnalysis.compare(base, adv)
+    print(
+        f"chip power: BaseCMOS {comparison.baseline_power_w:.2f} W, "
+        f"AdvHet {comparison.candidate_power_w:.2f} W "
+        f"(ratio {comparison.power_ratio:.2f}x)"
+    )
+    factor = comparison.units_within_budget
+    print(f"-> the budget affords {factor}x the cores: AdvHet-{factor}X\n")
+
+    twox = [simulate_cpu(cpu_config("AdvHet-2X"), a) for a in CPU_APPS]
+    print(f"{'app':<14}{'time':>8}{'energy':>9}{'ED^2':>8}   (AdvHet-2X / BaseCMOS)")
+    for b, t in zip(base, twox):
+        print(
+            f"{b.app:<14}{t.time_s / b.time_s:>8.3f}"
+            f"{t.energy_j / b.energy_j:>9.3f}{t.ed2 / b.ed2:>8.3f}"
+        )
+
+
+def gpu_story() -> None:
+    print("\n=== GPU: 16 AdvHet CUs in the 8-CU CMOS budget ===")
+    base = [simulate_gpu(gpu_config("BaseCMOS"), k) for k in GPU_KERNELS]
+    adv = [simulate_gpu(gpu_config("AdvHet"), k) for k in GPU_KERNELS]
+    comparison = PowerBudgetAnalysis.compare(base, adv)
+    print(
+        f"chip power: BaseCMOS {comparison.baseline_power_w:.2f} W, "
+        f"AdvHet {comparison.candidate_power_w:.2f} W "
+        f"(ratio {comparison.power_ratio:.2f}x)"
+    )
+    twox = [simulate_gpu(gpu_config("AdvHet-2X"), k) for k in GPU_KERNELS]
+    print(f"{'kernel':<18}{'time':>8}{'energy':>9}{'ED^2':>8}   (AdvHet-2X / BaseCMOS)")
+    for b, t in zip(base, twox):
+        print(
+            f"{b.kernel:<18}{t.time_s / b.time_s:>8.3f}"
+            f"{t.energy_j / b.energy_j:>9.3f}{t.ed2 / b.ed2:>8.3f}"
+        )
+
+
+def main() -> None:
+    cpu_story()
+    gpu_story()
+    print(
+        "\nDoubling units at fixed power turns AdvHet's small slowdown into"
+        "\na net speedup while keeping the energy advantage -- the paper's"
+        "\nheadline 32%/30% gains with ~65% lower ED^2."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Regenerate every table and figure of the paper's evaluation.
+
+Runs the full experiment harness -- all 15 exhibits -- and prints each one
+followed by its paper-vs-measured comparison.  With default settings this
+sweeps 11 CPU configurations x 14 applications and 5 GPU configurations x
+16 kernels (several minutes of pure-Python cycle simulation); set
+``REPRO_INSTRUCTIONS`` / ``REPRO_APPS`` / ``REPRO_KERNELS`` for a quick
+pass, e.g.::
+
+    REPRO_INSTRUCTIONS=20000 REPRO_APPS=barnes,lu,radix \\
+        python examples/reproduce_paper.py
+
+Pass ``--markdown FILE`` to also write an EXPERIMENTS.md-style report.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_EXHIBITS
+from repro.experiments.report import full_report, paper_vs_measured
+from repro.experiments.runner import SweepRunner
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--markdown", metavar="FILE", default=None,
+        help="also write a paper-vs-measured markdown report",
+    )
+    parser.add_argument(
+        "exhibits", nargs="*", default=list(ALL_EXHIBITS),
+        help=f"subset to run (default: all of {', '.join(ALL_EXHIBITS)})",
+    )
+    args = parser.parse_args(argv)
+
+    unknown = [e for e in args.exhibits if e not in ALL_EXHIBITS]
+    if unknown:
+        parser.error(f"unknown exhibits: {unknown}")
+
+    #: Exhibits that consume the shared sweep runner.
+    sweep_exhibits = {
+        "figure7", "figure8", "figure9", "figure10", "figure11",
+        "figure12", "figure13", "figure14",
+    }
+    runner = SweepRunner()
+    results = []
+    for name in args.exhibits:
+        fn = ALL_EXHIBITS[name]
+        start = time.time()
+        result = fn(runner) if name in sweep_exhibits else fn()
+        elapsed = time.time() - start
+        results.append(result)
+        print(f"\n{'=' * 72}")
+        print(f"{result.exhibit}: {result.title}   [{elapsed:.1f}s]")
+        print("=" * 72)
+        print(result.table)
+        comparison = paper_vs_measured(result)
+        print("\npaper vs measured (means):")
+        print(comparison)
+
+    if args.markdown:
+        with open(args.markdown, "w") as fh:
+            fh.write("# HetCore reproduction: paper vs measured\n\n")
+            fh.write(full_report(results))
+        print(f"\nwrote {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

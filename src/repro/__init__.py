@@ -1,0 +1,69 @@
+"""HetCore reproduction: TFET-CMOS hetero-device CPUs and GPUs (ISCA 2018).
+
+A from-scratch Python implementation of the systems behind Gopireddy,
+Skarlatos, Zhu, and Torrellas, *HetCore: TFET-CMOS Hetero-Device
+Architecture for CPUs and GPUs*:
+
+* device-technology models for Si-CMOS and HetJTFET (and the InAs-CMOS /
+  HomJTFET points of Table I), including I-V curves, Vdd-frequency curves,
+  dual-Vt leakage, multi-Vdd overheads, and process-variation guardbands
+  (:mod:`repro.devices`);
+* a trace-driven, cycle-level out-of-order CPU simulator with tournament
+  branch prediction, ROB/IQ/LSQ, per-device functional-unit latencies, the
+  dual-speed ALU cluster, and a full cache hierarchy including the AdvHet
+  asymmetric DL1 (:mod:`repro.cpu`, :mod:`repro.mem`);
+* a wavefront-level Southern-Islands-like GPU compute-unit simulator with
+  the AdvHet register-file cache (:mod:`repro.gpu`);
+* McPAT/GPUWattch-class analytic power models with the paper's
+  conservative TFET factors (:mod:`repro.power`);
+* synthetic workload profiles for SPLASH-2 + PARSEC and AMD-SDK-APP
+  (:mod:`repro.workloads`);
+* the HetCore architecture layer -- the Table IV configurations, DVFS,
+  and fixed-power-budget analysis (:mod:`repro.core`);
+* a harness regenerating every table and figure of the evaluation
+  (:mod:`repro.experiments`).
+
+Quick start::
+
+    from repro import simulate_cpu, cpu_config
+    result = simulate_cpu(cpu_config("AdvHet"), "barnes")
+    print(result.time_s, result.energy_j, result.ed2)
+"""
+
+from repro.core import (
+    CPU_CONFIGS,
+    GPU_CONFIGS,
+    CpuDesign,
+    CpuRunResult,
+    GpuDesign,
+    GpuRunResult,
+    HetCoreDvfs,
+    PowerBudgetAnalysis,
+    cpu_config,
+    gpu_config,
+    simulate_cpu,
+    simulate_gpu,
+)
+from repro.workloads import CPU_APPS, GPU_KERNELS, cpu_app, gpu_kernel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CPU_CONFIGS",
+    "GPU_CONFIGS",
+    "CpuDesign",
+    "GpuDesign",
+    "CpuRunResult",
+    "GpuRunResult",
+    "HetCoreDvfs",
+    "PowerBudgetAnalysis",
+    "cpu_config",
+    "gpu_config",
+    "simulate_cpu",
+    "simulate_gpu",
+    "CPU_APPS",
+    "GPU_KERNELS",
+    "cpu_app",
+    "gpu_kernel",
+    "__version__",
+]

@@ -1,0 +1,105 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show available exhibits, CPU/GPU configurations, apps, and kernels.
+``exhibit NAME [NAME...]``
+    Regenerate paper exhibits (e.g. ``table1``, ``figure7``) and print
+    their tables plus paper-vs-measured comparisons.
+``run CONFIG WORKLOAD``
+    Run one configuration on one workload (CPU app or GPU kernel) and
+    print the measurement.
+
+Sweep sizing obeys ``REPRO_INSTRUCTIONS`` / ``REPRO_APPS`` /
+``REPRO_KERNELS``, as everywhere else.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.configs import CPU_CONFIGS, GPU_CONFIGS, cpu_config, gpu_config
+from repro.core.simulate import simulate_cpu, simulate_gpu
+from repro.experiments.figures import ALL_EXHIBITS
+from repro.experiments.report import paper_vs_measured
+from repro.experiments.runner import SweepRunner
+from repro.workloads import CPU_APPS, GPU_KERNELS
+
+#: Exhibits that consume the shared sweep runner.
+_SWEEP_EXHIBITS = {
+    "figure7", "figure8", "figure9", "figure10", "figure11",
+    "figure12", "figure13", "figure14",
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("exhibits:   ", " ".join(ALL_EXHIBITS))
+    print("cpu configs:", " ".join(CPU_CONFIGS))
+    print("gpu configs:", " ".join(GPU_CONFIGS))
+    print("cpu apps:   ", " ".join(CPU_APPS))
+    print("gpu kernels:", " ".join(GPU_KERNELS))
+    return 0
+
+
+def _cmd_exhibit(args: argparse.Namespace) -> int:
+    unknown = [n for n in args.names if n not in ALL_EXHIBITS]
+    if unknown:
+        print(f"unknown exhibits: {unknown}", file=sys.stderr)
+        return 2
+    runner = SweepRunner()
+    for name in args.names:
+        fn = ALL_EXHIBITS[name]
+        result = fn(runner) if name in _SWEEP_EXHIBITS else fn()
+        print(f"\n== {result.exhibit}: {result.title} ==")
+        print(result.table)
+        print("\npaper vs measured (means):")
+        print(paper_vs_measured(result))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.config in CPU_CONFIGS and args.workload in CPU_APPS:
+        run = simulate_cpu(cpu_config(args.config), args.workload)
+        core = run.core
+        print(f"{args.config} on {args.workload} (CPU):")
+        print(f"  time    {run.time_s * 1e6:.2f} us   energy {run.energy_j * 1e3:.3f} mJ")
+        print(f"  ED      {run.ed:.3e}   ED^2  {run.ed2:.3e}")
+        print(
+            f"  ipc {core.ipc:.2f}  bpred-miss {core.branch_mispredict_rate:.3f}  "
+            f"dl1-hit {core.dl1_hit_rate:.3f}  fast-way {core.dl1_fast_hit_rate:.3f}"
+        )
+        return 0
+    if args.config in GPU_CONFIGS and args.workload in GPU_KERNELS:
+        run = simulate_gpu(gpu_config(args.config), args.workload)
+        cu = run.gpu.cu_result
+        print(f"{args.config} on {args.workload} (GPU):")
+        print(f"  time    {run.time_s * 1e6:.2f} us   energy {run.energy_j * 1e3:.3f} mJ")
+        print(f"  ED      {run.ed:.3e}   ED^2  {run.ed2:.3e}")
+        print(f"  cu-ipc {cu.ipc:.2f}  rf-cache-hit {cu.rf_cache_hit_rate:.2f}")
+        return 0
+    print(
+        f"no matching (config, workload) pair for "
+        f"({args.config!r}, {args.workload!r}); see `python -m repro list`",
+        file=sys.stderr,
+    )
+    return 2
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show exhibits, configs, and workloads")
+
+    p_exhibit = sub.add_parser("exhibit", help="regenerate paper exhibits")
+    p_exhibit.add_argument("names", nargs="+", metavar="NAME")
+
+    p_run = sub.add_parser("run", help="run one configuration on one workload")
+    p_run.add_argument("config")
+    p_run.add_argument("workload")
+
+    args = parser.parse_args(argv)
+    handlers = {"list": _cmd_list, "exhibit": _cmd_exhibit, "run": _cmd_run}
+    return handlers[args.command](args)

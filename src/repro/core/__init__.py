@@ -1,0 +1,48 @@
+"""HetCore: the hetero-device TFET-CMOS core architecture (the paper's
+primary contribution).
+
+This layer composes the substrates (devices, cpu, gpu, mem, power,
+workloads) into the designs the paper evaluates:
+
+* :mod:`repro.core.hetcore` -- ``CpuDesign`` / ``GpuDesign``: per-unit
+  device assignment and everything derived from it (latency tables, cache
+  round trips, energy device maps, resource sizes).
+* :mod:`repro.core.configs` -- the named Table IV configurations (10 CPU +
+  AdvHet-2X, 4 GPU + AdvHet-2X) and the Table III machine parameters.
+* :mod:`repro.core.simulate` -- ``simulate_cpu`` / ``simulate_gpu``: run a
+  configuration on a workload and return time + energy + ED + ED^2.
+* :mod:`repro.core.dvfs` -- hetero-device DVFS and process-variation
+  energy analysis (Figure 14).
+* :mod:`repro.core.budget` -- fixed-power-budget core-count analysis
+  (AdvHet-2X, Section VII-A1/B1).
+"""
+
+from repro.core.hetcore import CpuDesign, GpuDesign
+from repro.core.configs import (
+    CPU_CONFIGS,
+    GPU_CONFIGS,
+    cpu_config,
+    gpu_config,
+    machine_params,
+    design_modifications,
+)
+from repro.core.simulate import CpuRunResult, GpuRunResult, simulate_cpu, simulate_gpu
+from repro.core.dvfs import HetCoreDvfs
+from repro.core.budget import PowerBudgetAnalysis
+
+__all__ = [
+    "CpuDesign",
+    "GpuDesign",
+    "CPU_CONFIGS",
+    "GPU_CONFIGS",
+    "cpu_config",
+    "gpu_config",
+    "machine_params",
+    "design_modifications",
+    "CpuRunResult",
+    "GpuRunResult",
+    "simulate_cpu",
+    "simulate_gpu",
+    "HetCoreDvfs",
+    "PowerBudgetAnalysis",
+]

@@ -1,0 +1,202 @@
+"""The named configurations of Table IV (plus the Table II/III data).
+
+Ten CPU configurations, four GPU configurations, and the fixed-power-budget
+AdvHet-2X variants; this module is the single source of truth used by the
+experiment harness, the benchmarks, and the examples.
+"""
+
+from __future__ import annotations
+
+from repro.core.hetcore import CpuDesign, GpuDesign
+from repro.power.model import DeviceKind
+
+_C = DeviceKind.CMOS
+_T = DeviceKind.TFET
+_H = DeviceKind.HIGHVT
+_N = DeviceKind.TFET_NATIVE
+
+
+CPU_CONFIGS: dict[str, CpuDesign] = {
+    d.name: d
+    for d in [
+        CpuDesign(name="BaseCMOS", notes="All-CMOS core"),
+        CpuDesign(
+            name="BaseCMOS-Enh",
+            asym_dl1=True,
+            enlarged=True,
+            notes=(
+                "BaseCMOS + larger ROB (160->192) & FP-RF (80->128) + CMOS "
+                "asymmetric DL1 (1 cycle for 1 way & 3 cycles for rest)"
+            ),
+        ),
+        CpuDesign(
+            name="BaseTFET",
+            freq_ghz=1.0,
+            alu=_N, muldiv=_N, fpu=_N, dl1=_N, l2=_N, l3=_N, others=_N,
+            notes="All-TFET core at half frequency",
+        ),
+        CpuDesign(
+            name="BaseHet",
+            alu=_T, muldiv=_T, fpu=_T, dl1=_T, l2=_T, l3=_T,
+            notes="BaseCMOS + FPUs, ALUs, DL1, L2, and L3 in TFET",
+        ),
+        CpuDesign(
+            name="AdvHet",
+            alu=_T, muldiv=_T, fpu=_T, dl1=_T, l2=_T, l3=_T,
+            asym_dl1=True, dual_speed_alu=True, enlarged=True,
+            notes=(
+                "BaseHet + larger ROB & FP-RF + dual-speed ALU (3 TFET + 1 "
+                "CMOS) + asymmetric DL1 (1 way CMOS & rest TFET)"
+            ),
+        ),
+        CpuDesign(
+            name="BaseL3",
+            l3=_T, enlarged=True,
+            notes="BaseCMOS + larger ROB & FP-RF + L3 in TFET",
+        ),
+        CpuDesign(
+            name="BaseHighVt",
+            alu=_H, muldiv=_H, fpu=_H,
+            notes=(
+                "BaseCMOS + high-Vt FPUs & ALUs (Add/Mul/Div: Int 2/3/6, "
+                "FP 3/6/12 cycles)"
+            ),
+        ),
+        CpuDesign(
+            name="BaseHet-FastALU",
+            fpu=_T, dl1=_T, l2=_T, l3=_T,
+            notes="BaseHet + all ALUs in CMOS",
+        ),
+        CpuDesign(
+            name="BaseHet-Enh",
+            alu=_T, muldiv=_T, fpu=_T, dl1=_T, l2=_T, l3=_T,
+            enlarged=True,
+            notes="BaseHet + larger ROB & FP-RF",
+        ),
+        CpuDesign(
+            name="BaseHet-Split",
+            alu=_T, muldiv=_T, fpu=_T, dl1=_T, l2=_T, l3=_T,
+            enlarged=True, dual_speed_alu=True,
+            notes="BaseHet-Enh + dual-speed ALU cluster",
+        ),
+        CpuDesign(
+            name="AdvHet-2X",
+            alu=_T, muldiv=_T, fpu=_T, dl1=_T, l2=_T, l3=_T,
+            asym_dl1=True, dual_speed_alu=True, enlarged=True,
+            n_cores=8,
+            notes="AdvHet with 8 cores in the 4-core BaseCMOS power budget",
+        ),
+    ]
+}
+
+
+GPU_CONFIGS: dict[str, GpuDesign] = {
+    d.name: d
+    for d in [
+        GpuDesign(
+            name="BaseCMOS", rf_cache=True,
+            notes="All-CMOS GPU + register file cache (added for fairness)",
+        ),
+        GpuDesign(
+            name="BaseTFET", freq_ghz=0.5, fma=_N, rf=_N, others=_N,
+            notes="All-TFET GPU at half frequency",
+        ),
+        GpuDesign(
+            name="BaseHet", fma=_T, rf=_T,
+            notes="BaseCMOS + SIMD FPUs & RF in TFET (no RF cache)",
+        ),
+        GpuDesign(
+            name="AdvHet", fma=_T, rf=_T, rf_cache=True,
+            notes="BaseHet + register file cache",
+        ),
+        GpuDesign(
+            name="AdvHet-2X", fma=_T, rf=_T, rf_cache=True, n_cus=16,
+            notes="AdvHet with 16 CUs in the 8-CU BaseCMOS power budget",
+        ),
+    ]
+}
+
+#: Figure 7-9 plot these CPU configurations, in this order.
+CPU_MAIN_CONFIGS = ["BaseCMOS", "BaseCMOS-Enh", "BaseTFET", "BaseHet", "AdvHet", "AdvHet-2X"]
+#: Figure 13 plots these CPU configurations.
+CPU_SENSITIVITY_CONFIGS = [
+    "BaseCMOS", "BaseL3", "BaseHighVt",
+    "BaseHet-FastALU", "BaseHet", "BaseHet-Enh", "BaseHet-Split", "AdvHet",
+]
+#: Figures 10-12 plot these GPU configurations.
+GPU_MAIN_CONFIGS = ["BaseCMOS", "BaseTFET", "BaseHet", "AdvHet", "AdvHet-2X"]
+
+
+def cpu_config(name: str) -> CpuDesign:
+    """Look up a CPU configuration by Table IV name."""
+    try:
+        return CPU_CONFIGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown CPU config {name!r}; choose from {sorted(CPU_CONFIGS)}"
+        ) from None
+
+
+def gpu_config(name: str) -> GpuDesign:
+    """Look up a GPU configuration by Table IV name."""
+    try:
+        return GPU_CONFIGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown GPU config {name!r}; choose from {sorted(GPU_CONFIGS)}"
+        ) from None
+
+
+def machine_params() -> dict[str, str]:
+    """Table III: parameters of the simulated architecture."""
+    return {
+        "CPU Hardware": "4 out-of-order cores, 4-issue each, 2GHz",
+        "INT/FP RF; ROB": "128/80 regs; 160 entries",
+        "Issue queue": "64 entries",
+        "Ld-St queue": "48 entries",
+        "Branch prediction": "Tournament: 2-level, 32-entry RAS, 4way 2K-entry BTB",
+        "4 ALU": "CMOS: 1 cycle, TFET: 2 cycles",
+        "2 Int Mult/Div": "CMOS: 2/4 cycles, TFET: 4/8 cycles",
+        "2 LSU": "1 cycle",
+        "2 FPU": (
+            "CMOS: Add/Mult/Div 2/4/8 cycles; TFET: 4/8/16 cycles; "
+            "Add/Mult issue every cycle, Div issues every 8/16 cycles"
+        ),
+        "Private I-Cache": "32KB, 2way, 64B line, Round-trip (RT): 2 cycles",
+        "Asym. FastCache": "4KB, 1way, writeback (WB), 64B line, RT: 1 cycle",
+        "Private D-Cache": (
+            "32KB, 8way, WB, 64B line, RT: 2 cycles (CMOS) or 4 cycles (TFET)"
+        ),
+        "Private L2": (
+            "256KB, 8way, WB, 64B line, RT: 8 cycles (CMOS) or 12 cycles (TFET)"
+        ),
+        "Shared L3": (
+            "Per core: 2MB, 16way, WB, 64B line, RT: 32 cycles (CMOS) or "
+            "40 cycles (TFET)"
+        ),
+        "DRAM latency": "RT: 50ns",
+        "GPU Hardware": "8 CUs with 16 EUs each, 1GHz",
+        "FMA unit": "CMOS: 3 cycles, TFET: 6 cycles, pipelined issue every cycle",
+        "Vector registers": (
+            "256 per thread, access: 1 cycle (CMOS) or 2 cycles (TFET)"
+        ),
+        "Register file cache": "6 entries per thread, access: 1 cycle",
+        "Network": "Ring with MESI directory-based protocol",
+    }
+
+
+def design_modifications() -> dict[str, dict[str, str]]:
+    """Table II: design modifications for HetCore."""
+    return {
+        "BaseHet": {
+            "CPU": "FPUs, ALUs, DL1, L2, and L3 in TFET",
+            "GPU": "SIMD FPUs and RF in TFET",
+        },
+        "AdvHet": {
+            "CPU": (
+                "BaseHet + asymmetric DL1 cache + dual-speed ALU + larger "
+                "ROB and FP RF"
+            ),
+            "GPU": "BaseHet + register file cache",
+        },
+    }

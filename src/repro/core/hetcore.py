@@ -1,0 +1,195 @@
+"""HetCore design descriptions: which units use which device, and all the
+micro-architectural consequences.
+
+A :class:`CpuDesign` names a device (CMOS, TFET, high-Vt, or native TFET)
+for each candidate unit of Section IV-B -- the FPUs, ALUs (with the integer
+multiplier cluster), DL1, L2, and L3 -- plus the AdvHet options: the
+asymmetric DL1, the dual-speed ALU cluster, and the enlarged ROB / FP
+register file.  From that single description it derives:
+
+* functional-unit latency tables (Table III's CMOS/TFET/high-Vt columns);
+* cache round-trip latencies (2/4, 8/12, 32/40 cycles);
+* the DL1 organisation (plain or asymmetric, with partition latencies);
+* the energy-model device map and scaling knobs.
+
+The invariant the whole paper rests on is encoded here: a TFET unit is
+clocked at the core frequency by doubling its pipeline depth, so its
+*cycle* latencies are exactly twice the CMOS ones while its occupancy
+(issue rate) is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.resources import ResourceConfig
+from repro.cpu.units import (
+    CMOS_LATENCIES,
+    HIGHVT_LATENCIES,
+    TFET_LATENCIES,
+    FunctionalUnitPool,
+    LatencyTable,
+)
+from repro.mem.asym import AsymmetricL1
+from repro.mem.cache import Cache
+from repro.mem.contention import SharedResourceContention
+from repro.mem.hierarchy import CacheLatencies, MemoryHierarchy
+from repro.power.model import DeviceKind, ScalingKnobs
+
+
+def _latency_table(device: DeviceKind) -> LatencyTable:
+    if device in (DeviceKind.CMOS, DeviceKind.TFET_NATIVE):
+        # An all-TFET core keeps CMOS-like *cycle* latencies: the entire
+        # clock slows down instead (Section VI: BaseTFET runs at 1 GHz).
+        return CMOS_LATENCIES
+    if device == DeviceKind.TFET:
+        return TFET_LATENCIES
+    return HIGHVT_LATENCIES
+
+
+@dataclass(frozen=True)
+class CpuDesign:
+    """One CPU configuration of Table IV."""
+
+    name: str
+    freq_ghz: float = 2.0
+    alu: DeviceKind = DeviceKind.CMOS
+    muldiv: DeviceKind = DeviceKind.CMOS
+    fpu: DeviceKind = DeviceKind.CMOS
+    dl1: DeviceKind = DeviceKind.CMOS
+    l2: DeviceKind = DeviceKind.CMOS
+    l3: DeviceKind = DeviceKind.CMOS
+    #: Device of every remaining unit (front-end, rename, ROB, IQ, register
+    #: files, LSU, IL1, clock tree).  Only the all-TFET core changes this.
+    others: DeviceKind = DeviceKind.CMOS
+    #: AdvHet options.
+    asym_dl1: bool = False
+    dual_speed_alu: bool = False
+    enlarged: bool = False
+    n_cores: int = 4
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.freq_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.n_cores <= 0:
+            raise ValueError("core count must be positive")
+        if self.dual_speed_alu and self.alu == DeviceKind.CMOS:
+            raise ValueError(
+                f"{self.name}: a dual-speed cluster needs slow (TFET) ALUs"
+            )
+        if self.asym_dl1 and self.dl1 == DeviceKind.TFET_NATIVE:
+            raise ValueError(f"{self.name}: asymmetric DL1 inside an all-TFET core")
+
+    # ---- timing derivations -------------------------------------------
+    def cache_latencies(self) -> CacheLatencies:
+        """Round trips per Table III, by device assignment."""
+        return CacheLatencies(
+            il1_rt=2,
+            dl1_rt=4 if self.dl1 == DeviceKind.TFET else 2,
+            l2_rt=12 if self.l2 == DeviceKind.TFET else 8,
+            l3_rt=40 if self.l3 == DeviceKind.TFET else 32,
+            dram_ns=50.0,
+        )
+
+    def build_dl1(self) -> "Cache | AsymmetricL1 | None":
+        """The DL1 object (None means the hierarchy default plain cache)."""
+        if not self.asym_dl1:
+            return None
+        # AdvHet: TFET slow ways cost 4 extra cycles; the all-CMOS variant
+        # (BaseCMOS-Enh) costs 2 extra (1-cycle fast way, 3-cycle rest).
+        slow_extra = 4 if self.dl1 == DeviceKind.TFET else 2
+        return AsymmetricL1(fast_hit_cycles=1, slow_extra_cycles=slow_extra)
+
+    def build_units(self) -> FunctionalUnitPool:
+        """Functional-unit pool with this design's latency tables."""
+        return FunctionalUnitPool(
+            alu_table=_latency_table(self.alu),
+            muldiv_table=_latency_table(self.muldiv),
+            fpu_table=_latency_table(self.fpu),
+            fast_alu_count=1 if self.dual_speed_alu else 0,
+            fast_table=CMOS_LATENCIES,
+        )
+
+    def resources(self) -> ResourceConfig:
+        base = ResourceConfig()
+        return base.enlarged() if self.enlarged else base
+
+    def build_hierarchy(self, mem_intensity: float = 0.0) -> MemoryHierarchy:
+        """Memory hierarchy with multicore contention for this design."""
+        contention = SharedResourceContention(
+            n_sharers=self.n_cores, intensity=mem_intensity
+        )
+        return MemoryHierarchy(
+            self.cache_latencies(),
+            freq_ghz=self.freq_ghz,
+            dl1=self.build_dl1(),
+            contention=contention,
+        )
+
+    # ---- energy derivations -------------------------------------------
+    def device_map(self) -> dict[str, DeviceKind]:
+        return {
+            "alu": self.alu,
+            "muldiv": self.muldiv,
+            "fpu": self.fpu,
+            "dl1": self.dl1,
+            "l2": self.l2,
+            "l3": self.l3,
+            "others": self.others,
+        }
+
+    def energy_knobs(self) -> ScalingKnobs:
+        knobs = ScalingKnobs()
+        if self.enlarged:
+            base = ResourceConfig()
+            big = base.enlarged()
+            # Banked arrays grow per-access energy sublinearly with
+            # capacity (only the selected bank switches); leakage is the
+            # per-instance time term and is handled by the same knob, so a
+            # sqrt compromise keeps both within CACTI-class behaviour.
+            knobs.rob_scale = (big.rob_entries / base.rob_entries) ** 0.5
+            knobs.fp_rf_scale = (big.fp_regs / base.fp_regs) ** 0.5
+        knobs.leakage_instances = float(self.n_cores)
+        return knobs
+
+    @property
+    def is_all_tfet(self) -> bool:
+        return self.alu == DeviceKind.TFET_NATIVE
+
+
+@dataclass(frozen=True)
+class GpuDesign:
+    """One GPU configuration of Table IV."""
+
+    name: str
+    freq_ghz: float = 1.0
+    fma: DeviceKind = DeviceKind.CMOS
+    rf: DeviceKind = DeviceKind.CMOS
+    #: Device of the remaining CU logic (front-end, LDS/memory path, misc).
+    others: DeviceKind = DeviceKind.CMOS
+    rf_cache: bool = False
+    n_cus: int = 8
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.freq_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.n_cus <= 0:
+            raise ValueError("CU count must be positive")
+
+    def fma_depth(self) -> int:
+        """3-stage CMOS FMA, 6-stage TFET (Table III); an all-TFET GPU
+        keeps the 3-stage layout at half clock."""
+        return 6 if self.fma == DeviceKind.TFET else 3
+
+    def rf_cycles(self) -> int:
+        return 2 if self.rf == DeviceKind.TFET else 1
+
+    def device_map(self) -> dict[str, DeviceKind]:
+        return {"fma": self.fma, "rf": self.rf, "others": self.others}
+
+    def energy_knobs(self) -> ScalingKnobs:
+        knobs = ScalingKnobs()
+        knobs.leakage_instances = float(self.n_cus)
+        return knobs

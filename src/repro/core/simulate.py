@@ -1,0 +1,204 @@
+"""Top-level simulation API: run a configuration on a workload.
+
+``simulate_cpu(design, app)`` assembles the core (latency tables, DL1
+organisation, resources, steering), runs the app's synthetic trace through
+the cycle-level engine within the multicore wrapper, feeds the measured
+activity into the power model, and returns time / energy / ED / ED^2.
+``simulate_gpu`` does the same for a GPU design and a kernel.
+
+Determinism: the same (design, workload, instructions, seed) always
+produces identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hetcore import CpuDesign, GpuDesign
+from repro.cpu.core import CoreConfig, CoreResult, OutOfOrderCore
+from repro.cpu.multicore import MulticoreResult, run_multicore
+from repro.gpu.cu import CUConfig
+from repro.gpu.gpu import GpuConfig, GpuResult, run_gpu
+from repro.power.metrics import ed2_product, ed_product
+from repro.power.model import EnergyBreakdown, cpu_energy, gpu_energy
+from repro.workloads.generator import generate_trace
+from repro.workloads.gpu_generator import generate_kernel
+from repro.workloads.gpu_profiles import KernelProfile, gpu_kernel
+from repro.workloads.profiles import AppProfile, cpu_app
+
+#: Default measured window per core (instructions) and cache/predictor
+#: warm-up, sized so a full sweep stays tractable in pure Python while
+#: keeping cache/predictor statistics converged.
+DEFAULT_INSTRUCTIONS = 60_000
+DEFAULT_WARMUP = 20_000
+
+
+@dataclass
+class CpuRunResult:
+    """One (CPU configuration, application) measurement."""
+
+    config: str
+    app: str
+    time_s: float
+    energy: EnergyBreakdown
+    multicore: MulticoreResult
+
+    @property
+    def energy_j(self) -> float:
+        return self.energy.total
+
+    @property
+    def ed(self) -> float:
+        return ed_product(self.energy_j, self.time_s)
+
+    @property
+    def ed2(self) -> float:
+        return ed2_product(self.energy_j, self.time_s)
+
+    @property
+    def core(self) -> CoreResult:
+        return self.multicore.representative
+
+    @property
+    def power_w(self) -> float:
+        return self.energy_j / self.time_s if self.time_s else 0.0
+
+
+@dataclass
+class GpuRunResult:
+    """One (GPU configuration, kernel) measurement."""
+
+    config: str
+    kernel: str
+    time_s: float
+    energy: EnergyBreakdown
+    gpu: GpuResult
+
+    @property
+    def energy_j(self) -> float:
+        return self.energy.total
+
+    @property
+    def ed(self) -> float:
+        return ed_product(self.energy_j, self.time_s)
+
+    @property
+    def ed2(self) -> float:
+        return ed2_product(self.energy_j, self.time_s)
+
+    @property
+    def power_w(self) -> float:
+        return self.energy_j / self.time_s if self.time_s else 0.0
+
+
+def _prewarm(hierarchy, profile: AppProfile) -> None:
+    """Functionally warm the resident regions (largest first, so recency
+    ends up hottest-innermost).  Region bases mirror the trace generator's
+    layout."""
+    from repro.workloads import generator as g
+
+    hierarchy.prewarm_region(g._BIG_BASE, profile.big_mb * 1024 * 1024)
+    hierarchy.prewarm_region(g._WARM_BASE, profile.warm_kb * 1024)
+    hierarchy.prewarm_region(g._HOT_BASE, profile.hot_kb * 1024, into_l1=True)
+    hierarchy.prewarm_region(g._STACK_BASE, profile.stack_kb * 1024, into_l1=True)
+
+
+def simulate_cpu(
+    design: CpuDesign,
+    app: "str | AppProfile",
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    warmup: int = DEFAULT_WARMUP,
+    detailed_cores: int = 1,
+    seed: int = 0,
+) -> CpuRunResult:
+    """Run one CPU configuration on one application.
+
+    ``instructions`` is the per-core trace length (including ``warmup``
+    instructions of cache/predictor warm-up that are excluded from the
+    measurement).  Energy is chip-level: dynamic for the fixed total work,
+    leakage for all ``design.n_cores`` cores over the parallel runtime.
+    """
+    profile = cpu_app(app) if isinstance(app, str) else app
+
+    def core_factory(core_idx: int, n_cores: int) -> OutOfOrderCore:
+        hierarchy = design.build_hierarchy(mem_intensity=profile.mem_intensity)
+        _prewarm(hierarchy, profile)
+        config = CoreConfig(
+            freq_ghz=design.freq_ghz,
+            resources=design.resources(),
+            steering_enabled=design.dual_speed_alu,
+        )
+        return OutOfOrderCore(config, hierarchy, design.build_units())
+
+    def trace_factory(core_idx: int):
+        return generate_trace(profile, instructions, seed=seed + core_idx)
+
+    multicore = run_multicore(
+        core_factory,
+        trace_factory,
+        profile,
+        n_cores=design.n_cores,
+        warmup=warmup,
+        detailed_cores=detailed_cores,
+    )
+    rep = multicore.representative
+    knobs = design.energy_knobs()
+    knobs.work_scale = multicore.total_work / rep.committed
+    energy = cpu_energy(
+        rep.activity,
+        multicore.time_s,
+        device_map=design.device_map(),
+        asym_dl1=design.asym_dl1,
+        knobs=knobs,
+    )
+    return CpuRunResult(
+        config=design.name,
+        app=profile.name,
+        time_s=multicore.time_s,
+        energy=energy,
+        multicore=multicore,
+    )
+
+
+def simulate_gpu(
+    design: GpuDesign,
+    kernel: "str | KernelProfile",
+    seed: int = 0,
+) -> GpuRunResult:
+    """Run one GPU configuration on one kernel.
+
+    Energy is chip-level: dynamic for the fixed total work (the reference
+    8-CU machine's), leakage for all ``design.n_cus`` compute units over
+    the parallel runtime.
+    """
+    profile = gpu_kernel(kernel) if isinstance(kernel, str) else kernel
+    trace = generate_kernel(profile, seed=seed)
+    gpu_cfg = GpuConfig(
+        cu=CUConfig(
+            freq_ghz=design.freq_ghz,
+            fma_depth=design.fma_depth(),
+            rf_cycles=design.rf_cycles(),
+            rf_cache_enabled=design.rf_cache,
+        ),
+        n_cus=design.n_cus,
+    )
+    result = run_gpu(gpu_cfg, trace)
+    knobs = design.energy_knobs()
+    # The detailed CU executed one CU's share of the reference machine's
+    # work; the whole job is 8 such shares regardless of this design's CU
+    # count (fixed total work).
+    knobs.work_scale = 8.0
+    energy = gpu_energy(
+        result.cu_result,
+        result.time_s,
+        device_map=design.device_map(),
+        rf_cache_enabled=design.rf_cache,
+        knobs=knobs,
+    )
+    return GpuRunResult(
+        config=design.name,
+        kernel=profile.name,
+        time_s=result.time_s,
+        energy=energy,
+        gpu=result,
+    )

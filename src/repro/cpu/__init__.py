@@ -1,0 +1,51 @@
+"""Trace-driven, cycle-level out-of-order CPU simulator.
+
+This package is the reproduction's stand-in for Multi2Sim's x86 timing
+model.  It simulates the 4-wide out-of-order core of Table III: tournament
+branch prediction with BTB and RAS, ROB/IQ/LSQ occupancy, a functional-unit
+pool with per-device (CMOS vs TFET) latencies, the memory hierarchy of
+:mod:`repro.mem`, the AdvHet dual-speed ALU cluster with dispatch-stage
+steering, and activity counters feeding :mod:`repro.power`.
+
+* :mod:`repro.cpu.uops` -- micro-op vocabulary.
+* :mod:`repro.cpu.trace` -- structure-of-arrays dynamic instruction traces.
+* :mod:`repro.cpu.branch` -- tournament predictor, BTB, RAS.
+* :mod:`repro.cpu.resources` -- ROB / issue-queue / LSQ bookkeeping.
+* :mod:`repro.cpu.units` -- functional-unit pool with latency tables.
+* :mod:`repro.cpu.steering` -- dual-speed ALU dispatch steering.
+* :mod:`repro.cpu.core` -- the cycle-level engine.
+* :mod:`repro.cpu.multicore` -- multicore wrapper (shared L3 contention +
+  per-app parallel scaling) for the fixed-power-budget studies.
+"""
+
+from repro.cpu.uops import UopType, MEMORY_OPS, FP_OPS, INT_EXEC_OPS
+from repro.cpu.trace import Trace
+from repro.cpu.branch import TournamentPredictor, BranchTargetBuffer, ReturnAddressStack
+from repro.cpu.resources import CoreResources, ResourceConfig
+from repro.cpu.units import FunctionalUnitPool, LatencyTable, CMOS_LATENCIES, TFET_LATENCIES
+from repro.cpu.steering import DualSpeedSteering
+from repro.cpu.core import CoreConfig, CoreResult, OutOfOrderCore
+from repro.cpu.multicore import MulticoreResult, run_multicore
+
+__all__ = [
+    "UopType",
+    "MEMORY_OPS",
+    "FP_OPS",
+    "INT_EXEC_OPS",
+    "Trace",
+    "TournamentPredictor",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+    "CoreResources",
+    "ResourceConfig",
+    "FunctionalUnitPool",
+    "LatencyTable",
+    "CMOS_LATENCIES",
+    "TFET_LATENCIES",
+    "DualSpeedSteering",
+    "CoreConfig",
+    "CoreResult",
+    "OutOfOrderCore",
+    "MulticoreResult",
+    "run_multicore",
+]

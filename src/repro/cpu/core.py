@@ -1,0 +1,492 @@
+"""The cycle-level out-of-order core engine.
+
+Per cycle the engine performs, in order: commit (up to commit width, in
+program order, completed entries only), issue (oldest-first scan of the
+issue queue; an op issues when its sources are ready and a functional unit
+port is free), dispatch (frontend queue into ROB/IQ/LSQ, resources
+permitting, with dual-speed ALU steering decided here), and fetch (IL1
+access per line, branch prediction, BTB, RAS, and misprediction redirect
+stalls).  Loads access the memory hierarchy at issue and complete after the
+level-appropriate round trip; mispredicted branches block fetch until they
+resolve plus a redirect penalty.
+
+The design goal is that every effect HetCore's evaluation depends on is
+mechanistic here:
+
+* TFET ALUs (2-cycle) break back-to-back dependent issue -- visible as a
+  dependent chain's ops issuing every other cycle;
+* TFET FPU pipelines are longer but still single-cycle issue, so FP-dense
+  code with ILP keeps them full while latency-bound chains suffer;
+* the TFET DL1 (4-cycle) stretches every load-use chain, while the
+  asymmetric DL1 serves MRU-resident lines in 1 cycle;
+* a bigger ROB/FP-RF admits more in-flight FP ops to cover the deeper
+  pipelines;
+* branch mispredictions hurt more when the resolving ALU is slower.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.cpu.branch import BranchTargetBuffer, ReturnAddressStack, TournamentPredictor
+from repro.cpu.resources import CoreResources, ResourceConfig
+from repro.cpu.steering import DualSpeedSteering
+from repro.cpu.trace import Trace
+from repro.cpu.units import FunctionalUnitPool
+from repro.cpu.uops import UopType
+from repro.mem.hierarchy import MemoryHierarchy
+
+_INF = 1 << 60
+
+_LOAD = int(UopType.LOAD)
+_STORE = int(UopType.STORE)
+_BRANCH = int(UopType.BRANCH)
+_CALL = int(UopType.CALL)
+_RET = int(UopType.RET)
+_IALU = int(UopType.IALU)
+_IMUL = int(UopType.IMUL)
+_IDIV = int(UopType.IDIV)
+_FADD = int(UopType.FADD)
+_FMUL = int(UopType.FMUL)
+_FDIV = int(UopType.FDIV)
+_NOP = int(UopType.NOP)
+
+_ALU_CLASS = frozenset({_IALU, _BRANCH, _CALL, _RET, _NOP})
+_MULDIV_CLASS = frozenset({_IMUL, _IDIV})
+_FP_CLASS = frozenset({_FADD, _FMUL, _FDIV})
+_MEM_CLASS = frozenset({_LOAD, _STORE})
+_INT_WRITERS = frozenset({_IALU, _IMUL, _IDIV, _LOAD})
+_FP_WRITERS = frozenset({_FADD, _FMUL, _FDIV})
+
+
+@dataclass
+class CoreConfig:
+    """Static core parameters (Table III defaults)."""
+
+    freq_ghz: float = 2.0
+    fetch_width: int = 4
+    dispatch_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+    #: Frontend refill after a mispredicted branch resolves.
+    redirect_penalty: int = 10
+    #: Bubble when a taken branch misses the BTB.
+    btb_miss_penalty: int = 2
+    #: Decoded-uop buffer between fetch and dispatch.
+    fetch_buffer: int = 16
+    resources: ResourceConfig = field(default_factory=ResourceConfig)
+    steering_enabled: bool = False
+    max_cycles: int = 1 << 40
+
+
+@dataclass
+class ActivityCounts:
+    """Per-unit activity over the measured window (feeds the power model)."""
+
+    fetched: int = 0
+    dispatched: int = 0
+    issued: int = 0
+    committed: int = 0
+    int_reg_reads: int = 0
+    int_reg_writes: int = 0
+    fp_reg_reads: int = 0
+    fp_reg_writes: int = 0
+    bpred_lookups: int = 0
+    alu_fast_ops: int = 0
+    alu_slow_ops: int = 0
+    muldiv_ops: int = 0
+    fpu_ops: int = 0
+    lsu_ops: int = 0
+    loads: int = 0
+    stores: int = 0
+    il1_accesses: int = 0
+    dl1_accesses: int = 0
+    dl1_fast_hits: int = 0
+    dl1_slow_accesses: int = 0
+    dl1_line_moves: int = 0
+    l2_accesses: int = 0
+    l3_accesses: int = 0
+    dram_accesses: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class CoreResult:
+    """Outcome of one measured simulation window."""
+
+    cycles: int
+    committed: int
+    freq_ghz: float
+    activity: ActivityCounts
+    branch_mispredict_rate: float
+    dl1_hit_rate: float
+    dl1_fast_hit_rate: float
+    l2_hit_rate: float
+    l3_hit_rate: float
+    rob_peak: int
+    iq_peak: int
+    alu_fast_fraction: float
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def time_s(self) -> float:
+        return self.cycles / (self.freq_ghz * 1e9)
+
+
+class OutOfOrderCore:
+    """One out-of-order core bound to a memory hierarchy and unit pool."""
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        hierarchy: MemoryHierarchy,
+        units: FunctionalUnitPool,
+    ):
+        self.config = config
+        self.hierarchy = hierarchy
+        self.units = units
+        self.predictor = TournamentPredictor()
+        self.btb = BranchTargetBuffer()
+        self.ras = ReturnAddressStack()
+        self.resources = CoreResources(config.resources)
+
+    def run(self, trace: Trace, warmup: int = 0) -> CoreResult:
+        """Execute ``trace`` and return statistics for the post-warmup part.
+
+        ``warmup`` commits are executed first to warm caches and predictor
+        state; every counter is then snapshotted and the reported result
+        covers only the remaining instructions.
+        """
+        n = len(trace)
+        if warmup >= n:
+            raise ValueError("warmup must be smaller than the trace")
+        cfg = self.config
+        op_arr = trace.op
+        src1_arr = trace.src1_dist
+        src2_arr = trace.src2_dist
+        addr_arr = trace.addr
+        pc_arr = trace.pc
+        taken_arr = trace.taken
+
+        steering = DualSpeedSteering(
+            trace, window=cfg.issue_width, enabled=cfg.steering_enabled
+        )
+
+        ready = [_INF] * n  # completion cycle per trace entry
+        rob: deque[int] = deque()
+        iq: list[int] = []
+        prefer_fast = [False] * n
+
+        fetch_q: deque[int] = deque()  # decoded uops awaiting dispatch
+        next_fetch = 0
+        fetch_blocked_until = 0
+        pending_redirect = -1  # trace idx of an unresolved mispredicted branch
+        last_fetch_line = -1
+
+        cycle = 0
+        committed = 0
+        act = ActivityCounts()
+        resources = self.resources
+        units = self.units
+        hierarchy = self.hierarchy
+        predictor = self.predictor
+        btb = self.btb
+        ras = self.ras
+
+        measure_start_cycle = 0
+        snapshot: dict[str, float] | None = None
+        if warmup == 0:
+            snapshot = self._snapshot(act)
+
+        issue_width = cfg.issue_width
+        dispatch_width = cfg.dispatch_width
+        commit_width = cfg.commit_width
+        fetch_width = cfg.fetch_width
+        fetch_buffer = cfg.fetch_buffer
+        max_cycles = cfg.max_cycles
+
+        while committed < n:
+            # ---- commit ----
+            ncommit = 0
+            while rob and ncommit < commit_width:
+                head = rob[0]
+                if ready[head] >= cycle:
+                    break
+                rob.popleft()
+                hop = int(op_arr[head])
+                resources.commit(
+                    hop in _MEM_CLASS, hop in _INT_WRITERS, hop in _FP_WRITERS
+                )
+                committed += 1
+                ncommit += 1
+                act.committed += 1
+                if committed == warmup:
+                    measure_start_cycle = cycle
+                    snapshot = self._snapshot(act)
+
+            # ---- issue ----
+            if iq:
+                nissued = 0
+                still_waiting: list[int] = []
+                for idx in iq:
+                    if nissued >= issue_width:
+                        still_waiting.append(idx)
+                        continue
+                    d1 = src1_arr[idx]
+                    if d1 and ready[idx - d1] > cycle:
+                        still_waiting.append(idx)
+                        continue
+                    d2 = src2_arr[idx]
+                    if d2 and ready[idx - d2] > cycle:
+                        still_waiting.append(idx)
+                        continue
+                    o = int(op_arr[idx])
+                    if o in _ALU_CLASS:
+                        res = units.issue_alu(cycle, o, prefer_fast[idx])
+                        if res is None:
+                            still_waiting.append(idx)
+                            continue
+                        latency = res[0]
+                    elif o in _MEM_CLASS:
+                        agu = units.issue_lsu(cycle)
+                        if agu is None:
+                            still_waiting.append(idx)
+                            continue
+                        access = hierarchy.data_access(int(addr_arr[idx]), o == _STORE)
+                        if o == _LOAD:
+                            latency = agu + access.latency
+                        else:
+                            # Stores drain through the store buffer; they do
+                            # not stall commit beyond address generation.
+                            latency = agu
+                    elif o in _FP_CLASS:
+                        fl = units.issue_fpu(cycle, o)
+                        if fl is None:
+                            still_waiting.append(idx)
+                            continue
+                        latency = fl
+                    else:  # _MULDIV_CLASS
+                        ml = units.issue_muldiv(cycle, o)
+                        if ml is None:
+                            still_waiting.append(idx)
+                            continue
+                        latency = ml
+                    completion = cycle + latency
+                    ready[idx] = completion
+                    resources.issue()
+                    nissued += 1
+                    if idx == pending_redirect:
+                        blocked = completion + cfg.redirect_penalty
+                        if blocked > fetch_blocked_until:
+                            fetch_blocked_until = blocked
+                        pending_redirect = -1
+                iq = still_waiting
+                act.issued += nissued
+
+            # ---- dispatch ----
+            ndisp = 0
+            while fetch_q and ndisp < dispatch_width:
+                idx = fetch_q[0]
+                o = int(op_arr[idx])
+                is_mem = o in _MEM_CLASS
+                w_int = o in _INT_WRITERS
+                w_fp = o in _FP_WRITERS
+                if not resources.can_dispatch(is_mem, w_int, w_fp):
+                    break
+                fetch_q.popleft()
+                resources.dispatch(is_mem, w_int, w_fp)
+                prefer_fast[idx] = steering.prefer_fast(idx)
+                rob.append(idx)
+                iq.append(idx)
+                ndisp += 1
+                if o == _LOAD:
+                    act.loads += 1
+                elif o == _STORE:
+                    act.stores += 1
+                if src1_arr[idx]:
+                    if o in _FP_CLASS:
+                        act.fp_reg_reads += 1
+                    else:
+                        act.int_reg_reads += 1
+                if src2_arr[idx]:
+                    if o in _FP_CLASS:
+                        act.fp_reg_reads += 1
+                    else:
+                        act.int_reg_reads += 1
+                if w_int:
+                    act.int_reg_writes += 1
+                elif w_fp:
+                    act.fp_reg_writes += 1
+            act.dispatched += ndisp
+
+            # ---- fetch ----
+            if (
+                next_fetch < n
+                and pending_redirect < 0
+                and cycle >= fetch_blocked_until
+            ):
+                nfetch = 0
+                while (
+                    nfetch < fetch_width
+                    and len(fetch_q) < fetch_buffer
+                    and next_fetch < n
+                ):
+                    idx = next_fetch
+                    pc = int(pc_arr[idx])
+                    line = pc >> 6
+                    if line != last_fetch_line:
+                        last_fetch_line = line
+                        access = hierarchy.fetch(pc)
+                        act.il1_accesses += 1
+                        if access.latency > hierarchy.latencies.il1_rt:
+                            fetch_blocked_until = cycle + access.latency
+                            break
+                    o = int(op_arr[idx])
+                    mispredicted = False
+                    if o == _BRANCH:
+                        act.bpred_lookups += 1
+                        outcome = bool(taken_arr[idx])
+                        mispredicted = predictor.update(pc, outcome)
+                        if outcome and not btb.lookup_and_update(pc):
+                            fetch_blocked_until = max(
+                                fetch_blocked_until, cycle + cfg.btb_miss_penalty
+                            )
+                    elif o == _CALL:
+                        ras.push(pc + 4)
+                        btb.lookup_and_update(pc)
+                    elif o == _RET:
+                        # The trace encodes the architected return target in
+                        # addr; RAS mispredicts on overflow-induced mismatch.
+                        mispredicted = ras.pop(int(addr_arr[idx]))
+                    fetch_q.append(idx)
+                    next_fetch += 1
+                    nfetch += 1
+                    act.fetched += 1
+                    if mispredicted:
+                        pending_redirect = idx
+                        break
+
+            cycle += 1
+            if cycle >= max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded max_cycles={max_cycles} "
+                    f"(committed {committed}/{n})"
+                )
+
+        if snapshot is None:
+            raise RuntimeError("warmup never completed")
+        return self._finalize(
+            snapshot, cycle - measure_start_cycle, n - warmup, act
+        )
+
+    # ------------------------------------------------------------------
+    def _snapshot(self, act: ActivityCounts) -> dict[str, float]:
+        """Capture cumulative counters at the measurement boundary."""
+        h = self.hierarchy
+        snap: dict[str, float] = {
+            f"act_{name}": value for name, value in act.as_dict().items()
+        }
+        snap.update({
+            "il1_acc": h.il1.stats.accesses,
+            "il1_hit": h.il1.stats.hits,
+            "l2_acc": h.l2.stats.accesses,
+            "l2_hit": h.l2.stats.hits,
+            "l3_acc": h.l3.stats.accesses,
+            "l3_hit": h.l3.stats.hits,
+            "dram": h.dram_accesses,
+            "bp_lookups": self.predictor.lookups,
+            "bp_misses": self.predictor.mispredictions,
+            "alu_fast": self.units.alu_fast_ops,
+            "alu_slow": self.units.alu_slow_ops,
+            "muldiv": self.units.muldiv_ops,
+            "fpu": self.units.fpu_ops,
+            "lsu": self.units.lsu_ops,
+        })
+        if h.has_asymmetric_dl1:
+            s = h.dl1.stats
+            snap.update(
+                dl1_fast_hits=s.fast_hits,
+                dl1_slow_hits=s.slow_hits,
+                dl1_misses=s.misses,
+                dl1_moves=s.line_moves,
+            )
+        else:
+            s = h.dl1.stats
+            snap.update(dl1_acc=s.accesses, dl1_hit=s.hits)
+        return snap
+
+    def _finalize(
+        self,
+        snap: dict[str, float],
+        cycles: int,
+        committed: int,
+        act: ActivityCounts,
+    ) -> CoreResult:
+        h = self.hierarchy
+
+        def d(key: str, now: float) -> float:
+            return now - snap.get(key, 0)
+
+        # Rebase cumulative activity counters to the measurement window.
+        for name, value in act.as_dict().items():
+            setattr(act, name, int(value - snap.get(f"act_{name}", 0)))
+
+        bp_lookups = d("bp_lookups", self.predictor.lookups)
+        bp_misses = d("bp_misses", self.predictor.mispredictions)
+        act.bpred_lookups = int(bp_lookups)
+        act.alu_fast_ops = int(d("alu_fast", self.units.alu_fast_ops))
+        act.alu_slow_ops = int(d("alu_slow", self.units.alu_slow_ops))
+        act.muldiv_ops = int(d("muldiv", self.units.muldiv_ops))
+        act.fpu_ops = int(d("fpu", self.units.fpu_ops))
+        act.lsu_ops = int(d("lsu", self.units.lsu_ops))
+        act.l2_accesses = int(d("l2_acc", h.l2.stats.accesses))
+        act.l3_accesses = int(d("l3_acc", h.l3.stats.accesses))
+        act.dram_accesses = int(d("dram", h.dram_accesses))
+        l2_acc = d("l2_acc", h.l2.stats.accesses)
+        l2_hit = d("l2_hit", h.l2.stats.hits)
+        l3_acc = d("l3_acc", h.l3.stats.accesses)
+        l3_hit = d("l3_hit", h.l3.stats.hits)
+
+        if h.has_asymmetric_dl1:
+            s = h.dl1.stats
+            fast_hits = d("dl1_fast_hits", s.fast_hits)
+            slow_hits = d("dl1_slow_hits", s.slow_hits)
+            misses = d("dl1_misses", s.misses)
+            accesses = fast_hits + slow_hits + misses
+            act.dl1_accesses = int(accesses)
+            act.dl1_fast_hits = int(fast_hits)
+            act.dl1_slow_accesses = int(slow_hits + misses)
+            act.dl1_line_moves = int(d("dl1_moves", s.line_moves))
+            dl1_hit_rate = (
+                (fast_hits + slow_hits) / accesses if accesses else 1.0
+            )
+            fast_rate = fast_hits / accesses if accesses else 0.0
+        else:
+            s = h.dl1.stats
+            accesses = d("dl1_acc", s.accesses)
+            hits = d("dl1_hit", s.hits)
+            act.dl1_accesses = int(accesses)
+            dl1_hit_rate = hits / accesses if accesses else 1.0
+            fast_rate = 0.0
+
+        total_alu = act.alu_fast_ops + act.alu_slow_ops
+        return CoreResult(
+            cycles=cycles,
+            committed=committed,
+            freq_ghz=self.config.freq_ghz,
+            activity=act,
+            branch_mispredict_rate=(bp_misses / bp_lookups) if bp_lookups else 0.0,
+            dl1_hit_rate=dl1_hit_rate,
+            dl1_fast_hit_rate=fast_rate,
+            l2_hit_rate=(l2_hit / l2_acc) if l2_acc else 1.0,
+            l3_hit_rate=(l3_hit / l3_acc) if l3_acc else 1.0,
+            rob_peak=self.resources.rob_peak,
+            iq_peak=self.resources.iq_peak,
+            alu_fast_fraction=(act.alu_fast_ops / total_alu) if total_alu else 0.0,
+        )

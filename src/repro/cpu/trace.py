@@ -1,0 +1,113 @@
+"""Dynamic instruction traces in structure-of-arrays form.
+
+A trace is the unit of work the core executes: one entry per dynamic
+micro-op, with register dependencies expressed as *distances* (entry ``i``
+with ``src1_dist[i] == k`` reads the result of entry ``i - k``).  Distances
+of zero mean "no dependency".  Memory ops carry byte addresses; control ops
+carry taken/not-taken outcomes.  Everything is stored as numpy arrays so
+that traces of a few hundred thousand micro-ops stay cheap to build and
+hold, while the simulator reads them element-wise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cpu.uops import UopType, CONTROL_OPS, MEMORY_OPS
+
+
+@dataclass
+class Trace:
+    """A dynamic micro-op stream.
+
+    Attributes
+    ----------
+    op:
+        ``int8`` array of :class:`UopType` values.
+    src1_dist, src2_dist:
+        ``int32`` dependency distances (0 = none).  A distance always points
+        at an older entry; the generator guarantees the producer actually
+        writes a register.
+    addr:
+        ``int64`` byte address for LOAD/STORE entries, 0 elsewhere.
+    pc:
+        ``int64`` instruction address (for IL1 fetch and predictor indexing).
+    taken:
+        ``bool`` outcome for control entries, False elsewhere.
+    """
+
+    op: np.ndarray
+    src1_dist: np.ndarray
+    src2_dist: np.ndarray
+    addr: np.ndarray
+    pc: np.ndarray
+    taken: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.op)
+        for name in ("src1_dist", "src2_dist", "addr", "pc", "taken"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"trace array {name!r} has mismatched length")
+
+    def __len__(self) -> int:
+        return len(self.op)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ValueError on violation."""
+        n = len(self)
+        idx = np.arange(n)
+        for dist in (self.src1_dist, self.src2_dist):
+            if (dist < 0).any():
+                raise ValueError("dependency distances must be non-negative")
+            if (dist > idx).any():
+                raise ValueError("a dependency points before the trace start")
+        mem_mask = np.isin(self.op, [int(t) for t in MEMORY_OPS])
+        if (self.addr[mem_mask] < 0).any():
+            raise ValueError("memory ops need non-negative addresses")
+        ctrl_mask = np.isin(self.op, [int(t) for t in CONTROL_OPS])
+        if self.taken[~ctrl_mask].any():
+            raise ValueError("only control ops may be taken")
+
+    def mix(self) -> dict[str, float]:
+        """Fraction of each micro-op type present in the trace."""
+        n = len(self)
+        if n == 0:
+            return {t.name: 0.0 for t in UopType}
+        counts = np.bincount(self.op, minlength=len(UopType))
+        return {t.name: counts[int(t)] / n for t in UopType}
+
+    @staticmethod
+    def empty() -> "Trace":
+        """A zero-length trace (useful for tests)."""
+        return Trace(
+            op=np.zeros(0, dtype=np.int8),
+            src1_dist=np.zeros(0, dtype=np.int32),
+            src2_dist=np.zeros(0, dtype=np.int32),
+            addr=np.zeros(0, dtype=np.int64),
+            pc=np.zeros(0, dtype=np.int64),
+            taken=np.zeros(0, dtype=bool),
+        )
+
+    @staticmethod
+    def from_lists(
+        ops: list[UopType],
+        src1: list[int] | None = None,
+        src2: list[int] | None = None,
+        addrs: list[int] | None = None,
+        pcs: list[int] | None = None,
+        taken: list[bool] | None = None,
+    ) -> "Trace":
+        """Build a small trace from Python lists (test/example helper)."""
+        n = len(ops)
+        trace = Trace(
+            op=np.array([int(o) for o in ops], dtype=np.int8),
+            src1_dist=np.array(src1 or [0] * n, dtype=np.int32),
+            src2_dist=np.array(src2 or [0] * n, dtype=np.int32),
+            addr=np.array(addrs or [0] * n, dtype=np.int64),
+            pc=np.array(pcs if pcs is not None else list(range(0, 4 * n, 4)), dtype=np.int64),
+            taken=np.array(taken or [False] * n, dtype=bool),
+        )
+        trace.validate()
+        return trace

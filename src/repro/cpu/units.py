@@ -1,0 +1,173 @@
+"""Functional-unit pool with per-device latency tables (Table III).
+
+The modelled core has 4 ALUs (branches resolve there too), 2 integer
+multiply/divide units, 2 load-store units, and 2 FPUs.  Latencies depend on
+the implementing device:
+
+==========  ==========  ==========  ============
+op          CMOS        TFET        high-Vt CMOS
+==========  ==========  ==========  ============
+IALU        1           2           2
+IMUL        2           4           3
+IDIV        4 (unpip.)  8 (unpip.)  6 (unpip.)
+FADD        2           4           3
+FMUL        4           8           6
+FDIV        8 (every 8) 16 (every 16) 12 (every 12)
+==========  ==========  ==========  ============
+
+Adds/multiplies issue every cycle (fully pipelined, which is exactly how
+HetCore absorbs the 2x TFET device slowdown at a fixed clock: twice the
+stages, same stage rate); divides are unpipelined (issue interval equals
+latency).  The dual-speed ALU cluster of AdvHet mixes one CMOS ALU with
+three TFET ALUs in the same pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.uops import UopType
+
+
+@dataclass(frozen=True)
+class LatencyTable:
+    """(latency, issue interval) per op class for one device choice."""
+
+    name: str
+    ialu: int = 1
+    imul: int = 2
+    idiv: int = 4
+    fadd: int = 2
+    fmul: int = 4
+    fdiv: int = 8
+    agu: int = 1
+
+    def latency_of(self, op: int) -> int:
+        """Execution latency of ``op`` (UopType value) on this device."""
+        return _LATENCY_ATTR[op](self)
+
+
+_LATENCY_ATTR = {
+    int(UopType.IALU): lambda t: t.ialu,
+    int(UopType.BRANCH): lambda t: t.ialu,
+    int(UopType.CALL): lambda t: t.ialu,
+    int(UopType.RET): lambda t: t.ialu,
+    int(UopType.NOP): lambda t: t.ialu,
+    int(UopType.IMUL): lambda t: t.imul,
+    int(UopType.IDIV): lambda t: t.idiv,
+    int(UopType.FADD): lambda t: t.fadd,
+    int(UopType.FMUL): lambda t: t.fmul,
+    int(UopType.FDIV): lambda t: t.fdiv,
+    int(UopType.LOAD): lambda t: t.agu,
+    int(UopType.STORE): lambda t: t.agu,
+}
+
+CMOS_LATENCIES = LatencyTable(name="cmos", ialu=1, imul=2, idiv=4, fadd=2, fmul=4, fdiv=8)
+TFET_LATENCIES = LatencyTable(name="tfet", ialu=2, imul=4, idiv=8, fadd=4, fmul=8, fdiv=16)
+#: BaseHighVt (Table IV): high-Vt FPUs and ALUs at 1.4-1.6x CMOS delay.
+HIGHVT_LATENCIES = LatencyTable(name="highvt", ialu=2, imul=3, idiv=6, fadd=3, fmul=6, fdiv=12)
+
+
+class FunctionalUnitPool:
+    """Issue-port and occupancy model for the execution units.
+
+    ``alu_table``/``fpu_table`` select the device for each cluster; the
+    dual-speed configuration passes ``fast_alu_count`` > 0 together with a
+    TFET ``alu_table`` so that the first ``fast_alu_count`` ALUs run at
+    CMOS latency.
+    """
+
+    def __init__(
+        self,
+        alu_table: LatencyTable = CMOS_LATENCIES,
+        muldiv_table: LatencyTable | None = None,
+        fpu_table: LatencyTable = CMOS_LATENCIES,
+        alu_count: int = 4,
+        muldiv_count: int = 2,
+        lsu_count: int = 2,
+        fpu_count: int = 2,
+        fast_alu_count: int = 0,
+        fast_table: LatencyTable = CMOS_LATENCIES,
+    ):
+        if not 0 <= fast_alu_count <= alu_count:
+            raise ValueError("fast_alu_count must fit inside alu_count")
+        self.alu_table = alu_table
+        self.muldiv_table = muldiv_table or alu_table
+        self.fpu_table = fpu_table
+        self.fast_table = fast_table
+        self.fast_alu_count = fast_alu_count
+        # next-free cycle per unit
+        self._alu_free = [0] * alu_count
+        self._muldiv_free = [0] * muldiv_count
+        self._lsu_free = [0] * lsu_count
+        self._fpu_free = [0] * fpu_count
+        # activity counters (feed the power model)
+        self.alu_fast_ops = 0
+        self.alu_slow_ops = 0
+        self.muldiv_ops = 0
+        self.lsu_ops = 0
+        self.fpu_ops = 0
+
+    def _alu_latency(self, unit: int, op: int) -> int:
+        table = self.fast_table if unit < self.fast_alu_count else self.alu_table
+        return table.latency_of(op)
+
+    def issue_alu(self, cycle: int, op: int, prefer_fast: bool) -> tuple[int, bool] | None:
+        """Issue an ALU-class op.  Returns (latency, used_fast_alu) or None.
+
+        With steering, preferred ops try the fast (CMOS) ALUs first and fall
+        back to slow ones; unpreferred ops do the opposite, which both
+        maximises TFET utilisation (power) and keeps the fast ALU available
+        for the producer-consumer chains (Section IV-C2).
+        """
+        free = self._alu_free
+        n = len(free)
+        fast = range(self.fast_alu_count)
+        slow = range(self.fast_alu_count, n)
+        order = (*fast, *slow) if prefer_fast else (*slow, *fast)
+        for unit in order:
+            if free[unit] <= cycle:
+                free[unit] = cycle + 1  # ALUs are fully pipelined
+                latency = self._alu_latency(unit, op)
+                if unit < self.fast_alu_count:
+                    self.alu_fast_ops += 1
+                else:
+                    self.alu_slow_ops += 1
+                return latency, unit < self.fast_alu_count
+        return None
+
+    def issue_muldiv(self, cycle: int, op: int) -> int | None:
+        """Issue IMUL (pipelined) or IDIV (unpipelined).  Returns latency."""
+        for unit, free_at in enumerate(self._muldiv_free):
+            if free_at <= cycle:
+                latency = self.muldiv_table.latency_of(op)
+                interval = latency if op == int(UopType.IDIV) else 1
+                self._muldiv_free[unit] = cycle + interval
+                self.muldiv_ops += 1
+                return latency
+        return None
+
+    def issue_fpu(self, cycle: int, op: int) -> int | None:
+        """Issue FADD/FMUL (pipelined) or FDIV (issue interval = latency)."""
+        for unit, free_at in enumerate(self._fpu_free):
+            if free_at <= cycle:
+                latency = self.fpu_table.latency_of(op)
+                interval = latency if op == int(UopType.FDIV) else 1
+                self._fpu_free[unit] = cycle + interval
+                self.fpu_ops += 1
+                return latency
+        return None
+
+    def issue_lsu(self, cycle: int) -> int | None:
+        """Issue a memory op's address generation.  Returns AGU latency."""
+        for unit, free_at in enumerate(self._lsu_free):
+            if free_at <= cycle:
+                self._lsu_free[unit] = cycle + 1
+                self.lsu_ops += 1
+                return self.alu_table.agu
+        return None
+
+    def alu_balance(self) -> float:
+        """Fraction of ALU ops that ran on the fast (CMOS) ALUs."""
+        total = self.alu_fast_ops + self.alu_slow_ops
+        return self.alu_fast_ops / total if total else 0.0

@@ -1,0 +1,52 @@
+"""Micro-op vocabulary for the trace-driven core.
+
+The trace generator emits dynamic instruction streams over this small RISC-
+like vocabulary; it covers every functional-unit class in Table III (ALU,
+integer multiply/divide, load-store, FP add/multiply/divide, branches, and
+call/return for the return-address stack).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class UopType(IntEnum):
+    """Dynamic micro-op classes."""
+
+    IALU = 0
+    IMUL = 1
+    IDIV = 2
+    FADD = 3
+    FMUL = 4
+    FDIV = 5
+    LOAD = 6
+    STORE = 7
+    BRANCH = 8
+    CALL = 9
+    RET = 10
+    NOP = 11
+
+
+#: Ops that access the data cache.
+MEMORY_OPS = frozenset({UopType.LOAD, UopType.STORE})
+
+#: Ops executed by the floating-point units.
+FP_OPS = frozenset({UopType.FADD, UopType.FMUL, UopType.FDIV})
+
+#: Ops executed by the integer ALU / multiplier cluster (branches resolve on
+#: the ALUs as well).
+INT_EXEC_OPS = frozenset(
+    {UopType.IALU, UopType.IMUL, UopType.IDIV, UopType.BRANCH, UopType.CALL, UopType.RET}
+)
+
+#: Ops that write an integer register (consumers may depend on them).
+INT_PRODUCERS = frozenset({UopType.IALU, UopType.IMUL, UopType.IDIV, UopType.LOAD})
+
+#: Ops that write a floating-point register.
+FP_PRODUCERS = frozenset({UopType.FADD, UopType.FMUL, UopType.FDIV})
+
+#: Control-flow ops (consult the branch predictor).
+CONTROL_OPS = frozenset({UopType.BRANCH, UopType.CALL, UopType.RET})
+
+N_UOP_TYPES = len(UopType)

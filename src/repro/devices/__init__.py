@@ -1,0 +1,65 @@
+"""Device-technology substrate for the HetCore reproduction.
+
+This package models the transistor technologies the paper builds on
+(Section II, Table I, Figures 1-3):
+
+* :mod:`repro.devices.technology` -- the four 15 nm technologies of Table I
+  (Si-CMOS, HetJTFET, InAs-CMOS, HomJTFET) plus a high-Vt CMOS variant.
+* :mod:`repro.devices.iv` -- analytic I_D-V_G characteristics (Figure 1).
+* :mod:`repro.devices.vf` -- Vdd-frequency curves and the DVFS voltage-pair
+  solver (Figure 3, Section III-D).
+* :mod:`repro.devices.leakage` -- dual-Vt leakage model (Section III-B).
+* :mod:`repro.devices.activity` -- power vs. activity factor (Figure 2).
+* :mod:`repro.devices.overheads` -- multi-Vdd substrate overheads
+  (Section V-B): level converters, deeper pipelining, the +40 mV V_TFET bump
+  and the 8x -> 6.1x -> 4x conservative dynamic-power chain.
+* :mod:`repro.devices.variation` -- process-variation guardbands
+  (Sections III-E and VII-D).
+* :mod:`repro.devices.scaling` -- voltage-scaling laws for energy and leakage.
+"""
+
+from repro.devices.technology import (
+    DeviceTechnology,
+    SI_CMOS,
+    HETJTFET,
+    INAS_CMOS,
+    HOMJTFET,
+    TECHNOLOGIES,
+    high_vt_variant,
+)
+from repro.devices.iv import MosfetIV, TfetIV, subthreshold_slope_mv_per_decade
+from repro.devices.vf import VFCurve, CMOS_VF, TFET_VF, DvfsSolver, VoltagePair
+from repro.devices.leakage import DualVtLeakageModel
+from repro.devices.activity import ActivityPowerModel, alu_power_curves
+from repro.devices.overheads import MultiVddOverheads
+from repro.devices.pipelining import PipelinePlan, plan_pipeline, voltage_bump_needed
+from repro.devices.variation import VariationGuardbands
+from repro.devices.scaling import dynamic_energy_scale, leakage_power_scale
+
+__all__ = [
+    "DeviceTechnology",
+    "SI_CMOS",
+    "HETJTFET",
+    "INAS_CMOS",
+    "HOMJTFET",
+    "TECHNOLOGIES",
+    "high_vt_variant",
+    "MosfetIV",
+    "TfetIV",
+    "subthreshold_slope_mv_per_decade",
+    "VFCurve",
+    "CMOS_VF",
+    "TFET_VF",
+    "DvfsSolver",
+    "VoltagePair",
+    "DualVtLeakageModel",
+    "ActivityPowerModel",
+    "alu_power_curves",
+    "MultiVddOverheads",
+    "VariationGuardbands",
+    "PipelinePlan",
+    "plan_pipeline",
+    "voltage_bump_needed",
+    "dynamic_energy_scale",
+    "leakage_power_scale",
+]

@@ -1,0 +1,79 @@
+"""ALU power vs activity factor (Figure 2, Section III-C).
+
+Because HetJTFETs barely leak, units with a low activity factor benefit the
+most from a TFET implementation: at activity 1 the advantage is the ~4x
+dynamic-power gap, and as activity drops toward 0 the advantage approaches
+the (dual-Vt-deflated) leakage ratio of ~125x.
+
+``total power(af) = af * E_op * f_op + P_leak``
+
+where the Si-CMOS ALU uses 60% high-Vt transistors on non-critical paths
+(Figure 2's caption) so its leakage is ~42% of Table I's regular-Vt value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.leakage import DualVtLeakageModel
+from repro.devices.technology import DeviceTechnology, HETJTFET, SI_CMOS
+
+#: Operation rate used for the Figure 2 curves; both implementations are
+#: clocked at the HetCore frequency (the TFET ALU is pipelined deeper).
+DEFAULT_OP_RATE_GHZ = 2.0
+
+
+@dataclass(frozen=True)
+class ActivityPowerModel:
+    """Total power of one 32-bit ALU as a function of activity factor."""
+
+    technology: DeviceTechnology
+    op_rate_ghz: float = DEFAULT_OP_RATE_GHZ
+    #: Multiplier on Table I leakage; 1.0 for TFET, ~0.42 for dual-Vt CMOS.
+    leakage_fraction: float = 1.0
+
+    def dynamic_power_uw(self, activity_factor: float) -> float:
+        """Dynamic power in microwatts at the given activity factor."""
+        if not 0.0 <= activity_factor <= 1.0:
+            raise ValueError("activity factor must be in [0, 1]")
+        energy_fj = self.technology.alu_dynamic_energy_fj
+        # fJ * GHz = microwatts (1e-15 J * 1e9 /s = 1e-6 W).
+        return activity_factor * energy_fj * self.op_rate_ghz
+
+    def leakage_power_uw(self) -> float:
+        """Leakage power in microwatts (activity-independent)."""
+        return self.technology.alu_leakage_uw * self.leakage_fraction
+
+    def total_power_uw(self, activity_factor: float) -> float:
+        """Total (dynamic + leakage) power in microwatts."""
+        return self.dynamic_power_uw(activity_factor) + self.leakage_power_uw()
+
+
+def alu_power_curves(
+    activity_factors: list[float] | None = None,
+    op_rate_ghz: float = DEFAULT_OP_RATE_GHZ,
+    dual_vt: DualVtLeakageModel | None = None,
+) -> dict[str, list[float]]:
+    """The Figure 2 data: CMOS power, TFET power, and their ratio.
+
+    The CMOS ALU uses the dual-Vt leakage deflation; the TFET ALU uses its
+    Table I leakage directly.
+    """
+    if activity_factors is None:
+        activity_factors = [i / 20.0 for i in range(21)]
+    dual_vt = dual_vt or DualVtLeakageModel()
+    cmos = ActivityPowerModel(
+        technology=SI_CMOS,
+        op_rate_ghz=op_rate_ghz,
+        leakage_fraction=dual_vt.effective_leakage_fraction(),
+    )
+    tfet = ActivityPowerModel(technology=HETJTFET, op_rate_ghz=op_rate_ghz)
+    cmos_uw = [cmos.total_power_uw(af) for af in activity_factors]
+    tfet_uw = [tfet.total_power_uw(af) for af in activity_factors]
+    ratio = [c / t for c, t in zip(cmos_uw, tfet_uw)]
+    return {
+        "activity_factor": list(activity_factors),
+        "cmos_uw": cmos_uw,
+        "tfet_uw": tfet_uw,
+        "ratio": ratio,
+    }

@@ -1,0 +1,106 @@
+"""Analytic I_D-V_G characteristics for N-MOSFET and N-HetJTFET (Figure 1).
+
+The paper's Figure 1 (data from Avci, Morris, and Young at Intel) shows:
+
+* the MOSFET is limited to a >= 60 mV/decade subthreshold slope;
+* the HetJTFET has a much steeper slope (sub-60 mV/decade) near the OFF
+  state, so it crosses from OFF to ON within a small gate-voltage window;
+* the HetJTFET current saturates beyond ~0.6 V, while the MOSFET keeps
+  improving, so the MOSFET wins at high Vdd and the TFET at low Vdd.
+
+We model both curves analytically.  The MOSFET uses the textbook
+exponential-subthreshold / alpha-power-law-saturation combination; the TFET
+uses a logistic turn-on (steep exponential tail, hard saturation).  The
+models are fit to reproduce the qualitative anchors above, which is all the
+architecture layer consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Thermionic limit for MOSFET subthreshold slope at room temperature.
+MOSFET_SS_LIMIT_MV_PER_DECADE = 60.0
+
+
+@dataclass(frozen=True)
+class MosfetIV:
+    """N-MOSFET drain current vs gate voltage at fixed V_DS.
+
+    Subthreshold: ``I = i_off_a * 10**((vg - vt)/ss)``.
+    Above threshold: alpha-power law ``I = k * (vg - vt)**alpha`` joined
+    continuously at threshold.
+    """
+
+    vt_v: float = 0.30
+    ss_mv_per_decade: float = MOSFET_SS_LIMIT_MV_PER_DECADE
+    i_at_vt_a: float = 1e-7
+    alpha: float = 1.3
+    k_a: float = 1.2e-3
+
+    def __post_init__(self) -> None:
+        if self.ss_mv_per_decade < MOSFET_SS_LIMIT_MV_PER_DECADE - 1e-9:
+            raise ValueError(
+                "a MOSFET cannot beat the 60 mV/decade thermionic limit"
+            )
+
+    def current_a(self, vg_v: float) -> float:
+        """Drain current in amperes at gate voltage ``vg_v``."""
+        if vg_v <= self.vt_v:
+            decades = (vg_v - self.vt_v) / (self.ss_mv_per_decade * 1e-3)
+            return self.i_at_vt_a * 10.0 ** decades
+        return self.i_at_vt_a + self.k_a * (vg_v - self.vt_v) ** self.alpha
+
+
+@dataclass(frozen=True)
+class TfetIV:
+    """N-HetJTFET drain current vs gate voltage at fixed V_DS.
+
+    A logistic turn-on gives a steep exponential tail (slope
+    ``ln(10) * width_v`` volts per decade) and saturation at ``i_on_a``
+    beyond roughly ``sat_v`` -- matching the paper's "stops scaling beyond
+    ~0.6 V" observation.
+    """
+
+    i_on_a: float = 2.2e-4
+    i_off_a: float = 1e-11
+    midpoint_v: float = 0.27
+    width_v: float = 0.0115
+    sat_v: float = 0.60
+
+    def current_a(self, vg_v: float) -> float:
+        """Drain current in amperes at gate voltage ``vg_v``."""
+        logistic = 1.0 / (1.0 + math.exp(-(vg_v - self.midpoint_v) / self.width_v))
+        return self.i_off_a + (self.i_on_a - self.i_off_a) * logistic
+
+    @property
+    def ss_mv_per_decade(self) -> float:
+        """Asymptotic subthreshold slope of the logistic tail, in mV/decade."""
+        return self.width_v * math.log(10.0) * 1e3
+
+
+def subthreshold_slope_mv_per_decade(
+    device: "MosfetIV | TfetIV", vg_v: float, dv_v: float = 1e-4
+) -> float:
+    """Numerical local slope dVg/d(log10 I) at ``vg_v``, in mV per decade."""
+    lo = device.current_a(vg_v - dv_v)
+    hi = device.current_a(vg_v + dv_v)
+    dlog = math.log10(hi) - math.log10(lo)
+    if dlog <= 0.0:
+        return math.inf
+    return (2.0 * dv_v / dlog) * 1e3
+
+
+def figure1_series(
+    n_points: int = 61, vg_max_v: float = 0.9
+) -> dict[str, list[float]]:
+    """The two Figure 1 curves sampled on a shared Vg grid."""
+    mosfet = MosfetIV()
+    tfet = TfetIV()
+    vg = [vg_max_v * i / (n_points - 1) for i in range(n_points)]
+    return {
+        "vg_v": vg,
+        "mosfet_a": [mosfet.current_a(v) for v in vg],
+        "hetjtfet_a": [tfet.current_a(v) for v in vg],
+    }

@@ -1,0 +1,76 @@
+"""Multi-Vdd substrate overheads (Section V).
+
+HetCore pays for mixing voltage domains inside one core:
+
+* dual Vdd rails cost ~5% core area;
+* level-converting latches between TFET and CMOS stages add ~5% delay;
+* deeper TFET pipelining cannot split stages evenly (~5% stretch) and TFET
+  latches are slower (~10% of stage latency), adding up to a worst-case 15%
+  TFET stage delay penalty (5% partitioning + 10% converter-or-latch);
+* the extra latches add ~10% of stage power.
+
+Rather than slow the clock, HetCore raises V_TFET by 40 mV (0.40 -> 0.44 V)
+to recover the 15%, which costs ~24% TFET power and cuts the dynamic-power
+advantage from ~8x to ~6.1x.  The evaluation then goes further and assumes
+only a 4x advantage -- the "conservative factor" used everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.scaling import dynamic_energy_scale
+from repro.devices.technology import HETJTFET, SI_CMOS
+from repro.devices.vf import NOMINAL_V_TFET
+
+#: Section V-B constants.
+DUAL_RAIL_AREA_OVERHEAD = 0.05
+LEVEL_CONVERTER_DELAY_OVERHEAD = 0.05
+UNEQUAL_PARTITION_DELAY_OVERHEAD = 0.05
+TFET_LATCH_DELAY_OVERHEAD = 0.10
+EXTRA_LATCH_POWER_OVERHEAD = 0.10
+V_TFET_TIMING_BUMP_V = 0.040
+
+#: The factor the evaluation actually uses (Sections V-B and VI).
+CONSERVATIVE_DYNAMIC_POWER_FACTOR = 4.0
+
+
+@dataclass(frozen=True)
+class MultiVddOverheads:
+    """Derives the paper's 8x -> ~6.1x -> 4x dynamic-power chain."""
+
+    v_tfet_nominal: float = NOMINAL_V_TFET
+    v_tfet_bump: float = V_TFET_TIMING_BUMP_V
+    power_increase_fraction: float = 0.24
+
+    @property
+    def v_tfet_operating(self) -> float:
+        """The raised TFET supply that meets CMOS timing (0.44 V)."""
+        return self.v_tfet_nominal + self.v_tfet_bump
+
+    @property
+    def worst_case_stage_delay_overhead(self) -> float:
+        """Up to 15%: unequal partitioning plus converter *or* slow latch."""
+        return UNEQUAL_PARTITION_DELAY_OVERHEAD + max(
+            LEVEL_CONVERTER_DELAY_OVERHEAD, TFET_LATCH_DELAY_OVERHEAD
+        )
+
+    def ideal_dynamic_power_ratio(self) -> float:
+        """CMOS/TFET ALU power ratio before overheads (~8x, Section III-B)."""
+        return SI_CMOS.alu_power_ratio(HETJTFET)
+
+    def voltage_bump_energy_increase(self) -> float:
+        """Fractional TFET dynamic-energy increase from the +40 mV bump.
+
+        (0.44/0.40)^2 - 1 = 21%; the paper quotes 24% including the extra
+        latch power, which we expose via ``power_increase_fraction``.
+        """
+        return dynamic_energy_scale(self.v_tfet_operating, self.v_tfet_nominal) - 1.0
+
+    def derated_dynamic_power_ratio(self) -> float:
+        """The post-overhead power advantage (~6.1-6.3x in our model)."""
+        return self.ideal_dynamic_power_ratio() / (1.0 + self.power_increase_fraction)
+
+    def conservative_dynamic_power_ratio(self) -> float:
+        """The strictly-guardbanded 4x factor the evaluation uses."""
+        return CONSERVATIVE_DYNAMIC_POWER_FACTOR

@@ -1,0 +1,192 @@
+"""The four 15 nm device technologies of Table I.
+
+The paper compares Si-CMOS, HetJTFET, InAs-CMOS, and HomJTFET at each
+technology's most cost-effective supply voltage, using data from Nikonov and
+Young.  This module embeds those numbers verbatim and provides the derived
+ratios the paper's architecture sections rely on (HetJTFET switches ~2x
+slower than Si-CMOS, consumes ~4x less dynamic energy per op, ~8x less
+power, ~300x less leakage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DeviceTechnology:
+    """One row-set of Table I: a device technology at its optimal Vdd.
+
+    Attributes mirror Table I's rows.  Delays are in picoseconds, energies
+    in attojoules (transistor/interconnect) or femtojoules (ALU), leakage in
+    microwatts, power density in W/cm^2.
+    """
+
+    name: str
+    supply_voltage_v: float
+    switching_delay_ps: float
+    interconnect_delay_ps: float
+    alu_delay_ps: float
+    switching_energy_aj: float
+    interconnect_energy_aj: float
+    alu_dynamic_energy_fj: float
+    alu_leakage_uw: float
+    alu_power_density_w_cm2: float
+
+    def switching_delay_ratio(self, other: "DeviceTechnology") -> float:
+        """How many times slower this device switches than ``other``."""
+        return self.switching_delay_ps / other.switching_delay_ps
+
+    def alu_energy_ratio(self, other: "DeviceTechnology") -> float:
+        """Dynamic ALU energy of ``other`` relative to this device.
+
+        ``SI_CMOS.alu_energy_ratio(HETJTFET)`` is ~3.9, the paper's "about
+        4x" dynamic-energy advantage of HetJTFET.
+        """
+        return self.alu_dynamic_energy_fj / other.alu_dynamic_energy_fj
+
+    def alu_power_ratio(self, other: "DeviceTechnology") -> float:
+        """ALU *power* ratio vs ``other``: energy ratio x delay ratio.
+
+        A HetJTFET op takes ~2x longer and ~4x less energy, so it draws ~8x
+        less power than Si-CMOS (Section III-B).
+        """
+        energy = self.alu_dynamic_energy_fj / other.alu_dynamic_energy_fj
+        delay = other.alu_delay_ps / self.alu_delay_ps
+        return energy * delay
+
+    def alu_leakage_ratio(self, other: "DeviceTechnology") -> float:
+        """Leakage power of this device's ALU relative to ``other``'s."""
+        return self.alu_leakage_uw / other.alu_leakage_uw
+
+
+SI_CMOS = DeviceTechnology(
+    name="Si-CMOS",
+    supply_voltage_v=0.73,
+    switching_delay_ps=0.41,
+    interconnect_delay_ps=0.18,
+    alu_delay_ps=939.0,
+    switching_energy_aj=32.71,
+    interconnect_energy_aj=10.08,
+    alu_dynamic_energy_fj=170.1,
+    alu_leakage_uw=90.2,
+    alu_power_density_w_cm2=50.4,
+)
+
+HETJTFET = DeviceTechnology(
+    name="HetJTFET",
+    supply_voltage_v=0.40,
+    switching_delay_ps=0.79,
+    interconnect_delay_ps=0.42,
+    alu_delay_ps=1881.0,
+    switching_energy_aj=7.86,
+    interconnect_energy_aj=3.03,
+    alu_dynamic_energy_fj=43.4,
+    alu_leakage_uw=0.30,
+    alu_power_density_w_cm2=5.1,
+)
+
+INAS_CMOS = DeviceTechnology(
+    name="InAs-CMOS",
+    supply_voltage_v=0.30,
+    switching_delay_ps=3.80,
+    interconnect_delay_ps=2.50,
+    alu_delay_ps=9327.0,
+    switching_energy_aj=3.62,
+    interconnect_energy_aj=1.70,
+    alu_dynamic_energy_fj=20.5,
+    alu_leakage_uw=0.14,
+    alu_power_density_w_cm2=0.6,
+)
+
+HOMJTFET = DeviceTechnology(
+    name="HomJTFET",
+    supply_voltage_v=0.20,
+    switching_delay_ps=6.68,
+    interconnect_delay_ps=3.60,
+    alu_delay_ps=15990.0,
+    switching_energy_aj=1.96,
+    interconnect_energy_aj=0.76,
+    alu_dynamic_energy_fj=10.8,
+    alu_leakage_uw=1.44,
+    alu_power_density_w_cm2=0.2,
+)
+
+TECHNOLOGIES = {
+    tech.name: tech for tech in (SI_CMOS, HETJTFET, INAS_CMOS, HOMJTFET)
+}
+
+#: High-Vt devices have a 1.4-1.6x higher delay than regular-Vt ones
+#: (Section VI-A, citing Skotnicki et al.); we use the midpoint.
+HIGH_VT_DELAY_FACTOR = 1.5
+
+#: High-Vt transistors leak 25-30x less than regular-Vt ones at 28/32 nm
+#: (Section III-B, Synopsys library); we use the midpoint.
+HIGH_VT_LEAKAGE_REDUCTION = 27.5
+
+
+def high_vt_variant(
+    base: DeviceTechnology = SI_CMOS,
+    delay_factor: float = HIGH_VT_DELAY_FACTOR,
+    leakage_reduction: float = HIGH_VT_LEAKAGE_REDUCTION,
+) -> DeviceTechnology:
+    """A high-Vt variant of ``base`` (Section III-B).
+
+    High-Vt transistors consume about the same dynamic energy as regular-Vt
+    ones, but switch slower and leak much less.
+    """
+    if delay_factor < 1.0:
+        raise ValueError("high-Vt devices are never faster than regular-Vt")
+    if leakage_reduction <= 1.0:
+        raise ValueError("high-Vt devices must leak less than regular-Vt")
+    return replace(
+        base,
+        name=base.name + "-HighVt",
+        switching_delay_ps=base.switching_delay_ps * delay_factor,
+        interconnect_delay_ps=base.interconnect_delay_ps,
+        alu_delay_ps=base.alu_delay_ps * delay_factor,
+        alu_leakage_uw=base.alu_leakage_uw / leakage_reduction,
+        alu_power_density_w_cm2=base.alu_power_density_w_cm2 / delay_factor,
+    )
+
+
+def table1_rows() -> list[dict]:
+    """Table I as a list of row dictionaries, in the paper's column order."""
+    return [
+        {
+            "Parameter": "Supply voltage (V)",
+            **{t.name: t.supply_voltage_v for t in TECHNOLOGIES.values()},
+        },
+        {
+            "Parameter": "Transistor switching delay (ps)",
+            **{t.name: t.switching_delay_ps for t in TECHNOLOGIES.values()},
+        },
+        {
+            "Parameter": "Interconnect delay per transistor length (ps)",
+            **{t.name: t.interconnect_delay_ps for t in TECHNOLOGIES.values()},
+        },
+        {
+            "Parameter": "32bit ALU delay (ps)",
+            **{t.name: t.alu_delay_ps for t in TECHNOLOGIES.values()},
+        },
+        {
+            "Parameter": "Transistor switching energy (aJ)",
+            **{t.name: t.switching_energy_aj for t in TECHNOLOGIES.values()},
+        },
+        {
+            "Parameter": "Interconnect energy per transistor length (aJ)",
+            **{t.name: t.interconnect_energy_aj for t in TECHNOLOGIES.values()},
+        },
+        {
+            "Parameter": "32bit ALU dynamic energy (fJ)",
+            **{t.name: t.alu_dynamic_energy_fj for t in TECHNOLOGIES.values()},
+        },
+        {
+            "Parameter": "32bit ALU leakage power (uW)",
+            **{t.name: t.alu_leakage_uw for t in TECHNOLOGIES.values()},
+        },
+        {
+            "Parameter": "ALU power density (W/cm^2)",
+            **{t.name: t.alu_power_density_w_cm2 for t in TECHNOLOGIES.values()},
+        },
+    ]

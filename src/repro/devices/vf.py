@@ -1,0 +1,143 @@
+"""Vdd-frequency curves and the hetero-device DVFS pair solver.
+
+Section III-D and Figure 3: HetCore powers CMOS units at ``V_CMOS`` and TFET
+units at ``V_TFET`` but clocks everything at a single frequency ``f``.  TFET
+units do half the work per stage, so a frequency target ``f`` requires the
+TFET curve to deliver ``f/2``.  Because the TFET curve is less steep, voltage
+deltas differ: boosting 2 GHz -> 2.5 GHz needs +75 mV on CMOS but +90 mV on
+TFET; slowing to 1.5 GHz gives back -70 mV / -80 mV.
+
+Each curve is a quadratic through the paper's three anchor points, which
+reproduces those deltas exactly and is monotone over the supported range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Nominal operating point (Section III-D / Figure 3).
+NOMINAL_FREQ_GHZ = 2.0
+NOMINAL_V_CMOS = 0.73
+NOMINAL_V_TFET = 0.40
+
+#: Anchor points from the paper: (Vdd in volts, frequency in GHz).
+_CMOS_ANCHORS = ((0.66, 1.5), (0.73, 2.0), (0.805, 2.5))
+#: TFET anchors are in *raw TFET frequency*; HetCore work-equivalence means a
+#: core frequency of f maps to a TFET curve point at f/2.
+_TFET_ANCHORS = ((0.32, 0.75), (0.40, 1.0), (0.49, 1.25))
+
+
+@dataclass(frozen=True)
+class VFCurve:
+    """A monotone quadratic Vdd->frequency curve through three anchors."""
+
+    name: str
+    anchors: tuple[tuple[float, float], ...]
+    v_min: float
+    v_max: float
+
+    def __post_init__(self) -> None:
+        if len(self.anchors) != 3:
+            raise ValueError("VFCurve is defined by exactly three anchors")
+        xs = [a[0] for a in self.anchors]
+        if sorted(xs) != xs or len(set(xs)) != 3:
+            raise ValueError("anchor voltages must be strictly increasing")
+        # Validate monotonicity of the fitted quadratic over [v_min, v_max].
+        probe = [self.v_min + (self.v_max - self.v_min) * i / 50 for i in range(51)]
+        freqs = [self.freq_ghz(v) for v in probe]
+        if any(b <= a for a, b in zip(freqs, freqs[1:])):
+            raise ValueError(
+                f"{self.name} VF curve is not monotone on "
+                f"[{self.v_min}, {self.v_max}]"
+            )
+
+    def _coeffs(self) -> tuple[float, float, float]:
+        (x1, y1), (x2, y2), (x3, y3) = self.anchors
+        s12 = (y2 - y1) / (x2 - x1)
+        s23 = (y3 - y2) / (x3 - x2)
+        a = (s23 - s12) / (x3 - x1)
+        b = s12 - a * (x1 + x2)
+        c = y1 - a * x1 * x1 - b * x1
+        return a, b, c
+
+    def freq_ghz(self, vdd_v: float) -> float:
+        """Frequency delivered at supply ``vdd_v`` (extrapolates smoothly)."""
+        a, b, c = self._coeffs()
+        return a * vdd_v * vdd_v + b * vdd_v + c
+
+    def vdd_for(self, freq_ghz: float, tol_v: float = 1e-9) -> float:
+        """The supply voltage needed to reach ``freq_ghz`` (bisection).
+
+        Raises :class:`ValueError` if the frequency is outside the curve's
+        supported [v_min, v_max] range -- for the TFET curve that is how the
+        model expresses performance saturation.
+        """
+        lo, hi = self.v_min, self.v_max
+        if not (self.freq_ghz(lo) <= freq_ghz <= self.freq_ghz(hi)):
+            raise ValueError(
+                f"{self.name} cannot deliver {freq_ghz} GHz within "
+                f"[{lo}, {hi}] V"
+            )
+        while hi - lo > tol_v:
+            mid = 0.5 * (lo + hi)
+            if self.freq_ghz(mid) < freq_ghz:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+
+CMOS_VF = VFCurve(name="Si-CMOS", anchors=_CMOS_ANCHORS, v_min=0.55, v_max=0.95)
+TFET_VF = VFCurve(name="HetJTFET", anchors=_TFET_ANCHORS, v_min=0.24, v_max=0.60)
+
+
+@dataclass(frozen=True)
+class VoltagePair:
+    """A (V_CMOS, V_TFET) pair delivering one core frequency."""
+
+    freq_ghz: float
+    v_cmos: float
+    v_tfet: float
+
+    @property
+    def delta_v_cmos_mv(self) -> float:
+        """CMOS delta from the nominal 0.73 V point, in millivolts."""
+        return (self.v_cmos - NOMINAL_V_CMOS) * 1e3
+
+    @property
+    def delta_v_tfet_mv(self) -> float:
+        """TFET delta from the nominal 0.40 V point, in millivolts."""
+        return (self.v_tfet - NOMINAL_V_TFET) * 1e3
+
+
+class DvfsSolver:
+    """Solve for HetCore voltage pairs at a target core frequency.
+
+    The CMOS units must reach ``f`` and the TFET units ``f/2`` (they do half
+    the work per stage, Section III-D).
+    """
+
+    def __init__(self, cmos_curve: VFCurve = CMOS_VF, tfet_curve: VFCurve = TFET_VF):
+        self.cmos_curve = cmos_curve
+        self.tfet_curve = tfet_curve
+
+    def pair_for(self, freq_ghz: float) -> VoltagePair:
+        """The voltage pair for a core frequency, or ValueError if unreachable."""
+        return VoltagePair(
+            freq_ghz=freq_ghz,
+            v_cmos=self.cmos_curve.vdd_for(freq_ghz),
+            v_tfet=self.tfet_curve.vdd_for(freq_ghz / 2.0),
+        )
+
+    def figure3_series(self, n_points: int = 41) -> dict[str, list[float]]:
+        """Both Figure 3 curves sampled over their supported ranges."""
+        def sample(curve: VFCurve) -> tuple[list[float], list[float]]:
+            vs = [
+                curve.v_min + (curve.v_max - curve.v_min) * i / (n_points - 1)
+                for i in range(n_points)
+            ]
+            return vs, [curve.freq_ghz(v) for v in vs]
+
+        cv, cf = sample(self.cmos_curve)
+        tv, tf = sample(self.tfet_curve)
+        return {"cmos_v": cv, "cmos_ghz": cf, "tfet_v": tv, "tfet_ghz": tf}

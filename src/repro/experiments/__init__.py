@@ -1,0 +1,55 @@
+"""Experiment harness: regenerate every table and figure in the paper.
+
+* :mod:`repro.experiments.runner` -- configuration x workload sweeps with
+  a shared result cache (figures 7-9 and 13 reuse one CPU sweep).
+* :mod:`repro.experiments.figures` -- one entry point per paper exhibit
+  (``table1`` ... ``figure14``), each returning structured rows plus a
+  formatted text table.
+* :mod:`repro.experiments.report` -- paper-vs-measured summary used to
+  build EXPERIMENTS.md.
+"""
+
+from repro.experiments.runner import SweepRunner, SweepSettings
+from repro.experiments.figures import (
+    FigureResult,
+    table1,
+    figure1,
+    figure2,
+    figure3,
+    table2,
+    table3,
+    table4,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    ALL_EXHIBITS,
+)
+from repro.experiments.report import paper_vs_measured
+
+__all__ = [
+    "SweepRunner",
+    "SweepSettings",
+    "FigureResult",
+    "table1",
+    "figure1",
+    "figure2",
+    "figure3",
+    "table2",
+    "table3",
+    "table4",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "ALL_EXHIBITS",
+    "paper_vs_measured",
+]

@@ -1,0 +1,74 @@
+"""Export regenerated exhibits to machine-readable formats (CSV / JSON).
+
+The figure entry points return structured :class:`FigureResult` objects;
+this module flattens them for plotting pipelines and archival.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any
+
+from repro.experiments.figures import FigureResult
+
+
+def _flatten(rows: Any) -> "list[dict]":
+    """Best-effort flattening of a FigureResult.rows payload."""
+    if isinstance(rows, dict):
+        # {row: {col: value}} matrices become one record per row.
+        if all(isinstance(v, dict) for v in rows.values()):
+            return [{"row": name, **value} for name, value in rows.items()]
+        # Parallel-list series ({name: [values...]}) become records per index.
+        if all(isinstance(v, (list, tuple)) for v in rows.values()):
+            lengths = {len(v) for v in rows.values()}
+            if len(lengths) == 1:
+                n = lengths.pop()
+                keys = list(rows)
+                return [{k: rows[k][i] for k in keys} for i in range(n)]
+        return [{"key": k, "value": v} for k, v in rows.items()]
+    raise TypeError(f"cannot flatten rows of type {type(rows).__name__}")
+
+
+def to_csv(result: FigureResult) -> str:
+    """The exhibit's rows as CSV text."""
+    records = _flatten(result.rows)
+    if not records:
+        return ""
+    fieldnames: list[str] = []
+    for record in records:
+        for key in record:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    out = io.StringIO()
+    writer = csv.DictWriter(out, fieldnames=fieldnames)
+    writer.writeheader()
+    for record in records:
+        writer.writerow(
+            {k: _plain(v) for k, v in record.items() if k in fieldnames}
+        )
+    return out.getvalue()
+
+
+def to_json(result: FigureResult) -> str:
+    """The whole exhibit (rows + means) as a JSON document."""
+    payload = {
+        "exhibit": result.exhibit,
+        "title": result.title,
+        "paper_means": result.paper_means,
+        "measured_means": result.measured_means,
+        "rows": result.rows,
+    }
+    return json.dumps(payload, default=_plain, indent=2)
+
+
+def _plain(value: Any) -> Any:
+    """Coerce numpy scalars / dataclasses to JSON/CSV-friendly values."""
+    if hasattr(value, "item"):
+        return value.item()
+    if hasattr(value, "__dict__") and not isinstance(value, type):
+        return {k: _plain(v) for k, v in vars(value).items()}
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    return value

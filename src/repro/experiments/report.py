@@ -1,0 +1,30 @@
+"""Paper-vs-measured reporting (feeds EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureResult
+
+
+def paper_vs_measured(result: FigureResult) -> str:
+    """A markdown table comparing the paper's means with ours."""
+    if not result.paper_means:
+        return f"*{result.exhibit} is a data/configuration table (no means to compare).*"
+    lines = [
+        "| quantity | paper | measured |",
+        "|---|---|---|",
+    ]
+    for key, paper_value in result.paper_means.items():
+        measured = result.measured_means.get(key)
+        measured_str = f"{measured:.3f}" if isinstance(measured, (int, float)) else "n/a"
+        lines.append(f"| {key} | {paper_value:.3f} | {measured_str} |")
+    return "\n".join(lines)
+
+
+def full_report(results: "list[FigureResult]") -> str:
+    """Markdown report over a list of regenerated exhibits."""
+    sections = []
+    for result in results:
+        sections.append(f"## {result.exhibit}: {result.title}\n")
+        sections.append(paper_vs_measured(result))
+        sections.append("")
+    return "\n".join(sections)

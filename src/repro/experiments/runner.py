@@ -1,0 +1,120 @@
+"""Sweep runner with a shared result cache.
+
+Figures 7, 8, 9, and 13 all consume the same (configuration x application)
+CPU runs, and Figures 10-12 the same GPU runs; the runner executes each
+pair once and caches the result.  Sweep size is controlled by
+:class:`SweepSettings`; the ``REPRO_INSTRUCTIONS`` / ``REPRO_APPS`` /
+``REPRO_KERNELS`` environment variables override it for quick runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.configs import cpu_config, gpu_config
+from repro.core.simulate import CpuRunResult, GpuRunResult, simulate_cpu, simulate_gpu
+from repro.workloads.gpu_profiles import GPU_KERNELS
+from repro.workloads.profiles import CPU_APPS
+
+
+def _default_instructions() -> int:
+    return int(os.environ.get("REPRO_INSTRUCTIONS", 40_000))
+
+
+def _default_apps() -> list[str]:
+    env = os.environ.get("REPRO_APPS")
+    if env:
+        return [a.strip() for a in env.split(",") if a.strip()]
+    return list(CPU_APPS)
+
+
+def _default_kernels() -> list[str]:
+    env = os.environ.get("REPRO_KERNELS")
+    if env:
+        return [k.strip() for k in env.split(",") if k.strip()]
+    return list(GPU_KERNELS)
+
+
+@dataclass
+class SweepSettings:
+    """Workload sizing for a sweep."""
+
+    instructions: int = field(default_factory=_default_instructions)
+    warmup_fraction: float = 0.375
+    apps: list[str] = field(default_factory=_default_apps)
+    kernels: list[str] = field(default_factory=_default_kernels)
+
+    @property
+    def warmup(self) -> int:
+        return int(self.instructions * self.warmup_fraction)
+
+
+class SweepRunner:
+    """Runs and caches (configuration, workload) measurements."""
+
+    def __init__(self, settings: SweepSettings | None = None):
+        self.settings = settings or SweepSettings()
+        self._cpu_cache: dict[tuple[str, str], CpuRunResult] = {}
+        self._gpu_cache: dict[tuple[str, str], GpuRunResult] = {}
+        self._dvfs_cache: dict[tuple[str, str, float, bool], CpuRunResult] = {}
+
+    def dvfs_run(
+        self, config_name: str, app: str, freq_ghz: float, variation: bool
+    ) -> CpuRunResult:
+        """A DVFS/guardband point (Figure 14), cached like the sweeps."""
+        key = (config_name, app, freq_ghz, variation)
+        if key not in self._dvfs_cache:
+            from repro.core.dvfs import HetCoreDvfs
+
+            self._dvfs_cache[key] = HetCoreDvfs().simulate_at(
+                cpu_config(config_name),
+                app,
+                freq_ghz,
+                variation=variation,
+                instructions=self.settings.instructions,
+                warmup=self.settings.warmup,
+            )
+        return self._dvfs_cache[key]
+
+    def cpu_run(self, config_name: str, app: str) -> CpuRunResult:
+        key = (config_name, app)
+        if key not in self._cpu_cache:
+            self._cpu_cache[key] = simulate_cpu(
+                cpu_config(config_name),
+                app,
+                instructions=self.settings.instructions,
+                warmup=self.settings.warmup,
+            )
+        return self._cpu_cache[key]
+
+    def gpu_run(self, config_name: str, kernel: str) -> GpuRunResult:
+        key = (config_name, kernel)
+        if key not in self._gpu_cache:
+            self._gpu_cache[key] = simulate_gpu(gpu_config(config_name), kernel)
+        return self._gpu_cache[key]
+
+    def cpu_sweep(self, config_names: list[str]) -> dict[str, dict[str, CpuRunResult]]:
+        """All (config, app) results as {config: {app: result}}."""
+        return {
+            name: {app: self.cpu_run(name, app) for app in self.settings.apps}
+            for name in config_names
+        }
+
+    def gpu_sweep(self, config_names: list[str]) -> dict[str, dict[str, GpuRunResult]]:
+        return {
+            name: {k: self.gpu_run(name, k) for k in self.settings.kernels}
+            for name in config_names
+        }
+
+
+#: Process-wide default runner so independent figure calls share runs.
+_SHARED: SweepRunner | None = None
+
+
+def shared_runner() -> SweepRunner:
+    """The process-wide cached runner (created on first use)."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = SweepRunner()
+    return _SHARED

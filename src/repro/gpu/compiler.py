@@ -1,0 +1,113 @@
+"""Compiler-style wavefront rescheduling (the paper's future-work item).
+
+Section IV-C4: "One could also customize the GPU compiler to hide some of
+the additional FPU latency. We leave the analysis of these techniques to
+future work."  This module implements that analysis: a list scheduler that
+reorders each wavefront's instruction stream -- preserving all register
+dependencies -- to *increase* producer-consumer distances, so the deeper
+TFET FMA pipeline and slower register file have more independent work to
+overlap with.
+
+The algorithm is classic latency-aware list scheduling: walk the stream,
+keep a ready window of instructions whose producers have been placed at
+least ``target_gap`` slots earlier, and prefer the ready instruction whose
+consumers are farthest away.  Dependencies are expressed as distances, so
+after reordering every distance is recomputed from the permutation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.gpu_generator import KernelTrace
+
+
+def _reschedule_row(
+    op: list, dep: list, s1: list, s2: list, dst: list,
+    target_gap: int, window: int,
+) -> list:
+    """Return a placement order (list of original indices) for one stream."""
+    n = len(op)
+    placed_at = [-1] * n  # slot each original instruction was placed in
+    order: list[int] = []
+    next_unready = 0  # instructions enter the candidate pool in order
+    pool: list[int] = []
+    while len(order) < n:
+        # Refill the pool up to the lookahead window.
+        while next_unready < n and len(pool) < window:
+            pool.append(next_unready)
+            next_unready += 1
+        slot = len(order)
+        best = None
+        for idx in pool:
+            d = dep[idx]
+            if d:
+                p_slot = placed_at[idx - d]
+                if p_slot < 0:
+                    continue  # producer not placed yet
+                if slot - p_slot < target_gap:
+                    continue  # too close to its producer; defer
+            best = idx
+            break
+        if best is None:
+            # Everything in the pool is waiting on its gap; take the oldest
+            # (the schedule cannot stretch further without stalling).
+            best = pool[0]
+        pool.remove(best)
+        placed_at[best] = slot
+        order.append(best)
+    return order
+
+
+def reschedule_kernel(
+    trace: KernelTrace, target_gap: int = 4, window: int = 8
+) -> KernelTrace:
+    """Reorder every wavefront stream to stretch dependency distances.
+
+    Returns a new :class:`KernelTrace`; the original is untouched.  All
+    dependencies are preserved (a consumer is never placed before its
+    producer) and distances are recomputed for the new order.
+    """
+    if target_gap < 1 or window < 1:
+        raise ValueError("target_gap and window must be positive")
+    n_wf, n_ins = trace.op.shape
+    new_op = np.empty_like(trace.op)
+    new_dep = np.zeros_like(trace.dep_dist)
+    new_s1 = np.empty_like(trace.src1_reg)
+    new_s2 = np.empty_like(trace.src2_reg)
+    new_dst = np.empty_like(trace.dst_reg)
+
+    for wf in range(n_wf):
+        op = trace.op[wf].tolist()
+        dep = trace.dep_dist[wf].tolist()
+        s1 = trace.src1_reg[wf].tolist()
+        s2 = trace.src2_reg[wf].tolist()
+        dst = trace.dst_reg[wf].tolist()
+        order = _reschedule_row(op, dep, s1, s2, dst, target_gap, window)
+        position = {orig: slot for slot, orig in enumerate(order)}
+        for slot, orig in enumerate(order):
+            new_op[wf, slot] = op[orig]
+            new_s1[wf, slot] = s1[orig]
+            new_s2[wf, slot] = s2[orig]
+            new_dst[wf, slot] = dst[orig]
+            d = dep[orig]
+            if d:
+                producer_slot = position[orig - d]
+                assert producer_slot < slot, "scheduler broke a dependency"
+                new_dep[wf, slot] = slot - producer_slot
+            else:
+                new_dep[wf, slot] = 0
+
+    out = KernelTrace(
+        profile=trace.profile,
+        op=new_op, dep_dist=new_dep,
+        src1_reg=new_s1, src2_reg=new_s2, dst_reg=new_dst,
+    )
+    out.validate()
+    return out
+
+
+def mean_dependency_distance(trace: KernelTrace) -> float:
+    """Average non-zero dependency distance (the scheduler's objective)."""
+    deps = trace.dep_dist[trace.dep_dist > 0]
+    return float(deps.mean()) if deps.size else 0.0

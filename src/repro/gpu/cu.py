@@ -1,0 +1,226 @@
+"""Compute-unit cycle model (Southern-Islands-like, Table III).
+
+Structure follows the AMD Southern Islands CU that Multi2Sim models: the
+resident wavefronts are partitioned across **four SIMD units** (16 lanes
+each -- the paper's "16 EUs"); each SIMD issues at most one vector (FMA)
+instruction per cycle from its wavefront pool, and the CU issues at most
+one global-memory operation per cycle through a shared memory port.
+
+Two serialisation rules make the model latency-sensitive in the same way
+the paper's simulator is:
+
+* wavefronts issue in order and stall on register dependencies (the
+  scoreboard/s_waitcnt discipline): tight FMA chains run at one op per
+  vector latency, so the deeper TFET pipeline and slower register file
+  directly throttle dependency-bound wavefronts;
+* memory operations are non-blocking -- they issue in order but later
+  instructions proceed until a register dependency forces a wait.
+
+Vector instruction latency is ``operand reads + pipeline depth``; operand
+reads serialise through the register-file port and cost 1 cycle each on a
+register-file-cache hit, else the vector-RF access latency (1 CMOS /
+2 TFET); the FMA pipeline is 3 stages in CMOS and 6 in TFET, pipelined
+issue every cycle either way.  A CU therefore loses
+performance under TFET only where its SIMD pools are too shallow to cover
+the longer latency -- the exact mechanism Section VII-B discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.partitioned_rf import PartitionedRegisterFile
+from repro.gpu.regfile import RegisterFileCache, VectorRegisterFile
+from repro.workloads.gpu_generator import OP_FMA, KernelTrace
+
+#: SIMD units per compute unit (AMD Southern Islands).
+SIMDS_PER_CU = 4
+
+
+@dataclass(frozen=True)
+class CUConfig:
+    """Device-dependent compute-unit parameters."""
+
+    freq_ghz: float = 1.0
+    #: FMA pipeline depth: 3 (CMOS) or 6 (TFET), issue every cycle.
+    fma_depth: int = 3
+    #: Vector RF access: 1 (CMOS) or 2 (TFET) cycles.
+    rf_cycles: int = 1
+    #: AdvHet register-file cache (1-cycle operand reads on hit).
+    rf_cache_enabled: bool = False
+    rf_cache_entries: int = 6
+    #: Pilot-RF style alternative (Section VIII): a static set of hot
+    #: registers implemented in a fast CMOS partition.  Mutually exclusive
+    #: with the register-file cache.
+    partitioned_fast_regs: "frozenset | None" = None
+    #: Global memory latency multiplier from multi-CU contention.
+    mem_latency_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.fma_depth <= 0 or self.rf_cycles <= 0:
+            raise ValueError("latencies must be positive")
+        if self.mem_latency_scale < 1.0:
+            raise ValueError("contention cannot accelerate memory")
+        if self.rf_cache_enabled and self.partitioned_fast_regs is not None:
+            raise ValueError(
+                "register-file cache and partitioned RF are alternatives"
+            )
+
+
+@dataclass
+class CUResult:
+    """Outcome of executing one kernel's wavefronts on one CU."""
+
+    cycles: int
+    instructions: int
+    fma_ops: int
+    mem_ops: int
+    rf_reads: int
+    rf_writes: int
+    rf_cache_read_hits: int
+    rf_cache_read_misses: int
+    rf_cache_writes: int
+    freq_ghz: float
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def rf_cache_hit_rate(self) -> float:
+        total = self.rf_cache_read_hits + self.rf_cache_read_misses
+        return self.rf_cache_read_hits / total if total else 0.0
+
+    @property
+    def time_s(self) -> float:
+        return self.cycles / (self.freq_ghz * 1e9)
+
+
+class ComputeUnit:
+    """One compute unit bound to a config; run a kernel trace through it."""
+
+    def __init__(self, config: CUConfig):
+        self.config = config
+
+    def run(self, trace: KernelTrace) -> CUResult:
+        cfg = self.config
+        n_wf = trace.n_wavefronts
+        n_ins = trace.stream_len
+
+        rf = VectorRegisterFile(
+            n_regs=trace.profile.n_regs, access_cycles=cfg.rf_cycles
+        )
+        rf_cache = (
+            RegisterFileCache(n_wf, cfg.rf_cache_entries)
+            if cfg.rf_cache_enabled
+            else None
+        )
+        partition = (
+            PartitionedRegisterFile(
+                cfg.partitioned_fast_regs,
+                fast_cycles=1,
+                slow_cycles=cfg.rf_cycles,
+            )
+            if cfg.partitioned_fast_regs is not None
+            else None
+        )
+        mem_latency = max(1, round(trace.profile.mem_latency * cfg.mem_latency_scale))
+
+        op_list = [row.tolist() for row in trace.op]
+        dep_list = [row.tolist() for row in trace.dep_dist]
+        s1_list = [row.tolist() for row in trace.src1_reg]
+        s2_list = [row.tolist() for row in trace.src2_reg]
+        d_list = [row.tolist() for row in trace.dst_reg]
+
+        ip = [0] * n_wf
+        done = [[0] * n_ins for _ in range(n_wf)]
+        groups = [
+            [wf for wf in range(n_wf) if wf % SIMDS_PER_CU == s]
+            for s in range(SIMDS_PER_CU)
+        ]
+        rr = [0] * SIMDS_PER_CU
+        mem_rr = 0
+        remaining = n_wf
+        cycle = 0
+        fma_ops = 0
+        mem_ops = 0
+        worst = (cfg.rf_cycles + cfg.fma_depth + mem_latency) * n_wf * n_ins + 64
+
+        def operand_latency(wf: int, i: int) -> int:
+            # Operand collection is serialised through the RF read port
+            # (Southern Islands reads a wavefront's operands over several
+            # cycles), so source latencies add.
+            latency = 0
+            for reg in (s1_list[wf][i], s2_list[wf][i]):
+                if rf_cache is not None and rf_cache.read_hit(wf, reg):
+                    latency += 1  # served by the cache; big RF untouched
+                elif partition is not None:
+                    latency += partition.read(reg)
+                else:
+                    latency += rf.read(reg)
+            return latency
+
+        while remaining > 0:
+            # ---- vector issue: one per SIMD unit ----
+            for s in range(SIMDS_PER_CU):
+                pool = groups[s]
+                if not pool:
+                    continue
+                for k in range(len(pool)):
+                    wf = pool[(rr[s] + k) % len(pool)]
+                    i = ip[wf]
+                    if i >= n_ins or op_list[wf][i] != OP_FMA:
+                        continue
+                    d = dep_list[wf][i]
+                    if d and done[wf][i - d] > cycle:
+                        continue
+                    latency = operand_latency(wf, i) + cfg.fma_depth
+                    done[wf][i] = cycle + latency
+                    wr = d_list[wf][i]
+                    rf.write(wr)
+                    if rf_cache is not None:
+                        rf_cache.write(wf, wr)
+                    if partition is not None:
+                        partition.write(wr)
+                    fma_ops += 1
+                    ip[wf] = i + 1
+                    if ip[wf] == n_ins:
+                        remaining -= 1
+                    break
+                rr[s] = (rr[s] + 1) % len(pool)
+
+            # ---- memory issue: one per CU ----
+            for k in range(n_wf):
+                wf = (mem_rr + k) % n_wf
+                i = ip[wf]
+                if i >= n_ins or op_list[wf][i] == OP_FMA:
+                    continue
+                d = dep_list[wf][i]
+                if d and done[wf][i - d] > cycle:
+                    continue
+                done[wf][i] = cycle + operand_latency(wf, i) + mem_latency
+                mem_ops += 1
+                ip[wf] = i + 1
+                if ip[wf] == n_ins:
+                    remaining -= 1
+                break
+            mem_rr = (mem_rr + 1) % n_wf
+
+            cycle += 1
+            if cycle > worst:
+                raise RuntimeError("CU simulation failed to make progress")
+
+        end = max(max(row) for row in done) if n_wf else 0
+        total_cycles = max(cycle, end)
+        return CUResult(
+            cycles=total_cycles,
+            instructions=n_wf * n_ins,
+            fma_ops=fma_ops,
+            mem_ops=mem_ops,
+            rf_reads=rf.reads,
+            rf_writes=rf.writes,
+            rf_cache_read_hits=rf_cache.read_hits if rf_cache else 0,
+            rf_cache_read_misses=rf_cache.read_misses if rf_cache else 0,
+            rf_cache_writes=rf_cache.writes if rf_cache else 0,
+            freq_ghz=cfg.freq_ghz,
+        )

@@ -1,0 +1,91 @@
+"""Whole-GPU runs and compute-unit-count scaling.
+
+The modelled GPU has ``n_cus`` identical compute units executing identical
+(statistically) wavefront populations, so one detailed CU run gives the
+machine's per-CU throughput.  Total execution time for a fixed amount of
+work is then
+
+``T(n) = serial + (work / n) * per-unit-time(contention(n))``
+
+where contention raises the effective memory latency as more CUs share the
+memory system -- the paper's AdvHet-2X GPU (16 CUs in the 8-CU power
+budget) gains 30% rather than the ideal ~42% for exactly this reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.cu import ComputeUnit, CUConfig, CUResult
+from repro.workloads.gpu_generator import KernelTrace
+
+#: Per-sharer memory-latency uplift coefficient for CU scaling (relative to
+#: the 8-CU reference machine).
+GPU_CONTENTION_ALPHA = 0.50
+
+#: The paper's reference machine: 8 compute units.
+REFERENCE_CUS = 8
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """A whole-GPU configuration: per-CU device choices plus CU count."""
+
+    cu: CUConfig
+    n_cus: int = REFERENCE_CUS
+
+    def __post_init__(self) -> None:
+        if self.n_cus <= 0:
+            raise ValueError("need at least one compute unit")
+
+
+@dataclass
+class GpuResult:
+    """Aggregate of one whole-GPU run at fixed total work."""
+
+    n_cus: int
+    cu_result: CUResult
+    #: Effective execution cycles for the reference total work.
+    effective_cycles: float
+    freq_ghz: float
+
+    @property
+    def time_s(self) -> float:
+        return self.effective_cycles / (self.freq_ghz * 1e9)
+
+
+def memory_contention_scale(n_cus: int, mem_intensity: float) -> float:
+    """Memory-latency multiplier relative to the 8-CU reference."""
+    if n_cus <= REFERENCE_CUS:
+        return 1.0
+    extra = (n_cus - REFERENCE_CUS) / REFERENCE_CUS
+    return 1.0 + GPU_CONTENTION_ALPHA * extra * mem_intensity
+
+
+def run_gpu(config: GpuConfig, trace: KernelTrace) -> GpuResult:
+    """Run ``trace``'s kernel on the configured GPU at fixed total work.
+
+    The kernel trace describes the work one CU receives on the reference
+    8-CU machine; machines with more CUs split the same total work more
+    ways but see higher memory contention.
+    """
+    profile = trace.profile
+    scale = memory_contention_scale(config.n_cus, profile.mem_intensity)
+    cu_cfg = CUConfig(
+        freq_ghz=config.cu.freq_ghz,
+        fma_depth=config.cu.fma_depth,
+        rf_cycles=config.cu.rf_cycles,
+        rf_cache_enabled=config.cu.rf_cache_enabled,
+        rf_cache_entries=config.cu.rf_cache_entries,
+        mem_latency_scale=config.cu.mem_latency_scale * scale,
+    )
+    cu_result = ComputeUnit(cu_cfg).run(trace)
+    serial = profile.serial_fraction
+    parallel_cycles = cu_result.cycles * (REFERENCE_CUS / config.n_cus)
+    effective = cu_result.cycles * serial + parallel_cycles * (1.0 - serial)
+    return GpuResult(
+        n_cus=config.n_cus,
+        cu_result=cu_result,
+        effective_cycles=effective,
+        freq_ghz=config.cu.freq_ghz,
+    )

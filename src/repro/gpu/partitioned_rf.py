@@ -1,0 +1,84 @@
+"""Partitioned register file: the Pilot-RF alternative to the RF cache.
+
+Section VIII: "a partitioned register file for GPUs is proposed in [Pilot
+Register File, HPCA 2017].  It consists of a fast partition operating at
+nominal voltage and a slow partition operating at near-threshold voltage.
+Such a design can readily be adapted to AdvHet, by implementing the slow
+partition in TFET and the fast one in CMOS."
+
+This module does that adaptation: a small CMOS partition holds the hottest
+architectural registers (selected by profiling each kernel's register-use
+frequency, the Pilot-RF approach), and the remaining registers live in a
+TFET partition with the usual doubled access latency.  Unlike the RF
+*cache*, the assignment is static per kernel -- no tags, no eviction --
+trading adaptivity for simplicity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.gpu_generator import KernelTrace
+
+
+class PartitionedRegisterFile:
+    """Static fast/slow register partition with access accounting."""
+
+    def __init__(
+        self,
+        fast_registers: frozenset,
+        fast_cycles: int = 1,
+        slow_cycles: int = 2,
+    ):
+        if fast_cycles <= 0 or slow_cycles <= 0:
+            raise ValueError("latencies must be positive")
+        if slow_cycles < fast_cycles:
+            raise ValueError("the slow partition cannot be faster")
+        self.fast_registers = frozenset(fast_registers)
+        self.fast_cycles = fast_cycles
+        self.slow_cycles = slow_cycles
+        self.fast_reads = 0
+        self.slow_reads = 0
+        self.fast_writes = 0
+        self.slow_writes = 0
+
+    def read(self, reg: int) -> int:
+        if reg in self.fast_registers:
+            self.fast_reads += 1
+            return self.fast_cycles
+        self.slow_reads += 1
+        return self.slow_cycles
+
+    def write(self, reg: int) -> None:
+        if reg in self.fast_registers:
+            self.fast_writes += 1
+        else:
+            self.slow_writes += 1
+
+    @property
+    def fast_read_fraction(self) -> float:
+        total = self.fast_reads + self.slow_reads
+        return self.fast_reads / total if total else 0.0
+
+
+def profile_hot_registers(trace: KernelTrace, fast_count: int) -> frozenset:
+    """The ``fast_count`` most frequently accessed registers of a kernel.
+
+    This is the compile-time profiling pass of the Pilot-RF scheme: static
+    per-kernel assignment from read+write frequencies.
+    """
+    if fast_count < 0:
+        raise ValueError("fast_count cannot be negative")
+    counts = np.zeros(trace.profile.n_regs, dtype=np.int64)
+    for arr in (trace.src1_reg, trace.src2_reg, trace.dst_reg):
+        np.add.at(counts, arr.ravel(), 1)
+    hottest = np.argsort(counts)[::-1][:fast_count]
+    return frozenset(int(r) for r in hottest if counts[r] > 0)
+
+
+def partitioned_operand_model(
+    trace: KernelTrace, fast_count: int = 8
+) -> PartitionedRegisterFile:
+    """Build the partition for a kernel (profiling + construction)."""
+    hot = profile_hot_registers(trace, fast_count)
+    return PartitionedRegisterFile(hot)

@@ -1,0 +1,86 @@
+"""The GPU vector register file and the AdvHet register-file cache.
+
+Table III: 256 vector registers per thread, 1-cycle access in CMOS and
+2-cycle in TFET.  The AdvHet register-file cache (Section IV-C3, after
+Gebhart et al.) holds 6 entries per thread, is written-register-allocate
+only (caching writes captures the ~40% of values consumed within a few
+instructions while avoiding thrash from streaming reads), and serves hits
+in 1 cycle.
+
+Registers are uniform across a wavefront's threads, so the model tracks one
+entry set per wavefront.
+"""
+
+from __future__ import annotations
+
+
+class VectorRegisterFile:
+    """Access counting + latency for the main vector RF."""
+
+    def __init__(self, n_regs: int = 256, access_cycles: int = 1):
+        if n_regs <= 0 or access_cycles <= 0:
+            raise ValueError("register file geometry must be positive")
+        self.n_regs = n_regs
+        self.access_cycles = access_cycles
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, reg: int) -> int:
+        """Read latency for ``reg`` (counts the access)."""
+        self._check(reg)
+        self.reads += 1
+        return self.access_cycles
+
+    def write(self, reg: int) -> None:
+        self._check(reg)
+        self.writes += 1
+
+    def _check(self, reg: int) -> None:
+        if not 0 <= reg < self.n_regs:
+            raise ValueError(f"register {reg} out of range 0..{self.n_regs - 1}")
+
+
+class RegisterFileCache:
+    """Per-wavefront 6-entry LRU cache over *written* registers."""
+
+    def __init__(self, n_wavefronts: int, entries_per_thread: int = 6):
+        if entries_per_thread <= 0 or n_wavefronts <= 0:
+            raise ValueError("cache geometry must be positive")
+        self.entries = entries_per_thread
+        # MRU-first list of register ids per wavefront.
+        self._sets: list[list[int]] = [[] for _ in range(n_wavefronts)]
+        self.read_hits = 0
+        self.read_misses = 0
+        self.writes = 0
+        self.evictions = 0
+
+    def read_hit(self, wavefront: int, reg: int) -> bool:
+        """Probe for a read; hits refresh recency."""
+        entries = self._sets[wavefront]
+        if reg in entries:
+            self.read_hits += 1
+            if entries[0] != reg:
+                entries.remove(reg)
+                entries.insert(0, reg)
+            return True
+        self.read_misses += 1
+        return False
+
+    def write(self, wavefront: int, reg: int) -> None:
+        """Allocate the written register (write-allocate-only policy)."""
+        self.writes += 1
+        entries = self._sets[wavefront]
+        if reg in entries:
+            entries.remove(reg)
+        elif len(entries) >= self.entries:
+            entries.pop()
+            self.evictions += 1
+        entries.insert(0, reg)
+
+    @property
+    def read_hit_rate(self) -> float:
+        total = self.read_hits + self.read_misses
+        return self.read_hits / total if total else 0.0
+
+    def occupancy(self, wavefront: int) -> int:
+        return len(self._sets[wavefront])

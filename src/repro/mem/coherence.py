@@ -1,0 +1,175 @@
+"""Directory-based MESI coherence for the shared L3 (Table III).
+
+Each L3 slice keeps a directory entry per resident line: the MESI state
+and the sharer set.  The controller serialises requests per line and
+returns both the protocol actions taken (for latency/energy accounting)
+and the resulting state, so invariants are checkable:
+
+* at most one core holds a line Modified or Exclusive;
+* a Modified/Exclusive holder excludes all other sharers;
+* Shared lines may have any number of readers;
+* every transition matches the MESI reference state machine.
+
+The single-detailed-core runs of the main figures do not exercise
+cross-core sharing (threads of these workloads mostly touch private data,
+and the paper's own evaluation treats coherence traffic as part of the L3
+round trip); the directory exists for explicitly multicore studies and is
+validated independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class LineState(str, Enum):
+    """Directory-visible MESI state of a cache line."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass
+class DirectoryEntry:
+    """State and sharer set for one line."""
+
+    state: LineState = LineState.INVALID
+    sharers: set = field(default_factory=set)
+    owner: int | None = None  # valid when state is M or E
+
+
+@dataclass
+class CoherenceActions:
+    """Protocol work performed for one request (for latency accounting)."""
+
+    #: Invalidations sent to other sharers.
+    invalidations: int = 0
+    #: A dirty copy was written back / forwarded from the owner.
+    owner_intervention: bool = False
+    #: The line was fetched from memory (directory had no copy).
+    memory_fetch: bool = False
+    new_state: LineState = LineState.INVALID
+
+
+class MesiDirectory:
+    """Directory controller for one shared cache."""
+
+    def __init__(self, n_cores: int, line_bytes: int = 64):
+        if n_cores < 1:
+            raise ValueError("need at least one core")
+        self.n_cores = n_cores
+        self.line_bytes = line_bytes
+        self._lines: dict[int, DirectoryEntry] = {}
+        # statistics
+        self.read_requests = 0
+        self.write_requests = 0
+        self.invalidations_sent = 0
+        self.interventions = 0
+        self.memory_fetches = 0
+
+    def _entry(self, addr: int) -> DirectoryEntry:
+        line = addr // self.line_bytes
+        if line not in self._lines:
+            self._lines[line] = DirectoryEntry()
+        return self._lines[line]
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.n_cores:
+            raise ValueError(f"core {core} out of range")
+
+    def read(self, core: int, addr: int) -> CoherenceActions:
+        """Core ``core`` issues a GetS for ``addr``."""
+        self._check_core(core)
+        self.read_requests += 1
+        entry = self._entry(addr)
+        actions = CoherenceActions()
+        if entry.state == LineState.INVALID:
+            actions.memory_fetch = True
+            self.memory_fetches += 1
+            entry.state = LineState.EXCLUSIVE
+            entry.owner = core
+            entry.sharers = {core}
+        elif entry.state in (LineState.MODIFIED, LineState.EXCLUSIVE):
+            if entry.owner == core:
+                pass  # silent hit in the owner
+            else:
+                # Owner forwards/downgrades; dirty data is written back.
+                actions.owner_intervention = entry.state == LineState.MODIFIED
+                if actions.owner_intervention:
+                    self.interventions += 1
+                entry.state = LineState.SHARED
+                entry.sharers.add(core)
+                entry.owner = None
+        else:  # SHARED
+            entry.sharers.add(core)
+        actions.new_state = entry.state
+        return actions
+
+    def write(self, core: int, addr: int) -> CoherenceActions:
+        """Core ``core`` issues a GetX (write/upgrade) for ``addr``."""
+        self._check_core(core)
+        self.write_requests += 1
+        entry = self._entry(addr)
+        actions = CoherenceActions()
+        if entry.state == LineState.INVALID:
+            actions.memory_fetch = True
+            self.memory_fetches += 1
+        elif entry.state in (LineState.MODIFIED, LineState.EXCLUSIVE):
+            if entry.owner != core:
+                actions.owner_intervention = entry.state == LineState.MODIFIED
+                if actions.owner_intervention:
+                    self.interventions += 1
+                actions.invalidations = 1
+                self.invalidations_sent += 1
+        else:  # SHARED: invalidate every other sharer
+            others = entry.sharers - {core}
+            actions.invalidations = len(others)
+            self.invalidations_sent += len(others)
+        entry.state = LineState.MODIFIED
+        entry.owner = core
+        entry.sharers = {core}
+        actions.new_state = entry.state
+        return actions
+
+    def evict(self, core: int, addr: int) -> bool:
+        """Core ``core`` drops its copy.  Returns True if data written back."""
+        self._check_core(core)
+        entry = self._entry(addr)
+        if core not in entry.sharers:
+            return False
+        dirty = entry.state == LineState.MODIFIED and entry.owner == core
+        entry.sharers.discard(core)
+        if entry.owner == core:
+            entry.owner = None
+        if not entry.sharers:
+            entry.state = LineState.INVALID
+        elif entry.state in (LineState.MODIFIED, LineState.EXCLUSIVE):
+            entry.state = LineState.SHARED
+        return dirty
+
+    def state_of(self, addr: int) -> LineState:
+        line = addr // self.line_bytes
+        entry = self._lines.get(line)
+        return entry.state if entry else LineState.INVALID
+
+    def sharers_of(self, addr: int) -> frozenset:
+        line = addr // self.line_bytes
+        entry = self._lines.get(line)
+        return frozenset(entry.sharers) if entry else frozenset()
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any MESI invariant is violated."""
+        for line, entry in self._lines.items():
+            if entry.state in (LineState.MODIFIED, LineState.EXCLUSIVE):
+                assert entry.owner is not None, f"line {line:#x}: ownerless {entry.state}"
+                assert entry.sharers == {entry.owner}, (
+                    f"line {line:#x}: {entry.state} with sharers {entry.sharers}"
+                )
+            elif entry.state == LineState.SHARED:
+                assert entry.sharers, f"line {line:#x}: SHARED with no sharers"
+                assert entry.owner is None, f"line {line:#x}: SHARED with owner"
+            else:
+                assert not entry.sharers, f"line {line:#x}: INVALID with sharers"

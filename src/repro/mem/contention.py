@@ -1,0 +1,44 @@
+"""Shared-L3 / DRAM contention uplift for multicore runs.
+
+The paper's multicore results (4-core BaseCMOS vs 8-core AdvHet-2X under a
+fixed power budget) include the extra queueing that doubling the core count
+puts on the shared L3 ring and the memory controller.  We model that as an
+analytic latency multiplier: each additional sharer adds a delay fraction
+proportional to the workload's shared-traffic intensity.
+
+``multiplier = 1 + alpha * (n_sharers - 1) * intensity``
+
+with ``alpha`` calibrated so that memory-heavy applications see a tens-of-
+percent uplift at 8 cores while compute-bound ones are barely affected --
+the first-order behaviour of an M/D/1 queue at moderate utilisation without
+tracking per-request queues (which a one-detailed-core model cannot see).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Per-sharer, per-unit-intensity latency uplift.
+DEFAULT_CONTENTION_ALPHA = 0.06
+
+
+@dataclass(frozen=True)
+class SharedResourceContention:
+    """Latency multiplier for shared L3/DRAM under multicore load."""
+
+    n_sharers: int = 1
+    #: Workload shared-traffic intensity in [0, 1] (from the app profile).
+    intensity: float = 0.0
+    alpha: float = DEFAULT_CONTENTION_ALPHA
+
+    def __post_init__(self) -> None:
+        if self.n_sharers < 1:
+            raise ValueError("need at least one sharer")
+        if not 0.0 <= self.intensity <= 1.0:
+            raise ValueError("intensity must be in [0, 1]")
+        if self.alpha < 0.0:
+            raise ValueError("alpha cannot be negative")
+
+    def latency_multiplier(self) -> float:
+        """The uplift applied to L3/DRAM round trips (>= 1.0)."""
+        return 1.0 + self.alpha * (self.n_sharers - 1) * self.intensity

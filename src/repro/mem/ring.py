@@ -1,0 +1,82 @@
+"""Ring interconnect between cores and shared-L3 slices (Table III).
+
+The modelled multicore connects its cores and L3 slices with a
+bidirectional ring ("Network: Ring with MESI directory-based protocol").
+Each node hosts one core plus one L3 slice; an L3 access travels to the
+slice that owns the line (address-interleaved) and back.
+
+The single-core calibration folds the *average* ring round trip into the
+Table III L3 latency (32/40 cycles); this module exists for explicitly
+multicore studies -- per-hop latencies, slice mapping, and traffic
+accounting -- and for the coherence layer's message costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RingNetwork:
+    """A bidirectional ring of ``n_nodes`` (core + L3-slice per node)."""
+
+    n_nodes: int = 4
+    hop_cycles: int = 1
+    #: Router pipeline cost paid once per traversal, each direction.
+    router_cycles: int = 1
+    line_bytes: int = 64
+    messages: int = field(default=0, init=False)
+    total_hops: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("ring needs at least one node")
+        if self.hop_cycles < 0 or self.router_cycles < 0:
+            raise ValueError("latencies cannot be negative")
+
+    def hops(self, src: int, dst: int) -> int:
+        """Shortest-path hop count between two nodes (either direction)."""
+        self._check(src)
+        self._check(dst)
+        clockwise = (dst - src) % self.n_nodes
+        return min(clockwise, self.n_nodes - clockwise)
+
+    def one_way_latency(self, src: int, dst: int) -> int:
+        """Cycles for one message ``src`` -> ``dst`` (counts the message)."""
+        hops = self.hops(src, dst)
+        self.messages += 1
+        self.total_hops += hops
+        if hops == 0:
+            return 0
+        return hops * self.hop_cycles + self.router_cycles
+
+    def round_trip_latency(self, src: int, dst: int) -> int:
+        """Request + response latency between two nodes."""
+        return self.one_way_latency(src, dst) + self.one_way_latency(dst, src)
+
+    def slice_of(self, addr: int) -> int:
+        """The L3 slice owning ``addr`` (line-interleaved across nodes)."""
+        if addr < 0:
+            raise ValueError("addresses are non-negative")
+        return (addr // self.line_bytes) % self.n_nodes
+
+    def average_round_trip(self) -> float:
+        """Mean request+response latency over uniformly distributed slices."""
+        n = self.n_nodes
+        if n == 1:
+            return 0.0
+        total = 0.0
+        for d in range(1, n):
+            hops = min(d, n - d)
+            total += 2 * (hops * self.hop_cycles + self.router_cycles)
+        # A request targets its own slice 1/n of the time (zero cost).
+        return total / n
+
+    @property
+    def mean_hops(self) -> float:
+        """Observed mean hops per message."""
+        return self.total_hops / self.messages if self.messages else 0.0
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} outside ring of {self.n_nodes}")

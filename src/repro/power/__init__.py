@@ -1,0 +1,52 @@
+"""Analytic power/energy models standing in for McPAT and GPUWattch.
+
+The paper obtains per-unit power numbers from McPAT (HP process, CPU) and
+GPUWattch (GPU) and then applies its device factors: TFET units consume 4x
+less dynamic energy per operation (the conservative factor of Section V-B)
+and 10x less leakage than the dual-Vt CMOS baseline (Section VI).  This
+package reproduces that role:
+
+* :mod:`repro.power.unitdb` -- per-unit nominal per-access dynamic energies
+  and leakage powers (CMOS at 0.73 V / 2 GHz), McPAT/GPUWattch-class values.
+* :mod:`repro.power.model` -- energy accounting: activity counts x per-op
+  energy x device/voltage scaling, plus leakage x time, grouped core/L2/L3
+  the way Figure 8 reports it.
+* :mod:`repro.power.metrics` -- energy, ED, ED^2, and figure-style
+  normalisation helpers.
+"""
+
+from repro.power.unitdb import (
+    CPU_UNIT_DB,
+    GPU_UNIT_DB,
+    UnitPower,
+    CONSERVATIVE_TFET_DYNAMIC_FACTOR,
+    CONSERVATIVE_TFET_LEAKAGE_FACTOR,
+)
+from repro.power.model import (
+    DeviceKind,
+    EnergyBreakdown,
+    cpu_energy,
+    gpu_energy,
+)
+from repro.power.metrics import (
+    ed_product,
+    ed2_product,
+    geometric_mean,
+    normalize_to,
+)
+
+__all__ = [
+    "CPU_UNIT_DB",
+    "GPU_UNIT_DB",
+    "UnitPower",
+    "CONSERVATIVE_TFET_DYNAMIC_FACTOR",
+    "CONSERVATIVE_TFET_LEAKAGE_FACTOR",
+    "DeviceKind",
+    "EnergyBreakdown",
+    "cpu_energy",
+    "gpu_energy",
+    "ed_product",
+    "ed2_product",
+    "geometric_mean",
+    "normalize_to",
+]

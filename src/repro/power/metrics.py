@@ -1,0 +1,56 @@
+"""Evaluation metrics: energy, ED, ED^2, and figure-style aggregation.
+
+The paper compares configurations by execution time, energy, energy-delay
+product (ED), and energy-delay-squared (ED^2), normalised per application
+to BaseCMOS, with a final arithmetic-mean bar.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+
+def ed_product(energy_j: float, time_s: float) -> float:
+    """Energy-delay product."""
+    _check(energy_j, time_s)
+    return energy_j * time_s
+
+
+def ed2_product(energy_j: float, time_s: float) -> float:
+    """Energy-delay-squared product."""
+    _check(energy_j, time_s)
+    return energy_j * time_s * time_s
+
+
+def _check(energy_j: float, time_s: float) -> None:
+    if energy_j < 0.0 or time_s < 0.0:
+        raise ValueError("energy and time must be non-negative")
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of nothing")
+    if any(v <= 0.0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (the paper's 'average' bars)."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of nothing")
+    return sum(values) / len(values)
+
+
+def normalize_to(
+    values: Mapping[str, float], baseline_key: str
+) -> dict[str, float]:
+    """Normalise a {config: value} row to one config (the paper's bars)."""
+    base = values[baseline_key]
+    if base <= 0.0:
+        raise ValueError(f"baseline {baseline_key!r} must be positive")
+    return {k: v / base for k, v in values.items()}

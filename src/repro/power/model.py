@@ -1,0 +1,263 @@
+"""Energy accounting for CPU cores and GPU compute units.
+
+``energy = sum(events_u * E_u * device_scale_u * voltage_scale) +
+           sum(P_leak_u * device_scale_u * voltage_scale) * time``
+
+Device scaling follows the paper's conservative factors: a TFET unit
+consumes 4x less dynamic energy per event and 10x less leakage than the
+dual-Vt CMOS baseline; an all-high-Vt CMOS unit keeps CMOS dynamic energy
+and leaks ~4.2x less than the dual-Vt baseline (Section VII-C's
+BaseHighVt).  Voltage
+multipliers (from DVFS or process-variation guardbands) apply on top, per
+device family.
+
+Results are grouped core / L2 / L3, matching Figure 8's breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.cpu.core import ActivityCounts
+from repro.gpu.cu import CUResult
+from repro.power.unitdb import (
+    CPU_UNIT_DB,
+    GPU_UNIT_DB,
+    CONSERVATIVE_TFET_DYNAMIC_FACTOR,
+    CONSERVATIVE_TFET_LEAKAGE_FACTOR,
+    HIGHVT_LEAKAGE_FACTOR,
+    NATIVE_TFET_DYNAMIC_FACTOR,
+)
+
+
+class DeviceKind(str, Enum):
+    """Implementation device of a unit."""
+
+    CMOS = "cmos"
+    TFET = "tfet"
+    HIGHVT = "highvt"
+    #: TFET at its native operating point (all-TFET cores, no multi-Vdd
+    #: overheads): full ~4x energy-per-op advantage per Table I.
+    TFET_NATIVE = "tfet-native"
+
+
+@dataclass
+class ScalingKnobs:
+    """Multipliers applied during accounting."""
+
+    #: Dynamic-energy multipliers per device family (DVFS / guardbands).
+    cmos_energy: float = 1.0
+    tfet_energy: float = 1.0
+    #: Leakage-power multipliers per device family.
+    cmos_leakage: float = 1.0
+    tfet_leakage: float = 1.0
+    #: Size scaling of the enlarged structures (Table IV's AdvHet).
+    rob_scale: float = 1.0
+    fp_rf_scale: float = 1.0
+    #: Dynamic energy is multiplied by this (total work / measured work).
+    work_scale: float = 1.0
+    #: Leakage is multiplied by this (core or CU count).
+    leakage_instances: float = 1.0
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules by group and kind."""
+
+    dynamic_j: dict = field(default_factory=dict)
+    leakage_j: dict = field(default_factory=dict)
+
+    def add_dynamic(self, group: str, joules: float) -> None:
+        self.dynamic_j[group] = self.dynamic_j.get(group, 0.0) + joules
+
+    def add_leakage(self, group: str, joules: float) -> None:
+        self.leakage_j[group] = self.leakage_j.get(group, 0.0) + joules
+
+    @property
+    def total_dynamic(self) -> float:
+        return sum(self.dynamic_j.values())
+
+    @property
+    def total_leakage(self) -> float:
+        return sum(self.leakage_j.values())
+
+    @property
+    def total(self) -> float:
+        return self.total_dynamic + self.total_leakage
+
+    def group_total(self, group: str) -> float:
+        return self.dynamic_j.get(group, 0.0) + self.leakage_j.get(group, 0.0)
+
+
+def _dynamic_scale(device: DeviceKind, knobs: ScalingKnobs) -> float:
+    if device == DeviceKind.TFET:
+        return knobs.tfet_energy / CONSERVATIVE_TFET_DYNAMIC_FACTOR
+    if device == DeviceKind.TFET_NATIVE:
+        return knobs.tfet_energy / NATIVE_TFET_DYNAMIC_FACTOR
+    return knobs.cmos_energy  # CMOS and high-Vt: same dynamic energy
+
+
+def _leakage_scale(device: DeviceKind, knobs: ScalingKnobs) -> float:
+    if device in (DeviceKind.TFET, DeviceKind.TFET_NATIVE):
+        return knobs.tfet_leakage / CONSERVATIVE_TFET_LEAKAGE_FACTOR
+    if device == DeviceKind.HIGHVT:
+        # Relative to the dual-Vt baseline, going all-high-Vt only buys
+        # ~4.2x (the baseline is already 60% high-Vt) -- Section VII-C.
+        return knobs.cmos_leakage / HIGHVT_LEAKAGE_FACTOR
+    return knobs.cmos_leakage
+
+
+def cpu_energy(
+    activity: ActivityCounts,
+    time_s: float,
+    device_map: dict[str, DeviceKind] | None = None,
+    asym_dl1: bool = False,
+    knobs: ScalingKnobs | None = None,
+) -> EnergyBreakdown:
+    """Energy of one CPU run.
+
+    ``device_map`` assigns devices to the configurable units (``alu``,
+    ``muldiv``, ``fpu``, ``dl1``, ``l2``, ``l3``); unlisted units are CMOS.
+    With ``asym_dl1`` the DL1 activity splits into CMOS fast-way hits,
+    TFET slow-path accesses, and inter-partition line moves.
+    """
+    devices = device_map or {}
+    knobs = knobs or ScalingKnobs()
+    out = EnergyBreakdown()
+    db = CPU_UNIT_DB
+
+    def device_of(unit: str) -> DeviceKind:
+        return devices.get(unit, DeviceKind.CMOS)
+
+    def charge(unit: str, events: float, device: DeviceKind, size_scale: float = 1.0):
+        u = db[unit]
+        joules = events * u.dynamic_pj * 1e-12 * size_scale
+        out.add_dynamic(u.group, joules * _dynamic_scale(device, knobs) * knobs.work_scale)
+
+    others = device_of("others")
+    a = activity
+    charge("fetch", a.fetched, others)
+    charge("decode_rename", a.dispatched, others)
+    charge("bpred", a.bpred_lookups, others)
+    charge("rob", a.dispatched, others, knobs.rob_scale)
+    charge("iq", a.dispatched + a.issued, others)
+    charge("int_rf_read", a.int_reg_reads, others)
+    charge("int_rf_write", a.int_reg_writes, others)
+    charge("fp_rf_read", a.fp_reg_reads, others, knobs.fp_rf_scale)
+    charge("fp_rf_write", a.fp_reg_writes, others, knobs.fp_rf_scale)
+    # Dual-speed cluster: ops on the fast ALU burn CMOS energy.
+    charge("alu", a.alu_fast_ops, DeviceKind.CMOS)
+    charge("alu", a.alu_slow_ops, device_of("alu"))
+    charge("muldiv", a.muldiv_ops, device_of("muldiv"))
+    charge("fpu", a.fpu_ops, device_of("fpu"))
+    charge("lsu", a.lsu_ops, others)
+    charge("bypass_clock", a.issued, others)
+    charge("il1", a.il1_accesses, others)
+    if asym_dl1:
+        charge("dl1_fast", a.dl1_accesses, DeviceKind.CMOS)  # every probe
+        charge("dl1", a.dl1_slow_accesses, device_of("dl1"))
+        charge("dl1_move", a.dl1_line_moves, device_of("dl1"))
+    else:
+        charge("dl1", a.dl1_accesses, device_of("dl1"))
+    charge("l2", a.l2_accesses, device_of("l2"))
+    charge("l3", a.l3_accesses, device_of("l3"))
+
+    # ---- leakage ----
+    fixed_cmos = [
+        "fetch", "decode_rename", "bpred", "iq",
+        "int_rf_read", "fp_rf_read", "lsu", "bypass_clock", "il1",
+    ]
+    for unit in fixed_cmos:
+        scale = knobs.fp_rf_scale if unit == "fp_rf_read" else 1.0
+        _leak(out, db[unit], others, time_s, knobs, scale)
+    _leak(out, db["rob"], others, time_s, knobs, knobs.rob_scale)
+    _leak(out, db["alu"], device_of("alu"), time_s, knobs,
+          extra=_split_alu_leakage(a, device_of("alu"), knobs))
+    _leak(out, db["muldiv"], device_of("muldiv"), time_s, knobs)
+    _leak(out, db["fpu"], device_of("fpu"), time_s, knobs)
+    if asym_dl1:
+        _leak(out, db["dl1_fast"], DeviceKind.CMOS, time_s, knobs)
+        _leak(out, db["dl1"], device_of("dl1"), time_s, knobs, 7.0 / 8.0)
+    else:
+        _leak(out, db["dl1"], device_of("dl1"), time_s, knobs)
+    _leak(out, db["l2"], device_of("l2"), time_s, knobs)
+    _leak(out, db["l3"], device_of("l3"), time_s, knobs)
+    return out
+
+
+def _split_alu_leakage(
+    activity: ActivityCounts, alu_device: DeviceKind, knobs: ScalingKnobs
+) -> float | None:
+    """Leakage multiplier for a dual-speed ALU cluster (1 CMOS + 3 TFET).
+
+    Returns None for homogeneous clusters (handled by the normal path).
+    """
+    if alu_device == DeviceKind.CMOS or activity.alu_fast_ops == 0:
+        return None
+    cmos_share = 0.25 * _leakage_scale(DeviceKind.CMOS, knobs)
+    slow_share = 0.75 * _leakage_scale(alu_device, knobs)
+    # Express as a multiplier relative to the device path applied later.
+    return (cmos_share + slow_share) / _leakage_scale(alu_device, knobs)
+
+
+def _leak(
+    out: EnergyBreakdown,
+    unit,
+    device: DeviceKind,
+    time_s: float,
+    knobs: ScalingKnobs,
+    size_scale: float = 1.0,
+    extra: float | None = None,
+) -> None:
+    joules = unit.leakage_mw * 1e-3 * time_s * size_scale
+    joules *= _leakage_scale(device, knobs)
+    if extra is not None:
+        joules *= extra
+    out.add_leakage(unit.group, joules * knobs.leakage_instances)
+
+
+def gpu_energy(
+    cu: CUResult,
+    time_s: float,
+    device_map: dict[str, DeviceKind] | None = None,
+    rf_cache_enabled: bool = False,
+    knobs: ScalingKnobs | None = None,
+) -> EnergyBreakdown:
+    """Energy of one GPU run (per-CU activity scaled by work/instances).
+
+    ``device_map`` assigns devices to ``fma`` and ``rf``; the register-file
+    cache and everything else stay CMOS.
+    """
+    devices = device_map or {}
+    knobs = knobs or ScalingKnobs()
+    out = EnergyBreakdown()
+    db = GPU_UNIT_DB
+
+    def device_of(unit: str) -> DeviceKind:
+        return devices.get(unit, DeviceKind.CMOS)
+
+    def charge(unit: str, events: float, device: DeviceKind):
+        u = db[unit]
+        joules = events * u.dynamic_pj * 1e-12
+        out.add_dynamic(u.group, joules * _dynamic_scale(device, knobs) * knobs.work_scale)
+
+    others = device_of("others")
+    charge("gpu_frontend", cu.instructions, others)
+    charge("simd_fma", cu.fma_ops, device_of("fma"))
+    charge("vector_rf_read", cu.rf_reads, device_of("rf"))
+    charge("vector_rf_write", cu.rf_writes, device_of("rf"))
+    if rf_cache_enabled:
+        charge("rf_cache_read", cu.rf_cache_read_hits + cu.rf_cache_read_misses,
+               DeviceKind.CMOS)
+        charge("rf_cache_write", cu.rf_cache_writes, DeviceKind.CMOS)
+    charge("lds_mem", cu.mem_ops, others)
+    charge("gpu_other", cu.instructions, others)
+
+    for unit_name in ("gpu_frontend", "lds_mem", "gpu_other"):
+        _leak(out, db[unit_name], others, time_s, knobs)
+    _leak(out, db["simd_fma"], device_of("fma"), time_s, knobs)
+    _leak(out, db["vector_rf_read"], device_of("rf"), time_s, knobs)
+    if rf_cache_enabled:
+        _leak(out, db["rf_cache_read"], DeviceKind.CMOS, time_s, knobs)
+    return out

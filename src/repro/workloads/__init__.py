@@ -1,0 +1,32 @@
+"""Synthetic workloads standing in for the paper's benchmark suites.
+
+The paper runs SPLASH-2 and PARSEC binaries (CPU) and the AMD-SDK-APP
+OpenCL kernels (GPU) under Multi2Sim.  Binaries cannot be executed here, so
+each application is replaced by a *profile* -- instruction mix, dependency
+distances (ILP), working-set/locality structure, branch predictability, and
+parallel scalability -- and a deterministic generator that expands a profile
+into a dynamic trace.  The relative behaviour the evaluation depends on
+(FP-dense vs pointer-chasing vs streaming apps reacting differently to TFET
+latencies) is carried entirely by these profiles.
+
+* :mod:`repro.workloads.profiles` -- the 14 CPU application profiles.
+* :mod:`repro.workloads.generator` -- CPU trace synthesis.
+* :mod:`repro.workloads.gpu_profiles` -- the 16 GPU kernel profiles.
+* :mod:`repro.workloads.gpu_generator` -- GPU wavefront-stream synthesis.
+"""
+
+from repro.workloads.profiles import AppProfile, CPU_APPS, cpu_app
+from repro.workloads.generator import generate_trace
+from repro.workloads.gpu_profiles import KernelProfile, GPU_KERNELS, gpu_kernel
+from repro.workloads.gpu_generator import generate_kernel
+
+__all__ = [
+    "AppProfile",
+    "CPU_APPS",
+    "cpu_app",
+    "generate_trace",
+    "KernelProfile",
+    "GPU_KERNELS",
+    "gpu_kernel",
+    "generate_kernel",
+]

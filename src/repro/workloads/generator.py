@@ -1,0 +1,260 @@
+"""Deterministic CPU trace synthesis from an :class:`AppProfile`.
+
+The generator expands a profile into a dynamic micro-op stream:
+
+* **ops** are sampled from the profile's instruction mix;
+* **dependency distances** are geometric (clipped to the window a real
+  renamer would expose), with a separate, longer-range distribution for FP
+  ops -- this is where each app's ILP comes from;
+* **addresses** come from a region mixture (stack / hot / warm / big /
+  out-of-cache) plus a sequential stream, overlaid with temporal
+  burstiness (a fraction of accesses repeat one of the last few distinct
+  addresses, the MRU locality real DL1 streams exhibit); each app's
+  DL1/L2/L3 hit profile then *emerges* from the real cache models;
+* **control flow** follows a static CFG of basic blocks: each block has a
+  fixed start pc, a fixed conditional branch (with a per-block bias) at a
+  fixed pc, and a fixed taken target, so the tournament predictor and the
+  BTB see learnable streams and the misprediction rate is an output, not
+  an input.  Calls and returns are properly nested and exercise the RAS.
+
+Everything is seeded: the same (profile, n, seed) triple always yields an
+identical trace.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.cpu.trace import Trace
+from repro.cpu.uops import UopType
+from repro.workloads.profiles import AppProfile
+
+#: Maximum dependency distance the generator emits (a real renamer cannot
+#: expose dependencies farther apart than the ROB anyway).
+MAX_DEP_DIST = 96
+
+#: How far back the temporal-burstiness repeat reaches (distinct accesses).
+REPEAT_WINDOW = 3
+
+#: Code layout: blocks are spaced this many bytes apart; the block's branch
+#: lives at a fixed slot near the end.
+BLOCK_SPACING = 256
+
+#: Base virtual addresses of each data region (spread far apart so regions
+#: never alias in the caches beyond what their sizes dictate).
+_STACK_BASE = 0x7F00_0000_0000
+_HOT_BASE = 0x0000_1000_0000
+_WARM_BASE = 0x0000_2000_0000
+_BIG_BASE = 0x0000_4000_0000
+_MEM_BASE = 0x0000_8000_0000
+_STREAM_BASE = 0x0001_0000_0000
+_CODE_BASE = 0x0000_0040_0000
+
+
+def _stable_seed(name: str, seed: int) -> int:
+    """Process-independent seed (Python's str hash is salted per process)."""
+    return (zlib.crc32(name.encode()) ^ (seed * 0x9E3779B1)) & 0x7FFFFFFF
+
+
+def _sample_ops(profile: AppProfile, n: int, rng: np.random.Generator) -> np.ndarray:
+    classes = [
+        (UopType.LOAD, profile.f_load),
+        (UopType.STORE, profile.f_store),
+        (UopType.BRANCH, profile.f_branch),
+        (UopType.CALL, profile.f_call),
+        (UopType.RET, profile.f_call),
+        (UopType.FADD, profile.f_fadd),
+        (UopType.FMUL, profile.f_fmul),
+        (UopType.FDIV, profile.f_fdiv),
+        (UopType.IMUL, profile.f_imul),
+        (UopType.IDIV, profile.f_idiv),
+    ]
+    probs = [f for _, f in classes]
+    probs.append(1.0 - sum(probs))  # IALU remainder
+    values = [int(t) for t, _ in classes] + [int(UopType.IALU)]
+    return rng.choice(values, size=n, p=probs).astype(np.int8)
+
+
+def _sample_deps(
+    profile: AppProfile, ops: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    n = len(ops)
+    idx = np.arange(n)
+    fp_mask = np.isin(ops, [int(UopType.FADD), int(UopType.FMUL), int(UopType.FDIV)])
+    geom_p = np.where(fp_mask, profile.fp_dep_geom_p, profile.dep_geom_p)
+
+    def draw(present_prob: float) -> np.ndarray:
+        present = rng.random(n) < present_prob
+        dist = rng.geometric(geom_p)
+        dist = np.minimum(dist, MAX_DEP_DIST)
+        dist = np.minimum(dist, idx)  # cannot point before the trace
+        return np.where(present, dist, 0).astype(np.int32)
+
+    src1 = draw(profile.p_src1)
+    src2 = draw(profile.p_src2)
+
+    # Load-use chains: a fraction of loads are consumed 1-2 instructions
+    # later (address arithmetic, pointer chasing).  This is the dependence
+    # pattern that DL1 latency actually stretches, so it is modelled
+    # explicitly rather than left to the geometric tail.
+    loads = np.nonzero(ops == int(UopType.LOAD))[0]
+    chosen = loads[rng.random(len(loads)) < profile.p_loaduse]
+    offsets = rng.integers(1, 3, size=len(chosen))
+    consumers = chosen + offsets
+    in_range = consumers < n
+    src1[consumers[in_range]] = offsets[in_range]
+
+    # RET dependencies flow through the RAS, not registers.
+    ret_mask = ops == int(UopType.RET)
+    src1[ret_mask] = 0
+    src2[ret_mask] = 0
+    return src1, src2
+
+
+def _sample_addresses(
+    profile: AppProfile, ops: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Region-mixture addresses with an MRU-repeat overlay."""
+    n = len(ops)
+    mem_mask = np.isin(ops, [int(UopType.LOAD), int(UopType.STORE)])
+    n_mem = int(mem_mask.sum())
+    addr = np.zeros(n, dtype=np.int64)
+    if n_mem == 0:
+        return addr
+
+    p = [profile.p_stack, profile.p_hot, profile.p_warm, profile.p_big, profile.p_mem]
+    p.append(max(0.0, 1.0 - sum(p)))  # sequential stream remainder
+    region = rng.choice(6, size=n_mem, p=np.array(p) / sum(p))
+
+    sizes = [
+        profile.stack_kb * 1024,
+        profile.hot_kb * 1024,
+        profile.warm_kb * 1024,
+        profile.big_mb * 1024 * 1024,
+        profile.footprint_mb * 1024 * 1024,
+    ]
+    bases = [_STACK_BASE, _HOT_BASE, _WARM_BASE, _BIG_BASE, _MEM_BASE]
+    mem_addr = np.zeros(n_mem, dtype=np.int64)
+    for r in range(5):
+        mask = region == r
+        count = int(mask.sum())
+        if count:
+            offsets = rng.integers(0, max(1, sizes[r] // 8), size=count) * 8
+            mem_addr[mask] = bases[r] + offsets
+    # Sequential stream: a pointer marching through the footprint.
+    stream_mask = region == 5
+    count = int(stream_mask.sum())
+    if count:
+        stride = profile.stream_stride
+        wrap = profile.footprint_mb * 1024 * 1024
+        offsets = (np.arange(count, dtype=np.int64) * stride) % wrap
+        mem_addr[stream_mask] = _STREAM_BASE + offsets
+
+    # Temporal burstiness: a fraction of accesses re-touch one of the last
+    # few addresses.  Applied in memory-op order; chained repeats are fine
+    # (a repeat of a repeat is still recent).
+    repeat = rng.random(n_mem) < profile.p_repeat
+    back = rng.integers(1, REPEAT_WINDOW + 1, size=n_mem)
+    for i in np.nonzero(repeat)[0]:
+        j = i - int(back[i])
+        if j >= 0:
+            mem_addr[i] = mem_addr[j]
+
+    addr[mem_mask] = mem_addr
+    return addr
+
+
+def _build_cfg(
+    profile: AppProfile, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Static control-flow graph: per-block start pc, bias, taken target."""
+    n_blocks = profile.n_static_branches
+    starts = _CODE_BASE + np.arange(n_blocks, dtype=np.int64) * BLOCK_SPACING
+    targets = rng.integers(0, n_blocks, size=n_blocks)
+    biased = rng.random(n_blocks) < profile.biased_fraction
+    takenness = np.where(
+        biased, profile.biased_takenness, profile.hard_takenness
+    )
+    flip = rng.random(n_blocks) < 0.5
+    biases = np.where(flip & biased, 1.0 - takenness, takenness)
+    # A subset of blocks serve as function entry points for calls.
+    func_entries = rng.integers(0, n_blocks, size=max(4, n_blocks // 8))
+    return starts, biases, targets, func_entries
+
+
+def generate_trace(profile: AppProfile, n: int, seed: int = 0) -> Trace:
+    """Generate an ``n``-entry dynamic trace for ``profile``.
+
+    ``seed`` selects the thread/run; multicore runs use distinct seeds per
+    core so sibling threads touch overlapping shared regions but produce
+    distinct interleavings.
+    """
+    if n <= 0:
+        raise ValueError("trace length must be positive")
+    rng = np.random.default_rng(_stable_seed(profile.name, seed))
+    ops = _sample_ops(profile, n, rng)
+    src1, src2 = _sample_deps(profile, ops, rng)
+    addr = _sample_addresses(profile, ops, rng)
+
+    starts, biases, targets, func_entries = _build_cfg(profile, rng)
+    n_blocks = len(starts)
+    rand = rng.random(n)
+    func_pick = rng.integers(0, len(func_entries), size=n)
+    # The branch instruction of each block sits at a fixed, per-block slot
+    # so the predictor and BTB see one stable pc per static branch (slots
+    # vary across blocks the way real code layouts do).
+    branch_slots = (
+        rng.integers(0, BLOCK_SPACING // 4, size=n_blocks) * 4
+    ).tolist()
+
+    taken = np.zeros(n, dtype=bool)
+    pc = np.zeros(n, dtype=np.int64)
+    block = 0
+    off = 0
+    max_off = (BLOCK_SPACING // 4) - 2
+    call_stack: list[tuple[int, int]] = []
+    op_list = ops.tolist()
+    starts_list = starts.tolist()
+    targets_list = targets.tolist()
+    biases_list = biases.tolist()
+    _BRANCH = int(UopType.BRANCH)
+    _CALL = int(UopType.CALL)
+    _RET = int(UopType.RET)
+    _IALU = int(UopType.IALU)
+    for i in range(n):
+        o = op_list[i]
+        if o == _BRANCH:
+            pc[i] = starts_list[block] + branch_slots[block]
+            is_taken = rand[i] < biases_list[block]
+            taken[i] = is_taken
+            block = targets_list[block] if is_taken else (block + 1) % n_blocks
+            off = 0
+            continue
+        pc[i] = starts_list[block] + 4 * min(off, max_off)
+        if o == _CALL:
+            if len(call_stack) >= 64:
+                ops[i] = _IALU  # degenerate recursion; treat as plain op
+                off += 1
+                continue
+            call_stack.append((block, min(off, max_off) + 1))
+            taken[i] = True
+            block = int(func_entries[func_pick[i]])
+            off = 0
+        elif o == _RET:
+            if not call_stack:
+                ops[i] = _IALU  # unmatched return; treat as plain op
+                off += 1
+                continue
+            block, off = call_stack.pop()
+            taken[i] = True
+            # Architected return target (the core checks the RAS against
+            # it); must equal the call pc + 4 that the core pushed.
+            addr[i] = starts_list[block] + 4 * off
+        else:
+            off += 1
+
+    trace = Trace(op=ops, src1_dist=src1, src2_dist=src2, addr=addr, pc=pc, taken=taken)
+    trace.validate()
+    return trace

@@ -1,0 +1,134 @@
+"""GPU wavefront-stream synthesis from a :class:`KernelProfile`.
+
+Each wavefront executes an in-order instruction stream of vector FMA/ALU
+ops and global-memory ops.  Per instruction the generator emits:
+
+* the op class (FMA vs MEM);
+* a dependency distance (0 = independent) limiting in-order issue;
+* two source register ids and one destination register id, drawn with the
+  profile's reuse locality so register-file-cache hit rates emerge from the
+  actual 6-entry LRU model rather than being dialled in.
+
+All wavefronts of a kernel share the profile but use per-wavefront seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import zlib
+
+import numpy as np
+
+from repro.workloads.gpu_profiles import KernelProfile
+
+#: Op class encoding in the stream arrays.
+OP_FMA = 0
+OP_MEM = 1
+
+#: Maximum dependency distance emitted (in-order wavefronts cannot make use
+#: of longer ones anyway).
+MAX_GPU_DEP = 16
+
+#: How far back "recently written" reaches for register reuse.
+REUSE_WINDOW = 4
+
+#: Fraction of would-be dependencies on memory ops that are relaxed
+#: (software pipelining hides those loads entirely).
+MEM_DEP_RELAX = 0.75
+
+
+def _stable_seed(name: str, seed: int) -> int:
+    """Process-independent seed (Python's str hash is salted per process)."""
+    return (zlib.crc32(name.encode()) ^ (seed * 0x9E3779B1)) & 0x7FFFFFFF
+
+
+@dataclass
+class KernelTrace:
+    """Per-wavefront instruction streams for one kernel launch.
+
+    Arrays are shaped ``(n_wavefronts, stream_len)``.
+    """
+
+    profile: KernelProfile
+    op: np.ndarray
+    dep_dist: np.ndarray
+    src1_reg: np.ndarray
+    src2_reg: np.ndarray
+    dst_reg: np.ndarray
+
+    @property
+    def n_wavefronts(self) -> int:
+        return self.op.shape[0]
+
+    @property
+    def stream_len(self) -> int:
+        return self.op.shape[1]
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ValueError on violation."""
+        shape = self.op.shape
+        for name in ("dep_dist", "src1_reg", "src2_reg", "dst_reg"):
+            if getattr(self, name).shape != shape:
+                raise ValueError(f"kernel array {name!r} has mismatched shape")
+        cols = np.arange(shape[1])
+        if (self.dep_dist > cols).any():
+            raise ValueError("a dependency points before the stream start")
+        n_regs = self.profile.n_regs
+        for name in ("src1_reg", "src2_reg", "dst_reg"):
+            arr = getattr(self, name)
+            if (arr < 0).any() or (arr >= n_regs).any():
+                raise ValueError(f"{name} out of register range")
+
+
+def generate_kernel(profile: KernelProfile, seed: int = 0) -> KernelTrace:
+    """Expand ``profile`` into per-wavefront streams (deterministic)."""
+    rng = np.random.default_rng(_stable_seed(profile.name, seed))
+    n_wf = profile.n_wavefronts
+    n_ins = profile.stream_len
+    shape = (n_wf, n_ins)
+
+    op = np.where(rng.random(shape) < profile.fma_frac, OP_FMA, OP_MEM).astype(np.int8)
+
+    dep = rng.geometric(profile.dep_geom_p, size=shape)
+    dep = np.minimum(dep, MAX_GPU_DEP)
+    # A quarter of instructions are fully independent (address arithmetic
+    # on loop-invariant values, broadcast constants, ...).
+    dep = np.where(rng.random(shape) < 0.25, 0, dep)
+    cols = np.arange(n_ins)
+    dep = np.minimum(dep, cols[None, :]).astype(np.int16)
+
+    # Tuned GPU kernels batch their loads early and consume them late
+    # (software pipelining / s_waitcnt discipline), so most dependencies
+    # that would land on a memory op are relaxed to "value long since
+    # arrived"; the remainder model genuinely latency-bound consumers.
+    rows = np.arange(n_wf)[:, None]
+    producer = cols[None, :] - dep
+    on_mem = (dep > 0) & (op[rows, np.maximum(producer, 0)] == OP_MEM)
+    relax = rng.random(shape) < MEM_DEP_RELAX
+    dep = np.where(on_mem & relax, 0, dep).astype(np.int16)
+
+    n_regs = profile.n_regs
+    dst = rng.integers(0, n_regs, size=shape, dtype=np.int16)
+
+    def sources() -> np.ndarray:
+        src = rng.integers(0, n_regs, size=shape, dtype=np.int16)
+        reuse = rng.random(shape) < profile.reg_reuse
+        back = rng.integers(1, REUSE_WINDOW + 1, size=shape)
+        back = np.minimum(back, cols[None, :])
+        # Read the register written `back` instructions ago.
+        rows = np.arange(n_wf)[:, None]
+        recent = dst[rows, cols[None, :] - back]
+        usable = reuse & (back > 0)
+        return np.where(usable, recent, src).astype(np.int16)
+
+    trace = KernelTrace(
+        profile=profile,
+        op=op,
+        dep_dist=dep,
+        src1_reg=sources(),
+        src2_reg=sources(),
+        dst_reg=dst,
+    )
+    trace.validate()
+    return trace

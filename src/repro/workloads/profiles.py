@@ -1,0 +1,263 @@
+"""CPU application profiles for the paper's SPLASH-2 + PARSEC suite.
+
+Each profile parameterises the trace generator.  The values are drawn from
+the published characterisations of these suites (Woo et al.'s SPLASH-2
+paper, Bienia et al.'s PARSEC papers, and later locality studies): FP-dense
+numeric kernels (lu, fft, water) with high ILP and small-to-medium working
+sets; pointer chasers (canneal, raytrace, radiosity) with poor locality and
+harder branches; a pure-integer sort (radix) with scatter traffic; and
+streaming codes (streamcluster) bound by the outer memory levels.
+
+The absolute numbers are approximations -- the reproduction's claims are
+about *relative* behaviour across configurations, which needs apps that
+occupy distinct, plausible operating points (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Generator parameters for one application."""
+
+    name: str
+    suite: str  # "splash2" or "parsec"
+    input_name: str
+
+    # ---- instruction mix (fractions of dynamic uops; the remainder after
+    # all listed classes is IALU) ----
+    f_load: float = 0.25
+    f_store: float = 0.10
+    f_branch: float = 0.12
+    f_call: float = 0.004
+    f_fadd: float = 0.0
+    f_fmul: float = 0.0
+    f_fdiv: float = 0.0
+    f_imul: float = 0.01
+    f_idiv: float = 0.002
+
+    # ---- dependencies / ILP ----
+    #: Probability that an op has a first/second source operand.
+    p_src1: float = 0.85
+    p_src2: float = 0.45
+    #: Geometric parameter for dependency distance; smaller = longer
+    #: distances = more ILP.
+    dep_geom_p: float = 0.30
+    #: Separate (usually longer-range) distances for FP ops.
+    fp_dep_geom_p: float = 0.18
+
+    # ---- memory locality (region mixture; probabilities sum to <= 1,
+    # remainder is a sequential stream) ----
+    stack_kb: int = 4
+    hot_kb: int = 24
+    warm_kb: int = 192
+    big_mb: int = 4
+    footprint_mb: int = 32
+    p_stack: float = 0.45
+    p_hot: float = 0.33
+    p_warm: float = 0.12
+    p_big: float = 0.05
+    p_mem: float = 0.01
+    #: Stride in bytes for the sequential-stream component.
+    stream_stride: int = 8
+    #: Probability a memory access repeats one of the last few distinct
+    #: addresses (temporal burstiness; drives MRU/fast-way hit rates).
+    p_repeat: float = 0.68
+    #: Probability a load's value is consumed within the next 1-2
+    #: instructions (load-use chains; what DL1 latency actually stretches).
+    p_loaduse: float = 0.55
+
+    # ---- branches ----
+    n_static_branches: int = 128
+    #: Fraction of static branches that are strongly biased (predictable).
+    biased_fraction: float = 0.85
+    biased_takenness: float = 0.97
+    hard_takenness: float = 0.62
+    code_kb: int = 24
+
+    # ---- parallel scalability (for the multicore model) ----
+    serial_fraction: float = 0.04
+    sync_coeff: float = 0.02
+    mem_intensity: float = 0.25
+
+    def __post_init__(self) -> None:
+        mix = (
+            self.f_load + self.f_store + self.f_branch + self.f_call * 2
+            + self.f_fadd + self.f_fmul + self.f_fdiv + self.f_imul + self.f_idiv
+        )
+        if mix >= 1.0:
+            raise ValueError(f"{self.name}: instruction mix exceeds 1.0")
+        loc = self.p_stack + self.p_hot + self.p_warm + self.p_big + self.p_mem
+        if loc > 1.0 + 1e-9:
+            raise ValueError(f"{self.name}: locality mixture exceeds 1.0")
+        if not 0.0 <= self.serial_fraction < 1.0:
+            raise ValueError(f"{self.name}: serial fraction out of range")
+
+    @property
+    def fp_fraction(self) -> float:
+        return self.f_fadd + self.f_fmul + self.f_fdiv
+
+
+def _app(**kwargs) -> AppProfile:
+    return AppProfile(**kwargs)
+
+
+#: The ten SPLASH-2 and four PARSEC applications of Section VI-B, with the
+#: paper's input sets recorded for provenance.
+CPU_APPS: dict[str, AppProfile] = {
+    p.name: p
+    for p in [
+        _app(
+            name="barnes", suite="splash2", input_name="16K particles",
+            f_load=0.27, f_store=0.09, f_branch=0.11,
+            f_fadd=0.09, f_fmul=0.10, f_fdiv=0.008,
+            dep_geom_p=0.30, fp_dep_geom_p=0.077,
+            stack_kb=4, hot_kb=24, warm_kb=160, big_mb=3, footprint_mb=24,
+            p_stack=0.50, p_hot=0.37, p_warm=0.050, p_big=0.018, p_mem=0.004,
+            biased_fraction=0.82, hard_takenness=0.62,
+            serial_fraction=0.03, sync_coeff=0.035, mem_intensity=0.30,
+        ),
+        _app(
+            name="cholesky", suite="splash2", input_name="tk29.O",
+            f_load=0.28, f_store=0.10, f_branch=0.09,
+            f_fadd=0.10, f_fmul=0.13, f_fdiv=0.006,
+            dep_geom_p=0.26, fp_dep_geom_p=0.058,
+            stack_kb=4, hot_kb=28, warm_kb=224, big_mb=4, footprint_mb=28,
+            p_stack=0.48, p_hot=0.39, p_warm=0.060, p_big=0.020, p_mem=0.004,
+            biased_fraction=0.88, serial_fraction=0.08, sync_coeff=0.045,
+            mem_intensity=0.35,
+        ),
+        _app(
+            name="fft", suite="splash2", input_name="2^20 points",
+            f_load=0.26, f_store=0.12, f_branch=0.06,
+            f_fadd=0.14, f_fmul=0.15, f_fdiv=0.002,
+            dep_geom_p=0.22, fp_dep_geom_p=0.046,
+            stack_kb=4, hot_kb=28, warm_kb=224, big_mb=6, footprint_mb=48,
+            p_stack=0.40, p_hot=0.32, p_warm=0.100, p_big=0.080, p_mem=0.015,
+            biased_fraction=0.93, serial_fraction=0.02, sync_coeff=0.03,
+            mem_intensity=0.55,
+        ),
+        _app(
+            name="fmm", suite="splash2", input_name="16K particles",
+            f_load=0.26, f_store=0.09, f_branch=0.10,
+            f_fadd=0.11, f_fmul=0.12, f_fdiv=0.01,
+            dep_geom_p=0.28, fp_dep_geom_p=0.066,
+            stack_kb=4, hot_kb=24, warm_kb=192, big_mb=3, footprint_mb=24,
+            p_stack=0.50, p_hot=0.38, p_warm=0.050, p_big=0.016, p_mem=0.003,
+            biased_fraction=0.85, serial_fraction=0.03, sync_coeff=0.03,
+            mem_intensity=0.25,
+        ),
+        _app(
+            name="lu", suite="splash2", input_name="512x512",
+            f_load=0.27, f_store=0.09, f_branch=0.05,
+            f_fadd=0.13, f_fmul=0.17, f_fdiv=0.004,
+            dep_geom_p=0.20, fp_dep_geom_p=0.043,
+            stack_kb=4, hot_kb=30, warm_kb=256, big_mb=2, footprint_mb=8,
+            p_stack=0.49, p_hot=0.41, p_warm=0.055, p_big=0.012, p_mem=0.002,
+            biased_fraction=0.95, serial_fraction=0.04, sync_coeff=0.05,
+            mem_intensity=0.20,
+        ),
+        _app(
+            name="radiosity", suite="splash2", input_name="batch",
+            f_load=0.28, f_store=0.10, f_branch=0.14,
+            f_fadd=0.07, f_fmul=0.08, f_fdiv=0.009,
+            dep_geom_p=0.34, fp_dep_geom_p=0.085,
+            stack_kb=4, hot_kb=20, warm_kb=160, big_mb=3, footprint_mb=24,
+            p_stack=0.48, p_hot=0.36, p_warm=0.055, p_big=0.020, p_mem=0.006,
+            biased_fraction=0.76, hard_takenness=0.58,
+            serial_fraction=0.05, sync_coeff=0.045, mem_intensity=0.30,
+        ),
+        _app(
+            name="radix", suite="splash2", input_name="2M keys",
+            f_load=0.29, f_store=0.16, f_branch=0.10,
+            f_fadd=0.0, f_fmul=0.0, f_fdiv=0.0, f_imul=0.02,
+            dep_geom_p=0.33,
+            stack_kb=2, hot_kb=16, warm_kb=128, big_mb=8, footprint_mb=64,
+            p_stack=0.32, p_hot=0.28, p_warm=0.130, p_big=0.130, p_mem=0.040,
+            biased_fraction=0.90, p_repeat=0.48,
+            serial_fraction=0.02, sync_coeff=0.04, mem_intensity=0.75,
+        ),
+        _app(
+            name="raytrace", suite="splash2", input_name="teapot.env",
+            f_load=0.30, f_store=0.08, f_branch=0.15,
+            f_fadd=0.08, f_fmul=0.09, f_fdiv=0.012,
+            dep_geom_p=0.36, fp_dep_geom_p=0.092,
+            stack_kb=4, hot_kb=20, warm_kb=160, big_mb=4, footprint_mb=32,
+            p_stack=0.46, p_hot=0.35, p_warm=0.060, p_big=0.025, p_mem=0.008,
+            biased_fraction=0.72, hard_takenness=0.60,
+            serial_fraction=0.03, sync_coeff=0.03, mem_intensity=0.35,
+        ),
+        _app(
+            name="water-nsq", suite="splash2", input_name="random.in",
+            f_load=0.25, f_store=0.08, f_branch=0.08,
+            f_fadd=0.13, f_fmul=0.14, f_fdiv=0.012,
+            dep_geom_p=0.24, fp_dep_geom_p=0.054,
+            stack_kb=4, hot_kb=26, warm_kb=192, big_mb=2, footprint_mb=8,
+            p_stack=0.51, p_hot=0.39, p_warm=0.050, p_big=0.012, p_mem=0.002,
+            biased_fraction=0.90, serial_fraction=0.03, sync_coeff=0.04,
+            mem_intensity=0.18,
+        ),
+        _app(
+            name="water-sp", suite="splash2", input_name="512 molecules",
+            f_load=0.25, f_store=0.08, f_branch=0.08,
+            f_fadd=0.12, f_fmul=0.14, f_fdiv=0.010,
+            dep_geom_p=0.24, fp_dep_geom_p=0.054,
+            stack_kb=4, hot_kb=26, warm_kb=192, big_mb=2, footprint_mb=8,
+            p_stack=0.51, p_hot=0.40, p_warm=0.045, p_big=0.012, p_mem=0.002,
+            biased_fraction=0.91, serial_fraction=0.02, sync_coeff=0.03,
+            mem_intensity=0.15,
+        ),
+        _app(
+            name="blackscholes", suite="parsec", input_name="16K options",
+            f_load=0.24, f_store=0.07, f_branch=0.06,
+            f_fadd=0.14, f_fmul=0.16, f_fdiv=0.02,
+            dep_geom_p=0.21, fp_dep_geom_p=0.05,
+            stack_kb=4, hot_kb=30, warm_kb=128, big_mb=1, footprint_mb=4,
+            p_stack=0.54, p_hot=0.41, p_warm=0.035, p_big=0.008, p_mem=0.001,
+            biased_fraction=0.96, serial_fraction=0.01, sync_coeff=0.015,
+            mem_intensity=0.10,
+        ),
+        _app(
+            name="canneal", suite="parsec", input_name="10000 elements",
+            f_load=0.31, f_store=0.09, f_branch=0.13,
+            f_fadd=0.02, f_fmul=0.02, f_fdiv=0.001,
+            dep_geom_p=0.38,
+            stack_kb=2, hot_kb=16, warm_kb=128, big_mb=8, footprint_mb=96,
+            p_stack=0.32, p_hot=0.27, p_warm=0.120, p_big=0.140, p_mem=0.055,
+            biased_fraction=0.70, hard_takenness=0.58, p_repeat=0.44, p_loaduse=0.55,
+            serial_fraction=0.06, sync_coeff=0.03, mem_intensity=0.80,
+        ),
+        _app(
+            name="streamcluster", suite="parsec", input_name="4K points",
+            f_load=0.28, f_store=0.06, f_branch=0.08,
+            f_fadd=0.12, f_fmul=0.13, f_fdiv=0.004,
+            dep_geom_p=0.23, fp_dep_geom_p=0.05,
+            stack_kb=4, hot_kb=24, warm_kb=192, big_mb=8, footprint_mb=48,
+            p_stack=0.38, p_hot=0.31, p_warm=0.110, p_big=0.100, p_mem=0.025,
+            biased_fraction=0.92, p_repeat=0.54,
+            serial_fraction=0.03, sync_coeff=0.06, mem_intensity=0.65,
+        ),
+        _app(
+            name="fluidanimate", suite="parsec", input_name="15K particles",
+            f_load=0.26, f_store=0.09, f_branch=0.10,
+            f_fadd=0.11, f_fmul=0.12, f_fdiv=0.009,
+            dep_geom_p=0.27, fp_dep_geom_p=0.062,
+            stack_kb=4, hot_kb=24, warm_kb=192, big_mb=3, footprint_mb=24,
+            p_stack=0.49, p_hot=0.38, p_warm=0.055, p_big=0.020, p_mem=0.004,
+            biased_fraction=0.86, serial_fraction=0.03, sync_coeff=0.05,
+            mem_intensity=0.30,
+        ),
+    ]
+}
+
+
+def cpu_app(name: str) -> AppProfile:
+    """Look up a CPU application profile by name."""
+    try:
+        return CPU_APPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown CPU app {name!r}; choose from {sorted(CPU_APPS)}"
+        ) from None

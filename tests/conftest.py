@@ -1,0 +1,48 @@
+"""Shared fixtures: small, fast workloads reused across test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.simulate import simulate_cpu, simulate_gpu
+from repro.core.configs import cpu_config, gpu_config
+from repro.experiments.runner import SweepRunner, SweepSettings
+
+#: Small-but-converged sizes for integration tests.
+TEST_INSTRUCTIONS = 24_000
+TEST_WARMUP = 9_000
+TEST_APPS = ["barnes", "lu", "radix"]
+TEST_KERNELS = ["DCT", "Reduction", "MatrixTranspose"]
+
+
+@pytest.fixture(scope="session")
+def small_runner() -> SweepRunner:
+    """A sweep runner sized for tests; cached for the whole session."""
+    return SweepRunner(
+        SweepSettings(
+            instructions=TEST_INSTRUCTIONS,
+            apps=TEST_APPS,
+            kernels=TEST_KERNELS,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def cpu_main_runs(small_runner):
+    """Main CPU configurations x test apps (shared across test modules)."""
+    return small_runner.cpu_sweep(
+        ["BaseCMOS", "BaseCMOS-Enh", "BaseTFET", "BaseHet", "AdvHet", "AdvHet-2X"]
+    )
+
+
+@pytest.fixture(scope="session")
+def gpu_main_runs(small_runner):
+    """Main GPU configurations x test kernels."""
+    return small_runner.gpu_sweep(
+        ["BaseCMOS", "BaseTFET", "BaseHet", "AdvHet", "AdvHet-2X"]
+    )
+
+
+@pytest.fixture(scope="session")
+def base_cpu_run(cpu_main_runs):
+    return cpu_main_runs["BaseCMOS"]["barnes"]

@@ -1,0 +1,77 @@
+"""Tests for the CLI and the exhibit exporters."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.export import to_csv, to_json
+from repro.experiments.figures import FigureResult, figure2, table1
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure7" in out
+        assert "BaseCMOS" in out
+        assert "barnes" in out
+
+    def test_exhibit_static(self, capsys):
+        assert main(["exhibit", "table1", "figure3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Figure 3" in out
+        assert "paper vs measured" in out
+
+    def test_exhibit_unknown(self, capsys):
+        assert main(["exhibit", "figure99"]) == 2
+        assert "unknown exhibits" in capsys.readouterr().err
+
+    def test_run_cpu(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_INSTRUCTIONS", "8000")
+        assert main(["run", "BaseCMOS", "lu"]) == 0
+        out = capsys.readouterr().out
+        assert "ipc" in out and "energy" in out
+
+    def test_run_gpu(self, capsys):
+        assert main(["run", "AdvHet", "DCT"]) == 0
+        out = capsys.readouterr().out
+        assert "rf-cache-hit" in out
+
+    def test_run_mismatched_pair(self, capsys):
+        assert main(["run", "BaseCMOS", "DoomEternal"]) == 2
+        assert "no matching" in capsys.readouterr().err
+
+
+class TestExport:
+    def test_csv_of_series_exhibit(self):
+        text = to_csv(figure2())
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("activity_factor")
+        assert len(lines) > 10
+
+    def test_csv_of_matrix(self):
+        result = FigureResult(
+            exhibit="X", title="t",
+            rows={"a": {"c1": 1.0, "c2": 2.0}, "b": {"c1": 3.0, "c2": 4.0}},
+            table="",
+        )
+        text = to_csv(result)
+        assert "row,c1,c2" in text
+        assert "a,1.0,2.0" in text
+
+    def test_json_round_trips(self):
+        doc = json.loads(to_json(figure2()))
+        assert doc["exhibit"] == "Figure 2"
+        assert "measured_means" in doc
+        assert doc["rows"]["ratio"][0] > 100
+
+    def test_json_of_table1(self):
+        doc = json.loads(to_json(table1()))
+        assert len(doc["rows"]["rows"]) == 9
+
+    def test_flatten_rejects_garbage(self):
+        bad = FigureResult(exhibit="X", title="t", rows=[1, 2], table="")
+        with pytest.raises(TypeError):
+            to_csv(bad)

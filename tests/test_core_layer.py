@@ -1,0 +1,191 @@
+"""Tests for the HetCore architecture layer: designs, configs, DVFS, budget."""
+
+import pytest
+
+from repro.core.budget import BudgetComparison, PowerBudgetAnalysis
+from repro.core.configs import (
+    CPU_CONFIGS,
+    CPU_MAIN_CONFIGS,
+    CPU_SENSITIVITY_CONFIGS,
+    GPU_CONFIGS,
+    GPU_MAIN_CONFIGS,
+    cpu_config,
+    design_modifications,
+    gpu_config,
+    machine_params,
+)
+from repro.core.dvfs import HetCoreDvfs
+from repro.core.hetcore import CpuDesign, GpuDesign
+from repro.cpu.units import CMOS_LATENCIES, HIGHVT_LATENCIES, TFET_LATENCIES
+from repro.power.model import DeviceKind
+
+
+class TestCpuDesignDerivations:
+    def test_basecmos_latencies(self):
+        lat = cpu_config("BaseCMOS").cache_latencies()
+        assert (lat.dl1_rt, lat.l2_rt, lat.l3_rt) == (2, 8, 32)
+
+    def test_basehet_latencies(self):
+        lat = cpu_config("BaseHet").cache_latencies()
+        assert (lat.dl1_rt, lat.l2_rt, lat.l3_rt) == (4, 12, 40)
+
+    def test_basel3_only_l3_slower(self):
+        lat = cpu_config("BaseL3").cache_latencies()
+        assert (lat.dl1_rt, lat.l2_rt, lat.l3_rt) == (2, 8, 40)
+
+    def test_basetfet_keeps_cmos_cycle_latencies(self):
+        # The whole core slows via frequency, not per-unit cycles.
+        d = cpu_config("BaseTFET")
+        assert d.freq_ghz == 1.0
+        assert d.cache_latencies().dl1_rt == 2
+        pool = d.build_units()
+        assert pool.alu_table is CMOS_LATENCIES
+
+    def test_advhet_units(self):
+        d = cpu_config("AdvHet")
+        pool = d.build_units()
+        assert pool.alu_table is TFET_LATENCIES
+        assert pool.fast_alu_count == 1
+        assert d.build_dl1() is not None
+        assert d.build_dl1().slow_hit_cycles == 5
+
+    def test_basecmos_enh_asym_is_cmos_speeds(self):
+        dl1 = cpu_config("BaseCMOS-Enh").build_dl1()
+        assert dl1.fast_hit_cycles == 1
+        assert dl1.slow_hit_cycles == 3
+
+    def test_highvt_uses_highvt_table(self):
+        pool = cpu_config("BaseHighVt").build_units()
+        assert pool.alu_table is HIGHVT_LATENCIES
+        assert pool.fpu_table is HIGHVT_LATENCIES
+
+    def test_enlarged_resources(self):
+        r = cpu_config("AdvHet").resources()
+        assert r.rob_entries == 192 and r.fp_regs == 128
+        r = cpu_config("BaseHet").resources()
+        assert r.rob_entries == 160 and r.fp_regs == 80
+
+    def test_device_map_covers_all_units(self):
+        m = cpu_config("AdvHet").device_map()
+        assert set(m) == {"alu", "muldiv", "fpu", "dl1", "l2", "l3", "others"}
+
+    def test_energy_knobs_enlarged_sublinear(self):
+        k = cpu_config("AdvHet").energy_knobs()
+        assert 1.0 < k.rob_scale < 1.2
+        assert 1.0 < k.fp_rf_scale < 1.6
+
+    def test_hierarchy_carries_contention(self):
+        h = cpu_config("AdvHet-2X").build_hierarchy(mem_intensity=0.5)
+        assert h.contention.n_sharers == 8
+
+    def test_dual_speed_requires_slow_alus(self):
+        with pytest.raises(ValueError):
+            CpuDesign(name="bad", dual_speed_alu=True)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            CpuDesign(name="bad", freq_ghz=0.0)
+
+
+class TestGpuDesignDerivations:
+    def test_fma_depths(self):
+        assert gpu_config("BaseCMOS").fma_depth() == 3
+        assert gpu_config("BaseHet").fma_depth() == 6
+        assert gpu_config("BaseTFET").fma_depth() == 3  # clocked slower instead
+
+    def test_rf_cycles(self):
+        assert gpu_config("BaseCMOS").rf_cycles() == 1
+        assert gpu_config("AdvHet").rf_cycles() == 2
+
+    def test_rf_cache_flags(self):
+        assert gpu_config("BaseCMOS").rf_cache  # fairness baseline
+        assert not gpu_config("BaseHet").rf_cache
+        assert gpu_config("AdvHet").rf_cache
+
+    def test_invalid_cu_count(self):
+        with pytest.raises(ValueError):
+            GpuDesign(name="bad", n_cus=0)
+
+
+class TestConfigTables:
+    def test_eleven_cpu_configs(self):
+        assert len(CPU_CONFIGS) == 11
+
+    def test_five_gpu_configs(self):
+        assert len(GPU_CONFIGS) == 5
+
+    def test_main_lists_subset_of_registry(self):
+        assert set(CPU_MAIN_CONFIGS) <= set(CPU_CONFIGS)
+        assert set(CPU_SENSITIVITY_CONFIGS) <= set(CPU_CONFIGS)
+        assert set(GPU_MAIN_CONFIGS) <= set(GPU_CONFIGS)
+
+    def test_advhet_2x_doubles_cores(self):
+        assert cpu_config("AdvHet-2X").n_cores == 8
+        assert cpu_config("AdvHet").n_cores == 4
+        assert gpu_config("AdvHet-2X").n_cus == 16
+
+    def test_unknown_config_raises(self):
+        with pytest.raises(KeyError):
+            cpu_config("TurboHet")
+        with pytest.raises(KeyError):
+            gpu_config("TurboHet")
+
+    def test_machine_params_table3(self):
+        params = machine_params()
+        assert params["CPU Hardware"].startswith("4 out-of-order cores")
+        assert "2MB" in params["Shared L3"]
+        assert "50ns" in params["DRAM latency"]
+
+    def test_design_modifications_table2(self):
+        mods = design_modifications()
+        assert "FPUs, ALUs, DL1, L2, and L3 in TFET" in mods["BaseHet"]["CPU"]
+        assert "register file cache" in mods["AdvHet"]["GPU"]
+
+
+class TestDvfs:
+    def setup_method(self):
+        self.dvfs = HetCoreDvfs()
+
+    def test_nominal_point_is_identity(self):
+        k = self.dvfs.knobs_for(2.0)
+        assert k.cmos_energy == pytest.approx(1.0, abs=1e-3)
+        assert k.tfet_energy == pytest.approx(1.0, abs=1e-3)
+
+    def test_boost_raises_tfet_energy_more(self):
+        k = self.dvfs.knobs_for(2.5)
+        assert k.tfet_energy > k.cmos_energy > 1.0
+
+    def test_slowdown_lowers_tfet_energy_more(self):
+        k = self.dvfs.knobs_for(1.5)
+        assert k.tfet_energy < k.cmos_energy < 1.0
+
+    def test_variation_knobs_raise_everything(self):
+        k = self.dvfs.variation_knobs()
+        assert k.cmos_energy > 1.0
+        assert k.tfet_energy > 1.0
+
+    def test_point_voltages(self):
+        p = self.dvfs.point(2.5)
+        assert p.pair.delta_v_cmos_mv == pytest.approx(75.0, abs=0.5)
+        assert p.pair.delta_v_tfet_mv == pytest.approx(90.0, abs=0.5)
+
+
+class TestBudget:
+    def test_power_ratio_and_units(self):
+        c = BudgetComparison("BaseCMOS", "AdvHet", 10.0, 5.0)
+        assert c.power_ratio == 2.0
+        assert c.units_within_budget == 2
+
+    def test_fractional_ratio_rounds(self):
+        c = BudgetComparison("a", "b", 10.0, 5.5)
+        assert c.units_within_budget == 2
+        c = BudgetComparison("a", "b", 10.0, 7.5)
+        assert c.units_within_budget == 1
+
+    def test_zero_power_rejected(self):
+        with pytest.raises(ValueError):
+            BudgetComparison("a", "b", 10.0, 0.0).power_ratio
+
+    def test_compare_requires_matched_lists(self):
+        with pytest.raises(ValueError):
+            PowerBudgetAnalysis.compare([], [])

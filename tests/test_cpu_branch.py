@@ -1,0 +1,150 @@
+"""Tests for the branch predictor, BTB, and RAS."""
+
+import random
+
+import pytest
+
+from repro.cpu.branch import (
+    BranchTargetBuffer,
+    ReturnAddressStack,
+    TournamentPredictor,
+)
+
+
+class TestTournamentPredictor:
+    def test_learns_always_taken(self):
+        p = TournamentPredictor()
+        for _ in range(100):
+            p.update(0x400, True)
+        assert p.predict(0x400) is True
+
+    def test_learns_always_not_taken(self):
+        p = TournamentPredictor()
+        for _ in range(100):
+            p.update(0x400, False)
+        assert p.predict(0x400) is False
+
+    def test_strong_bias_low_mispredict(self):
+        rng = random.Random(3)
+        p = TournamentPredictor()
+        miss = 0
+        for i in range(4000):
+            taken = rng.random() < 0.97
+            wrong = p.update(0x1200, taken)
+            if i >= 1000:
+                miss += wrong
+        assert miss / 3000 < 0.08
+
+    def test_learns_per_branch_biases(self):
+        rng = random.Random(4)
+        p = TournamentPredictor()
+        biases = {0x400 + i * 64: (0.95 if i % 2 else 0.05) for i in range(32)}
+        miss = 0
+        total = 0
+        for i in range(20000):
+            pc = rng.choice(list(biases))
+            taken = rng.random() < biases[pc]
+            wrong = p.update(pc, taken)
+            if i >= 8000:
+                miss += wrong
+                total += 1
+        assert miss / total < 0.12
+
+    def test_random_stream_near_half(self):
+        rng = random.Random(5)
+        p = TournamentPredictor()
+        miss = sum(p.update(0x400, rng.random() < 0.5) for _ in range(4000))
+        assert 0.35 < miss / 4000 < 0.65
+
+    def test_counters_track_lookups(self):
+        p = TournamentPredictor()
+        p.update(0x400, True)
+        p.predict(0x400)
+        assert p.lookups == 2
+
+    def test_misprediction_rate_empty(self):
+        assert TournamentPredictor().misprediction_rate == 0.0
+
+    def test_grid_aliasing_handled(self):
+        """Branches on a regular 256B grid (the generator's layout) must
+        not catastrophically alias (the original motivation for hashing)."""
+        rng = random.Random(6)
+        p = TournamentPredictor()
+        biases = [0.97 if rng.random() < 0.9 else 0.03 for _ in range(128)]
+        miss = 0
+        total = 0
+        for i in range(30000):
+            b = rng.randrange(128)
+            pc = 0x400000 + b * 256 + 252
+            wrong = p.update(pc, rng.random() < biases[b])
+            if i >= 10000:
+                miss += wrong
+                total += 1
+        assert miss / total < 0.12
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer()
+        assert btb.lookup_and_update(0x400) is False
+        assert btb.lookup_and_update(0x400) is True
+
+    def test_associativity_eviction(self):
+        btb = BranchTargetBuffer(entries=8, assoc=2)  # 4 sets
+        base = 0x400
+        set_stride = 4 * 4  # n_sets * 4 bytes -> same set
+        btb.lookup_and_update(base)
+        btb.lookup_and_update(base + set_stride)
+        btb.lookup_and_update(base + 2 * set_stride)  # evicts base
+        assert btb.lookup_and_update(base) is False
+
+    def test_lru_within_set(self):
+        btb = BranchTargetBuffer(entries=8, assoc=2)
+        base = 0x400
+        stride = 16
+        btb.lookup_and_update(base)
+        btb.lookup_and_update(base + stride)
+        btb.lookup_and_update(base)  # refresh
+        btb.lookup_and_update(base + 2 * stride)  # evicts base+stride
+        assert btb.lookup_and_update(base) is True
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=10, assoc=4)
+
+
+class TestRAS:
+    def test_balanced_calls_predict_perfectly(self):
+        ras = ReturnAddressStack()
+        for depth in range(10):
+            ras.push(0x1000 + depth * 4)
+        for depth in reversed(range(10)):
+            assert ras.pop(0x1000 + depth * 4) is False
+        assert ras.mispredicts == 0
+
+    def test_pop_empty_mispredicts(self):
+        ras = ReturnAddressStack()
+        assert ras.pop(0x1000) is True
+
+    def test_overflow_loses_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(0xA)
+        ras.push(0xB)
+        ras.push(0xC)  # 0xA lost
+        assert ras.pop(0xC) is False
+        assert ras.pop(0xB) is False
+        assert ras.pop(0xA) is True  # stack empty -> mispredict
+
+    def test_wrong_target_mispredicts(self):
+        ras = ReturnAddressStack()
+        ras.push(0x1000)
+        assert ras.pop(0x2000) is True
+
+    def test_depth_positive(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(depth=0)
+
+    def test_len(self):
+        ras = ReturnAddressStack()
+        ras.push(0x4)
+        assert len(ras) == 1

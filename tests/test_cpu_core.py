@@ -1,0 +1,196 @@
+"""Tests for the cycle-level out-of-order engine."""
+
+import pytest
+
+from repro.cpu.core import ActivityCounts, CoreConfig, OutOfOrderCore
+from repro.cpu.resources import ResourceConfig
+from repro.cpu.trace import Trace
+from repro.cpu.units import CMOS_LATENCIES, TFET_LATENCIES, FunctionalUnitPool
+from repro.cpu.uops import UopType
+from repro.mem.hierarchy import CacheLatencies, MemoryHierarchy
+
+A = UopType.IALU
+F = UopType.FMUL
+L = UopType.LOAD
+S = UopType.STORE
+B = UopType.BRANCH
+
+
+def run_trace(ops, src1=None, src2=None, addrs=None, taken=None,
+              units=None, latencies=None, config=None, warmup=0):
+    # Keep micro-test code within one IL1 line so instruction-fetch misses
+    # do not drown the effect under test.
+    pcs = [(i % 16) * 4 for i in range(len(ops))]
+    trace = Trace.from_lists(
+        ops, src1=src1, src2=src2, addrs=addrs, taken=taken, pcs=pcs
+    )
+    core = OutOfOrderCore(
+        config or CoreConfig(),
+        MemoryHierarchy(latencies or CacheLatencies()),
+        units or FunctionalUnitPool(),
+    )
+    return core.run(trace, warmup=warmup)
+
+
+class TestBasicExecution:
+    def test_all_instructions_commit(self):
+        r = run_trace([A] * 100)
+        assert r.committed == 100
+
+    def test_independent_ops_reach_wide_ipc(self):
+        # Warmup hides the one cold IL1 miss at trace start.
+        r = run_trace([A] * 400, warmup=100)
+        assert r.ipc > 2.0  # 4-wide core, no dependencies
+
+    def test_dependent_chain_serialises(self):
+        n = 200
+        r = run_trace([A] * n, src1=[0] + [1] * (n - 1), warmup=40)
+        assert r.ipc < 1.2  # 1-cycle ALU chain -> ~1 IPC ceiling
+
+    def test_tfet_alu_chain_halves_throughput(self):
+        n = 200
+        chain = [0] + [1] * (n - 1)
+        fast = run_trace([A] * n, src1=chain, warmup=40)
+        slow = run_trace(
+            [A] * n, src1=chain, warmup=40,
+            units=FunctionalUnitPool(alu_table=TFET_LATENCIES),
+        )
+        ratio = slow.cycles / fast.cycles
+        assert 1.6 < ratio < 2.2
+
+    def test_deeper_fpu_hurts_tight_chains_only(self):
+        n = 200
+        chain = [0] + [1] * (n - 1)
+        cmos = run_trace([F] * n, src1=chain, warmup=40)
+        tfet = run_trace(
+            [F] * n, src1=chain, warmup=40,
+            units=FunctionalUnitPool(fpu_table=TFET_LATENCIES),
+        )
+        assert 1.7 < tfet.cycles / cmos.cycles < 2.2
+        # Independent FP ops: pipelined issue hides the depth.
+        cmos_i = run_trace([F] * n, warmup=40)
+        tfet_i = run_trace(
+            [F] * n, warmup=40,
+            units=FunctionalUnitPool(fpu_table=TFET_LATENCIES),
+        )
+        assert tfet_i.cycles / cmos_i.cycles < 1.3
+
+    def test_time_scales_with_frequency(self):
+        fast = run_trace([A] * 100, config=CoreConfig(freq_ghz=2.0))
+        slow = run_trace([A] * 100, config=CoreConfig(freq_ghz=1.0))
+        assert slow.time_s == pytest.approx(2 * fast.time_s, rel=0.01)
+
+
+class TestMemoryBehaviour:
+    def test_load_use_chain_pays_dl1_latency(self):
+        # Pointer chase: each load's address depends on the previous ALU,
+        # which consumes the previous load -- nothing overlaps.
+        n = 120
+        ops, src1, addrs = [], [], []
+        for i in range(n):
+            if i % 2 == 0:
+                ops.append(L)
+                src1.append(1 if i else 0)  # address from previous ALU
+                addrs.append(0x1000)  # same line: always hits after first
+            else:
+                ops.append(A)
+                src1.append(1)  # consume the load
+                addrs.append(0)
+        fast = run_trace(ops, src1=src1, addrs=addrs, warmup=20)
+        slow = run_trace(
+            ops, src1=src1, addrs=addrs, warmup=20,
+            latencies=CacheLatencies(dl1_rt=4, l2_rt=12, l3_rt=40),
+        )
+        assert slow.cycles > fast.cycles * 1.25
+
+    def test_store_does_not_stall_commit(self):
+        r = run_trace(
+            [S] * 200, addrs=[0x1000 + 8 * i for i in range(200)], warmup=60
+        )
+        assert r.ipc > 1.0
+
+    def test_dl1_hit_rate_reported(self):
+        r = run_trace([L] * 64, addrs=[0x2000] * 64)
+        assert r.dl1_hit_rate > 0.9
+
+    def test_lsu_limits_memory_throughput(self):
+        # 2 LSUs -> at most 2 memory ops per cycle.
+        r = run_trace([L] * 200, addrs=[0x2000] * 200)
+        assert r.ipc <= 2.05
+
+
+class TestBranchBehaviour:
+    def test_mispredicts_cost_cycles(self):
+        import random
+
+        rng = random.Random(1)
+        n = 600
+        ops, taken = [], []
+        for i in range(n):
+            if i % 5 == 4:
+                ops.append(B)
+                taken.append(rng.random() < 0.5)  # unpredictable
+            else:
+                ops.append(A)
+                taken.append(False)
+        noisy = run_trace(ops, taken=taken)
+        steady = run_trace(ops, taken=[o == B for o in ops])  # always taken
+        assert noisy.branch_mispredict_rate > steady.branch_mispredict_rate
+        assert noisy.cycles > steady.cycles
+
+    def test_branch_mispredict_rate_bounded(self):
+        r = run_trace([B] * 200, taken=[True] * 200)
+        assert 0.0 <= r.branch_mispredict_rate <= 1.0
+
+
+class TestWarmupAccounting:
+    def test_warmup_excluded_from_committed(self):
+        r = run_trace([A] * 100, warmup=40)
+        assert r.committed == 60
+
+    def test_warmup_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            run_trace([A] * 10, warmup=10)
+
+    def test_activity_counts_cover_measured_window_only(self):
+        r = run_trace([A] * 100, warmup=40)
+        assert r.activity.committed == 60
+        assert r.activity.dispatched <= 62  # in-flight slack at boundary
+
+
+class TestResourceLimits:
+    def test_tiny_rob_throttles(self):
+        small = CoreConfig(resources=ResourceConfig(rob_entries=8))
+        r_small = run_trace([A] * 300, config=small)
+        r_big = run_trace([A] * 300)
+        assert r_small.cycles >= r_big.cycles
+
+    def test_rob_peak_bounded_by_capacity(self):
+        r = run_trace([A] * 300)
+        assert r.rob_peak <= ResourceConfig().rob_entries
+
+    def test_max_cycles_guard(self):
+        with pytest.raises(RuntimeError):
+            run_trace([A] * 100, config=CoreConfig(max_cycles=5))
+
+
+class TestActivityCounts:
+    def test_as_dict_round_trip(self):
+        counts = ActivityCounts(fetched=3, committed=2)
+        d = counts.as_dict()
+        assert d["fetched"] == 3 and d["committed"] == 2
+
+    def test_alu_ops_counted(self):
+        r = run_trace([A] * 50)
+        assert r.activity.alu_slow_ops + r.activity.alu_fast_ops == 50
+
+    def test_loads_and_stores_counted(self):
+        r = run_trace(
+            [L, S] * 25, addrs=[0x1000] * 50
+        )
+        assert r.activity.loads == 25
+        assert r.activity.stores == 25
+
+    def test_fpu_ops_counted(self):
+        r = run_trace([F] * 30)
+        assert r.activity.fpu_ops == 30

@@ -1,0 +1,94 @@
+"""Tests for the multicore wrapper and parallel-scaling model."""
+
+import pytest
+
+from repro.cpu.core import CoreConfig, OutOfOrderCore
+from repro.cpu.multicore import parallel_scaling_factor, run_multicore
+from repro.cpu.units import FunctionalUnitPool
+from repro.mem.hierarchy import CacheLatencies, MemoryHierarchy
+from repro.workloads import cpu_app, generate_trace
+
+
+def make_factory():
+    def core_factory(core_idx, n_cores):
+        return OutOfOrderCore(
+            CoreConfig(), MemoryHierarchy(CacheLatencies()), FunctionalUnitPool()
+        )
+    return core_factory
+
+
+def make_traces(profile, n=6000):
+    def trace_factory(core_idx):
+        return generate_trace(profile, n, seed=core_idx)
+    return trace_factory
+
+
+class TestScalingFactor:
+    def test_one_core_is_unity(self):
+        assert parallel_scaling_factor(cpu_app("barnes"), 1) == pytest.approx(1.0)
+
+    def test_more_cores_is_faster(self):
+        p = cpu_app("barnes")
+        f4 = parallel_scaling_factor(p, 4)
+        f8 = parallel_scaling_factor(p, 8)
+        assert f8 < f4 < 1.0
+
+    def test_scaling_sublinear(self):
+        # Amdahl + sync: 8 cores never reach the ideal 2x over 4 cores.
+        p = cpu_app("barnes")
+        speedup = parallel_scaling_factor(p, 4) / parallel_scaling_factor(p, 8)
+        assert 1.0 < speedup < 2.0
+
+    def test_serial_apps_scale_worse(self):
+        serial = cpu_app("cholesky")   # highest serial fraction
+        parallel = cpu_app("blackscholes")
+        assert (
+            parallel_scaling_factor(serial, 8)
+            > parallel_scaling_factor(parallel, 8)
+        )
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            parallel_scaling_factor(cpu_app("barnes"), 0)
+
+
+class TestRunMulticore:
+    def test_basic_run(self):
+        p = cpu_app("lu")
+        mc = run_multicore(make_factory(), make_traces(p), p, n_cores=4, warmup=2000)
+        assert mc.n_cores == 4
+        assert mc.cpi > 0
+        assert mc.effective_cycles > 0
+        assert mc.representative.committed == 4000
+
+    def test_total_work_is_reference_machine(self):
+        p = cpu_app("lu")
+        mc = run_multicore(make_factory(), make_traces(p), p, n_cores=8, warmup=2000)
+        # Defaults to 4x the measured slice regardless of this machine's
+        # core count (fixed total work across configurations).
+        assert mc.total_work == 4 * mc.representative.committed
+
+    def test_doubling_cores_reduces_time(self):
+        p = cpu_app("lu")
+        mc4 = run_multicore(make_factory(), make_traces(p), p, n_cores=4, warmup=2000)
+        mc8 = run_multicore(make_factory(), make_traces(p), p, n_cores=8, warmup=2000)
+        assert mc8.time_s < mc4.time_s
+        assert mc8.time_s > mc4.time_s / 2  # sublinear
+
+    def test_detailed_cores_bounds(self):
+        p = cpu_app("lu")
+        with pytest.raises(ValueError):
+            run_multicore(
+                make_factory(), make_traces(p), p,
+                n_cores=2, warmup=100, detailed_cores=3,
+            )
+
+    def test_multiple_detailed_cores_average(self):
+        p = cpu_app("lu")
+        mc = run_multicore(
+            make_factory(), make_traces(p, 4000), p,
+            n_cores=2, warmup=1000, detailed_cores=2,
+        )
+        assert len(mc.per_core) == 2
+        cpis = [r.cycles / r.committed for r in mc.per_core]
+        assert mc.cpi == pytest.approx(sum(cpis) / 2)

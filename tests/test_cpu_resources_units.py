@@ -1,0 +1,180 @@
+"""Tests for back-end resources and the functional-unit pool."""
+
+import pytest
+
+from repro.cpu.resources import CoreResources, ResourceConfig
+from repro.cpu.units import (
+    CMOS_LATENCIES,
+    HIGHVT_LATENCIES,
+    TFET_LATENCIES,
+    FunctionalUnitPool,
+)
+from repro.cpu.uops import UopType
+
+_IALU = int(UopType.IALU)
+_IDIV = int(UopType.IDIV)
+_IMUL = int(UopType.IMUL)
+_FADD = int(UopType.FADD)
+_FMUL = int(UopType.FMUL)
+_FDIV = int(UopType.FDIV)
+
+
+class TestResourceConfig:
+    def test_table3_defaults(self):
+        r = ResourceConfig()
+        assert (r.rob_entries, r.iq_entries, r.lsq_entries) == (160, 64, 48)
+        assert (r.int_regs, r.fp_regs) == (128, 80)
+
+    def test_enlarged_matches_table4(self):
+        r = ResourceConfig().enlarged()
+        assert r.rob_entries == 192
+        assert r.fp_regs == 128
+        assert r.iq_entries == 64  # unchanged
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ResourceConfig(rob_entries=0)
+
+
+class TestCoreResources:
+    def test_rob_fills_and_blocks(self):
+        res = CoreResources(ResourceConfig(rob_entries=2, iq_entries=8, lsq_entries=8))
+        assert res.can_dispatch(False, False, False)
+        res.dispatch(False, False, False)
+        res.dispatch(False, False, False)
+        assert not res.can_dispatch(False, False, False)
+
+    def test_commit_frees_rob(self):
+        res = CoreResources(ResourceConfig(rob_entries=1))
+        res.dispatch(False, False, False)
+        res.commit(False, False, False)
+        assert res.can_dispatch(False, False, False)
+
+    def test_lsq_only_blocks_memory_ops(self):
+        res = CoreResources(ResourceConfig(lsq_entries=1))
+        res.dispatch(True, True, False)
+        assert not res.can_dispatch(True, False, False)
+        assert res.can_dispatch(False, False, False)
+
+    def test_issue_frees_iq(self):
+        res = CoreResources(ResourceConfig(iq_entries=1))
+        res.dispatch(False, False, False)
+        assert not res.can_dispatch(False, False, False)
+        res.issue()
+        assert res.can_dispatch(False, False, False)
+
+    def test_underflow_raises(self):
+        res = CoreResources(ResourceConfig())
+        with pytest.raises(RuntimeError):
+            res.commit(False, False, False)
+        with pytest.raises(RuntimeError):
+            res.issue()
+
+    def test_peaks_tracked(self):
+        res = CoreResources(ResourceConfig())
+        for _ in range(5):
+            res.dispatch(False, False, False)
+        res.commit(False, False, False)
+        assert res.rob_peak == 5
+
+    def test_fp_rename_budget_blocks(self):
+        cfg = ResourceConfig(fp_regs=33)  # 1 rename register past arch
+        res = CoreResources(cfg)
+        res.dispatch(False, False, True)
+        assert not res.can_dispatch(False, False, True)
+        assert res.can_dispatch(False, True, False)
+
+
+class TestLatencyTables:
+    def test_cmos_latencies_match_table3(self):
+        t = CMOS_LATENCIES
+        assert (t.ialu, t.imul, t.idiv) == (1, 2, 4)
+        assert (t.fadd, t.fmul, t.fdiv) == (2, 4, 8)
+
+    def test_tfet_latencies_are_doubled(self):
+        c, t = CMOS_LATENCIES, TFET_LATENCIES
+        for f in ("ialu", "imul", "idiv", "fadd", "fmul", "fdiv"):
+            assert getattr(t, f) == 2 * getattr(c, f)
+
+    def test_highvt_latencies_match_table4(self):
+        t = HIGHVT_LATENCIES
+        assert (t.ialu, t.imul, t.idiv) == (2, 3, 6)
+        assert (t.fadd, t.fmul, t.fdiv) == (3, 6, 12)
+
+    def test_branch_uses_alu_latency(self):
+        assert TFET_LATENCIES.latency_of(int(UopType.BRANCH)) == 2
+
+
+class TestFunctionalUnitPool:
+    def test_four_alus_per_cycle(self):
+        pool = FunctionalUnitPool()
+        issued = [pool.issue_alu(0, _IALU, False) for _ in range(5)]
+        assert sum(r is not None for r in issued) == 4
+
+    def test_alus_pipelined(self):
+        pool = FunctionalUnitPool(alu_table=TFET_LATENCIES)
+        assert pool.issue_alu(0, _IALU, False) is not None
+        # Even with 2-cycle latency the same ALU re-issues next cycle.
+        for _ in range(3):
+            pool.issue_alu(0, _IALU, False)
+        assert pool.issue_alu(1, _IALU, False) is not None
+
+    def test_divider_unpipelined(self):
+        pool = FunctionalUnitPool()
+        assert pool.issue_muldiv(0, _IDIV) == 4
+        assert pool.issue_muldiv(0, _IDIV) == 4  # second unit
+        assert pool.issue_muldiv(1, _IDIV) is None  # both busy
+        assert pool.issue_muldiv(4, _IDIV) is not None
+
+    def test_multiplier_pipelined(self):
+        pool = FunctionalUnitPool()
+        assert pool.issue_muldiv(0, _IMUL) == 2
+        assert pool.issue_muldiv(1, _IMUL) is not None
+
+    def test_fdiv_issue_interval_equals_latency(self):
+        pool = FunctionalUnitPool(fpu_table=TFET_LATENCIES)
+        assert pool.issue_fpu(0, _FDIV) == 16
+        assert pool.issue_fpu(0, _FDIV) == 16
+        assert pool.issue_fpu(8, _FDIV) is None
+        assert pool.issue_fpu(16, _FDIV) is not None
+
+    def test_fadd_pipelined_every_cycle(self):
+        pool = FunctionalUnitPool(fpu_table=TFET_LATENCIES)
+        assert pool.issue_fpu(0, _FADD) == 4
+        assert pool.issue_fpu(0, _FMUL) == 8
+        assert pool.issue_fpu(1, _FADD) is not None
+
+    def test_dual_speed_fast_preference(self):
+        pool = FunctionalUnitPool(alu_table=TFET_LATENCIES, fast_alu_count=1)
+        latency, fast = pool.issue_alu(0, _IALU, True)
+        assert fast and latency == 1
+        latency, fast = pool.issue_alu(0, _IALU, True)  # fast busy -> slow
+        assert not fast and latency == 2
+
+    def test_dual_speed_slow_preference(self):
+        pool = FunctionalUnitPool(alu_table=TFET_LATENCIES, fast_alu_count=1)
+        latency, fast = pool.issue_alu(0, _IALU, False)
+        assert not fast and latency == 2
+
+    def test_unpreferred_falls_back_to_fast_when_slow_busy(self):
+        pool = FunctionalUnitPool(alu_table=TFET_LATENCIES, fast_alu_count=1)
+        for _ in range(3):
+            pool.issue_alu(0, _IALU, False)
+        latency, fast = pool.issue_alu(0, _IALU, False)
+        assert fast
+
+    def test_balance_counter(self):
+        pool = FunctionalUnitPool(alu_table=TFET_LATENCIES, fast_alu_count=1)
+        pool.issue_alu(0, _IALU, True)
+        pool.issue_alu(0, _IALU, False)
+        assert pool.alu_balance() == pytest.approx(0.5)
+
+    def test_lsu_count(self):
+        pool = FunctionalUnitPool()
+        assert pool.issue_lsu(0) == 1
+        assert pool.issue_lsu(0) == 1
+        assert pool.issue_lsu(0) is None
+
+    def test_fast_count_bounds(self):
+        with pytest.raises(ValueError):
+            FunctionalUnitPool(fast_alu_count=5)

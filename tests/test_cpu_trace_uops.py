@@ -1,0 +1,95 @@
+"""Tests for the micro-op vocabulary and trace container."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.trace import Trace
+from repro.cpu.uops import (
+    CONTROL_OPS,
+    FP_OPS,
+    FP_PRODUCERS,
+    INT_EXEC_OPS,
+    INT_PRODUCERS,
+    MEMORY_OPS,
+    UopType,
+)
+
+
+class TestUopSets:
+    def test_memory_ops(self):
+        assert MEMORY_OPS == {UopType.LOAD, UopType.STORE}
+
+    def test_fp_ops(self):
+        assert FP_OPS == {UopType.FADD, UopType.FMUL, UopType.FDIV}
+
+    def test_control_ops(self):
+        assert CONTROL_OPS == {UopType.BRANCH, UopType.CALL, UopType.RET}
+
+    def test_producers_disjoint_by_domain(self):
+        assert not (INT_PRODUCERS & FP_PRODUCERS)
+
+    def test_loads_produce_int_values(self):
+        assert UopType.LOAD in INT_PRODUCERS
+
+    def test_branches_execute_on_int_cluster(self):
+        assert UopType.BRANCH in INT_EXEC_OPS
+
+
+class TestTraceConstruction:
+    def test_from_lists_defaults(self):
+        t = Trace.from_lists([UopType.IALU, UopType.IALU])
+        assert len(t) == 2
+        assert t.pc[1] == 4
+
+    def test_empty_trace(self):
+        assert len(Trace.empty()) == 0
+
+    def test_mismatched_lengths_rejected(self):
+        t = Trace.empty()
+        with pytest.raises(ValueError):
+            Trace(
+                op=np.zeros(2, dtype=np.int8),
+                src1_dist=np.zeros(1, dtype=np.int32),
+                src2_dist=np.zeros(2, dtype=np.int32),
+                addr=np.zeros(2, dtype=np.int64),
+                pc=np.zeros(2, dtype=np.int64),
+                taken=np.zeros(2, dtype=bool),
+            )
+        del t
+
+    def test_mix_sums_to_one(self):
+        t = Trace.from_lists([UopType.IALU, UopType.LOAD, UopType.FADD])
+        mix = t.mix()
+        assert sum(mix.values()) == pytest.approx(1.0)
+        assert mix["LOAD"] == pytest.approx(1 / 3)
+
+    def test_mix_of_empty_trace(self):
+        assert all(v == 0.0 for v in Trace.empty().mix().values())
+
+
+class TestValidation:
+    def test_dependency_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            Trace.from_lists([UopType.IALU, UopType.IALU], src1=[0, 5])
+
+    def test_negative_distance_rejected(self):
+        t = Trace.from_lists([UopType.IALU, UopType.IALU])
+        t.src1_dist[1] = -1
+        with pytest.raises(ValueError):
+            t.validate()
+
+    def test_taken_noncontrol_rejected(self):
+        t = Trace.from_lists([UopType.IALU])
+        t.taken[0] = True
+        with pytest.raises(ValueError):
+            t.validate()
+
+    def test_taken_branch_accepted(self):
+        t = Trace.from_lists([UopType.BRANCH], taken=[True])
+        t.validate()
+
+    def test_negative_address_rejected(self):
+        t = Trace.from_lists([UopType.LOAD], addrs=[64])
+        t.addr[0] = -8
+        with pytest.raises(ValueError):
+            t.validate()

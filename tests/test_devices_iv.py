@@ -1,0 +1,92 @@
+"""Tests for repro.devices.iv (Figure 1 I-V characteristics)."""
+
+import pytest
+
+from repro.devices.iv import (
+    MOSFET_SS_LIMIT_MV_PER_DECADE,
+    MosfetIV,
+    TfetIV,
+    figure1_series,
+    subthreshold_slope_mv_per_decade,
+)
+
+
+class TestMosfetIV:
+    def test_subthreshold_slope_is_60mv_per_decade(self):
+        m = MosfetIV()
+        slope = subthreshold_slope_mv_per_decade(m, 0.15)
+        assert slope == pytest.approx(60.0, rel=0.02)
+
+    def test_cannot_beat_thermionic_limit(self):
+        with pytest.raises(ValueError):
+            MosfetIV(ss_mv_per_decade=40.0)
+
+    def test_current_monotone_increasing(self):
+        m = MosfetIV()
+        currents = [m.current_a(v / 100) for v in range(0, 91, 5)]
+        assert all(b > a for a, b in zip(currents, currents[1:]))
+
+    def test_continuous_at_threshold(self):
+        m = MosfetIV()
+        below = m.current_a(m.vt_v - 1e-9)
+        above = m.current_a(m.vt_v + 1e-9)
+        assert above == pytest.approx(below, rel=1e-3)
+
+
+class TestTfetIV:
+    def test_steeper_than_mosfet_near_off(self):
+        t = TfetIV()
+        slope = subthreshold_slope_mv_per_decade(t, 0.22)
+        assert slope < MOSFET_SS_LIMIT_MV_PER_DECADE
+
+    def test_analytic_slope_matches_numeric(self):
+        t = TfetIV()
+        # Deep in the exponential tail the numeric slope approaches the
+        # analytic logistic-tail value.
+        numeric = subthreshold_slope_mv_per_decade(t, 0.18)
+        assert numeric == pytest.approx(t.ss_mv_per_decade, rel=0.15)
+
+    def test_saturates_beyond_0_6v(self):
+        t = TfetIV()
+        assert t.current_a(0.9) == pytest.approx(t.current_a(0.62), rel=0.01)
+
+    def test_current_monotone_nondecreasing(self):
+        t = TfetIV()
+        currents = [t.current_a(v / 100) for v in range(0, 91, 5)]
+        assert all(b >= a for a, b in zip(currents, currents[1:]))
+
+
+class TestCrossover:
+    """Figure 1's headline: TFET wins at low Vdd, MOSFET at high Vdd."""
+
+    def test_tfet_better_at_0_4v(self):
+        assert TfetIV().current_a(0.40) > MosfetIV().current_a(0.40)
+
+    def test_mosfet_better_at_0_73v(self):
+        assert MosfetIV().current_a(0.73) > TfetIV().current_a(0.73)
+
+    def test_crossover_near_0_6v(self):
+        m, t = MosfetIV(), TfetIV()
+        crossings = [
+            v / 1000
+            for v in range(400, 750, 5)
+            if m.current_a(v / 1000) > t.current_a(v / 1000)
+        ]
+        assert crossings, "MOSFET never overtakes TFET"
+        assert 0.5 < crossings[0] < 0.7
+
+
+class TestFigure1Series:
+    def test_shared_grid(self):
+        s = figure1_series(n_points=31)
+        assert len(s["vg_v"]) == len(s["mosfet_a"]) == len(s["hetjtfet_a"]) == 31
+
+    def test_grid_spans_zero_to_max(self):
+        s = figure1_series(n_points=11, vg_max_v=0.8)
+        assert s["vg_v"][0] == 0.0
+        assert s["vg_v"][-1] == pytest.approx(0.8)
+
+    def test_all_currents_positive(self):
+        s = figure1_series()
+        assert all(c > 0 for c in s["mosfet_a"])
+        assert all(c > 0 for c in s["hetjtfet_a"])

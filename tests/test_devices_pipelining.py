@@ -1,0 +1,55 @@
+"""Tests for the pipeline-partitioning model (Sections III-A, V-B)."""
+
+import pytest
+
+from repro.devices.pipelining import PipelinePlan, plan_pipeline, voltage_bump_needed
+
+
+class TestPlanPipeline:
+    def test_hetjtfet_doubles_stages(self):
+        """The design rule behind every TFET latency in Table III."""
+        for stages in (1, 2, 3, 4, 8):
+            plan = plan_pipeline(stages)
+            assert plan.tfet_stages == 2 * stages
+            assert plan.latency_ratio == 2.0
+
+    def test_residual_needs_voltage_bump(self):
+        """Partition stretch + latch overhead miss timing by ~10-15%,
+        which the +40 mV V_TFET bump buys back (Section V-B)."""
+        plan = plan_pipeline(4)
+        assert not plan.meets_timing
+        bump = voltage_bump_needed(plan)
+        assert 0.08 < bump < 0.17
+
+    def test_ideal_partitioning_meets_timing(self):
+        plan = plan_pipeline(4, partition_stretch=0.0, latch_delay=0.0)
+        assert plan.meets_timing
+        assert voltage_bump_needed(plan) == 0.0
+
+    def test_latch_power_overhead_about_10_percent(self):
+        plan = plan_pipeline(4)
+        assert plan.latch_power_overhead == pytest.approx(0.10, abs=0.02)
+
+    def test_slower_device_more_stages(self):
+        homj = plan_pipeline(2, device_delay_ratio=16.0)
+        assert homj.tfet_stages == 32  # the paper's "unrealistic" case
+
+    def test_equal_speed_device_keeps_stages(self):
+        plan = plan_pipeline(3, device_delay_ratio=1.0, partition_stretch=0.0,
+                             latch_delay=0.0)
+        assert plan.tfet_stages == 3
+        assert plan.meets_timing
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            plan_pipeline(0)
+        with pytest.raises(ValueError):
+            plan_pipeline(2, device_delay_ratio=0.5)
+        with pytest.raises(ValueError):
+            plan_pipeline(2, latch_delay=1.5)
+
+    def test_plan_is_frozen_value(self):
+        plan = plan_pipeline(2)
+        assert isinstance(plan, PipelinePlan)
+        with pytest.raises(Exception):
+            plan.tfet_stages = 99

@@ -1,0 +1,148 @@
+"""Tests for leakage, activity, overheads, variation, and scaling models."""
+
+import pytest
+
+from repro.devices.activity import ActivityPowerModel, alu_power_curves
+from repro.devices.leakage import (
+    CONSERVATIVE_TFET_LEAKAGE_ADVANTAGE,
+    DualVtLeakageModel,
+    TYPICAL_HIGH_VT_FRACTION,
+)
+from repro.devices.overheads import (
+    CONSERVATIVE_DYNAMIC_POWER_FACTOR,
+    MultiVddOverheads,
+)
+from repro.devices.scaling import dynamic_energy_scale, leakage_power_scale
+from repro.devices.technology import HETJTFET, SI_CMOS
+from repro.devices.variation import VariationGuardbands
+
+
+class TestDualVtLeakage:
+    def test_typical_mix_gives_42_percent(self):
+        # Section III-B: 60% high-Vt -> unit leaks ~42% of the Table I value.
+        frac = DualVtLeakageModel().effective_leakage_fraction()
+        assert frac == pytest.approx(0.42, abs=0.01)
+
+    def test_no_high_vt_means_full_leakage(self):
+        assert DualVtLeakageModel(high_vt_fraction=0.0).effective_leakage_fraction() == 1.0
+
+    def test_all_high_vt_means_max_reduction(self):
+        m = DualVtLeakageModel(high_vt_fraction=1.0)
+        assert m.effective_leakage_fraction() == pytest.approx(1 / m.leakage_reduction)
+
+    def test_tfet_advantage_deflates_to_125x(self):
+        # ~300x raw -> ~125x against a dual-Vt CMOS ALU.
+        raw = SI_CMOS.alu_leakage_ratio(HETJTFET)
+        adv = DualVtLeakageModel().tfet_advantage(raw)
+        assert 115 < adv < 135
+
+    def test_conservative_floor_is_10x(self):
+        assert CONSERVATIVE_TFET_LEAKAGE_ADVANTAGE == 10.0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            DualVtLeakageModel(high_vt_fraction=1.5)
+
+    def test_invalid_reduction_rejected(self):
+        with pytest.raises(ValueError):
+            DualVtLeakageModel(leakage_reduction=0.5)
+
+    def test_invalid_raw_advantage_rejected(self):
+        with pytest.raises(ValueError):
+            DualVtLeakageModel().tfet_advantage(0.0)
+
+
+class TestActivityPower:
+    def test_zero_activity_is_pure_leakage(self):
+        m = ActivityPowerModel(technology=HETJTFET)
+        assert m.total_power_uw(0.0) == pytest.approx(m.leakage_power_uw())
+
+    def test_power_increases_with_activity(self):
+        m = ActivityPowerModel(technology=SI_CMOS)
+        assert m.total_power_uw(1.0) > m.total_power_uw(0.5) > m.total_power_uw(0.0)
+
+    def test_activity_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ActivityPowerModel(technology=SI_CMOS).total_power_uw(1.5)
+
+    def test_figure2_ratio_grows_as_activity_drops(self):
+        curves = alu_power_curves()
+        ratios = curves["ratio"]
+        assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+
+    def test_figure2_endpoint_ratios_match_paper(self):
+        curves = alu_power_curves()
+        # af=0: ~125x (dual-Vt CMOS vs TFET leakage); af=1: ~4x dynamic.
+        assert 110 < curves["ratio"][0] < 140
+        assert 3.5 < curves["ratio"][-1] < 5.0
+
+
+class TestMultiVddOverheads:
+    def setup_method(self):
+        self.o = MultiVddOverheads()
+
+    def test_operating_voltage_is_0_44(self):
+        assert self.o.v_tfet_operating == pytest.approx(0.44)
+
+    def test_worst_case_stage_delay_is_15_percent(self):
+        assert self.o.worst_case_stage_delay_overhead == pytest.approx(0.15)
+
+    def test_ideal_ratio_about_8x(self):
+        assert 7.0 < self.o.ideal_dynamic_power_ratio() < 9.0
+
+    def test_voltage_bump_costs_about_21_percent_energy(self):
+        assert self.o.voltage_bump_energy_increase() == pytest.approx(0.21, abs=0.01)
+
+    def test_derated_ratio_about_6x(self):
+        # Paper: ~6.1x after overheads; our chain gives ~6.3x.
+        assert 5.8 < self.o.derated_dynamic_power_ratio() < 6.8
+
+    def test_conservative_factor_is_4x(self):
+        assert self.o.conservative_dynamic_power_ratio() == 4.0
+        assert CONSERVATIVE_DYNAMIC_POWER_FACTOR == 4.0
+
+
+class TestVariationGuardbands:
+    def test_default_guardbands_match_paper(self):
+        g = VariationGuardbands()
+        assert g.delta_v_cmos == pytest.approx(0.120)
+        assert g.delta_v_tfet == pytest.approx(0.070)
+
+    def test_guarded_voltages(self):
+        g = VariationGuardbands()
+        vc, vt = g.guarded_voltages(0.73, 0.40)
+        assert vc == pytest.approx(0.85)
+        assert vt == pytest.approx(0.47)
+
+    def test_energy_scales_exceed_one(self):
+        g = VariationGuardbands()
+        assert g.cmos_energy_scale(0.73) > 1.0
+        assert g.tfet_energy_scale(0.40) > 1.0
+
+    def test_cmos_relative_penalty_larger(self):
+        # The CMOS guardband is proportionally larger relative to 0.73 V?
+        # No: 120/730 = 16% vs 70/400 = 17.5%; energy scales reflect that.
+        g = VariationGuardbands()
+        assert g.tfet_energy_scale(0.40) > g.cmos_energy_scale(0.73)
+
+    def test_negative_guardband_rejected(self):
+        with pytest.raises(ValueError):
+            VariationGuardbands(delta_v_cmos=-0.1)
+
+
+class TestScalingLaws:
+    def test_dynamic_energy_quadratic(self):
+        assert dynamic_energy_scale(1.0, 0.5) == pytest.approx(4.0)
+
+    def test_identity_at_reference(self):
+        assert dynamic_energy_scale(0.73, 0.73) == 1.0
+        assert leakage_power_scale(0.4, 0.4) == 1.0
+
+    def test_leakage_monotone_in_voltage(self):
+        assert leakage_power_scale(0.8, 0.73) > 1.0 > leakage_power_scale(0.66, 0.73)
+
+    def test_nonpositive_voltage_rejected(self):
+        with pytest.raises(ValueError):
+            dynamic_energy_scale(0.0, 0.73)
+        with pytest.raises(ValueError):
+            leakage_power_scale(0.5, -1.0)

@@ -1,0 +1,116 @@
+"""Tests for repro.devices.technology (Table I data and derived ratios)."""
+
+import pytest
+
+from repro.devices.technology import (
+    DeviceTechnology,
+    HETJTFET,
+    HIGH_VT_DELAY_FACTOR,
+    HIGH_VT_LEAKAGE_REDUCTION,
+    HOMJTFET,
+    INAS_CMOS,
+    SI_CMOS,
+    TECHNOLOGIES,
+    high_vt_variant,
+    table1_rows,
+)
+
+
+class TestTable1Values:
+    def test_four_technologies_present(self):
+        assert set(TECHNOLOGIES) == {
+            "Si-CMOS", "HetJTFET", "InAs-CMOS", "HomJTFET"
+        }
+
+    def test_supply_voltages_match_paper(self):
+        assert SI_CMOS.supply_voltage_v == 0.73
+        assert HETJTFET.supply_voltage_v == 0.40
+        assert INAS_CMOS.supply_voltage_v == 0.30
+        assert HOMJTFET.supply_voltage_v == 0.20
+
+    def test_alu_delays_match_paper(self):
+        assert SI_CMOS.alu_delay_ps == 939.0
+        assert HETJTFET.alu_delay_ps == 1881.0
+        assert INAS_CMOS.alu_delay_ps == 9327.0
+        assert HOMJTFET.alu_delay_ps == 15990.0
+
+    def test_alu_dynamic_energy_match_paper(self):
+        assert SI_CMOS.alu_dynamic_energy_fj == 170.1
+        assert HETJTFET.alu_dynamic_energy_fj == 43.4
+
+    def test_alu_leakage_match_paper(self):
+        assert SI_CMOS.alu_leakage_uw == 90.2
+        assert HETJTFET.alu_leakage_uw == 0.30
+
+
+class TestDerivedRatios:
+    def test_hetjtfet_switches_about_2x_slower(self):
+        ratio = HETJTFET.switching_delay_ratio(SI_CMOS)
+        assert 1.8 < ratio < 2.1
+
+    def test_homjtfet_switches_about_16x_slower(self):
+        ratio = HOMJTFET.switching_delay_ratio(SI_CMOS)
+        assert 15 < ratio < 17
+
+    def test_inas_cmos_switches_about_10x_slower(self):
+        ratio = INAS_CMOS.switching_delay_ratio(SI_CMOS)
+        assert 9 < ratio < 10
+
+    def test_hetjtfet_alu_energy_about_4x_lower(self):
+        assert 3.5 < SI_CMOS.alu_energy_ratio(HETJTFET) < 4.5
+
+    def test_hetjtfet_alu_power_about_8x_lower(self):
+        # Section III-B: 2x slower x 4x less energy -> ~8x less power.
+        assert 7.0 < SI_CMOS.alu_power_ratio(HETJTFET) < 9.0
+
+    def test_hetjtfet_leakage_about_300x_lower(self):
+        assert 250 < SI_CMOS.alu_leakage_ratio(HETJTFET) < 350
+
+    def test_power_density_10x(self):
+        ratio = SI_CMOS.alu_power_density_w_cm2 / HETJTFET.alu_power_density_w_cm2
+        assert 9 < ratio < 11
+
+
+class TestHighVtVariant:
+    def test_same_dynamic_energy(self):
+        hv = high_vt_variant()
+        assert hv.alu_dynamic_energy_fj == SI_CMOS.alu_dynamic_energy_fj
+
+    def test_slower_by_delay_factor(self):
+        hv = high_vt_variant()
+        assert hv.alu_delay_ps == pytest.approx(
+            SI_CMOS.alu_delay_ps * HIGH_VT_DELAY_FACTOR
+        )
+
+    def test_leakage_reduced(self):
+        hv = high_vt_variant()
+        assert hv.alu_leakage_uw == pytest.approx(
+            SI_CMOS.alu_leakage_uw / HIGH_VT_LEAKAGE_REDUCTION
+        )
+
+    def test_name_tagged(self):
+        assert high_vt_variant().name == "Si-CMOS-HighVt"
+
+    def test_rejects_speedup(self):
+        with pytest.raises(ValueError):
+            high_vt_variant(delay_factor=0.9)
+
+    def test_rejects_leakage_increase(self):
+        with pytest.raises(ValueError):
+            high_vt_variant(leakage_reduction=0.5)
+
+
+class TestTable1Rows:
+    def test_nine_rows(self):
+        assert len(table1_rows()) == 9
+
+    def test_each_row_has_all_columns(self):
+        for row in table1_rows():
+            assert set(row) == {
+                "Parameter", "Si-CMOS", "HetJTFET", "InAs-CMOS", "HomJTFET"
+            }
+
+    def test_first_row_is_supply_voltage(self):
+        row = table1_rows()[0]
+        assert row["Parameter"] == "Supply voltage (V)"
+        assert row["Si-CMOS"] == 0.73

@@ -1,0 +1,100 @@
+"""Tests for repro.devices.vf (Figure 3 curves and DVFS pairs)."""
+
+import pytest
+
+from repro.devices.vf import (
+    CMOS_VF,
+    NOMINAL_FREQ_GHZ,
+    NOMINAL_V_CMOS,
+    NOMINAL_V_TFET,
+    TFET_VF,
+    DvfsSolver,
+    VFCurve,
+)
+
+
+class TestCurveAnchors:
+    def test_cmos_nominal_point(self):
+        assert CMOS_VF.freq_ghz(NOMINAL_V_CMOS) == pytest.approx(2.0)
+
+    def test_cmos_boost_point(self):
+        assert CMOS_VF.freq_ghz(0.805) == pytest.approx(2.5)
+
+    def test_cmos_slow_point(self):
+        assert CMOS_VF.freq_ghz(0.66) == pytest.approx(1.5)
+
+    def test_tfet_nominal_point(self):
+        assert TFET_VF.freq_ghz(NOMINAL_V_TFET) == pytest.approx(1.0)
+
+    def test_curves_monotone(self):
+        for curve in (CMOS_VF, TFET_VF):
+            vs = [curve.v_min + i * (curve.v_max - curve.v_min) / 20 for i in range(21)]
+            fs = [curve.freq_ghz(v) for v in vs]
+            assert all(b > a for a, b in zip(fs, fs[1:]))
+
+    def test_tfet_curve_is_shallower(self):
+        # Section III-D: the TFET curve's slope is less steep.
+        cmos_slope = (CMOS_VF.freq_ghz(0.78) - CMOS_VF.freq_ghz(0.68)) / 0.10
+        tfet_slope = (TFET_VF.freq_ghz(0.45) - TFET_VF.freq_ghz(0.35)) / 0.10
+        assert tfet_slope < cmos_slope
+
+
+class TestInversion:
+    def test_roundtrip(self):
+        for f in (1.6, 2.0, 2.4):
+            v = CMOS_VF.vdd_for(f)
+            assert CMOS_VF.freq_ghz(v) == pytest.approx(f, abs=1e-6)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            TFET_VF.vdd_for(10.0)  # TFET performance saturates
+
+    def test_below_range_raises(self):
+        with pytest.raises(ValueError):
+            CMOS_VF.vdd_for(0.01)
+
+
+class TestCurveValidation:
+    def test_needs_three_anchors(self):
+        with pytest.raises(ValueError):
+            VFCurve("x", ((0.5, 1.0), (0.6, 2.0)), 0.4, 0.7)
+
+    def test_anchors_must_increase(self):
+        with pytest.raises(ValueError):
+            VFCurve("x", ((0.6, 1.0), (0.5, 2.0), (0.7, 3.0)), 0.4, 0.8)
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(ValueError):
+            VFCurve("x", ((0.3, 2.0), (0.5, 1.0), (0.7, 2.0)), 0.3, 0.7)
+
+
+class TestDvfsSolver:
+    def setup_method(self):
+        self.solver = DvfsSolver()
+
+    def test_nominal_pair(self):
+        pair = self.solver.pair_for(NOMINAL_FREQ_GHZ)
+        assert pair.v_cmos == pytest.approx(NOMINAL_V_CMOS, abs=1e-4)
+        assert pair.v_tfet == pytest.approx(NOMINAL_V_TFET, abs=1e-4)
+
+    def test_boost_deltas_match_paper(self):
+        # Section III-D: 2.5 GHz needs +75 mV CMOS and +90 mV TFET.
+        pair = self.solver.pair_for(2.5)
+        assert pair.delta_v_cmos_mv == pytest.approx(75.0, abs=0.5)
+        assert pair.delta_v_tfet_mv == pytest.approx(90.0, abs=0.5)
+
+    def test_slow_deltas_match_paper(self):
+        # Section VII-D: 1.5 GHz gives back -70 mV CMOS and -80 mV TFET.
+        pair = self.solver.pair_for(1.5)
+        assert pair.delta_v_cmos_mv == pytest.approx(-70.0, abs=0.5)
+        assert pair.delta_v_tfet_mv == pytest.approx(-80.0, abs=0.5)
+
+    def test_tfet_delta_always_larger_when_boosting(self):
+        for f in (2.1, 2.2, 2.3, 2.4, 2.5):
+            pair = self.solver.pair_for(f)
+            assert pair.delta_v_tfet_mv > pair.delta_v_cmos_mv
+
+    def test_figure3_series_shape(self):
+        s = self.solver.figure3_series(n_points=17)
+        assert len(s["cmos_v"]) == len(s["cmos_ghz"]) == 17
+        assert len(s["tfet_v"]) == len(s["tfet_ghz"]) == 17

@@ -1,0 +1,140 @@
+"""Tests for the experiment harness (runner, figures, report)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    ALL_EXHIBITS,
+    FigureResult,
+    figure1,
+    figure2,
+    figure3,
+    figure7,
+    figure9,
+    figure10,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.experiments.report import full_report, paper_vs_measured
+from repro.experiments.runner import SweepRunner, SweepSettings
+
+
+class TestRunner:
+    def test_settings_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INSTRUCTIONS", "1234")
+        monkeypatch.setenv("REPRO_APPS", "lu, barnes")
+        monkeypatch.setenv("REPRO_KERNELS", "DCT")
+        settings = SweepSettings()
+        assert settings.instructions == 1234
+        assert settings.apps == ["lu", "barnes"]
+        assert settings.kernels == ["DCT"]
+
+    def test_default_settings_cover_whole_suites(self, monkeypatch):
+        monkeypatch.delenv("REPRO_APPS", raising=False)
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        settings = SweepSettings()
+        assert len(settings.apps) == 14
+        assert len(settings.kernels) == 16
+
+    def test_cpu_run_cached(self, small_runner):
+        a = small_runner.cpu_run("BaseCMOS", "barnes")
+        b = small_runner.cpu_run("BaseCMOS", "barnes")
+        assert a is b
+
+    def test_gpu_run_cached(self, small_runner):
+        a = small_runner.gpu_run("BaseCMOS", "DCT")
+        b = small_runner.gpu_run("BaseCMOS", "DCT")
+        assert a is b
+
+    def test_warmup_fraction(self):
+        settings = SweepSettings(instructions=10000)
+        assert settings.warmup == 3750
+
+
+class TestStaticExhibits:
+    def test_table1_structure(self):
+        r = table1()
+        assert r.exhibit == "Table I"
+        assert "Si-CMOS" in r.table
+        assert len(r.rows["rows"]) == 9
+
+    def test_figure1_crossover_measured(self):
+        r = figure1()
+        assert r.measured_means["crossover_v"] == pytest.approx(0.6, abs=0.1)
+
+    def test_figure2_ratios(self):
+        r = figure2()
+        assert r.measured_means["ratio_at_full_activity"] == pytest.approx(4.0, abs=1.0)
+        assert r.measured_means["ratio_at_zero_activity"] == pytest.approx(125, rel=0.15)
+
+    def test_figure3_deltas(self):
+        r = figure3()
+        assert r.measured_means["boost_dv_cmos_mv"] == pytest.approx(75, abs=1)
+        assert r.measured_means["boost_dv_tfet_mv"] == pytest.approx(90, abs=1)
+
+    def test_tables_2_3_4_render(self):
+        assert "BaseHet" in table2().table
+        assert "Tournament" in table3().table
+        assert "All-CMOS core" in table4().table
+
+    def test_all_exhibits_registry_complete(self):
+        expected = {
+            "table1", "table2", "table3", "table4",
+            "figure1", "figure2", "figure3",
+            "figure7", "figure8", "figure9", "figure10", "figure11",
+            "figure12", "figure13", "figure14",
+        }
+        assert set(ALL_EXHIBITS) == expected
+
+
+class TestSweepExhibits:
+    def test_figure7_normalised_to_basecmos(self, small_runner):
+        r = figure7(small_runner)
+        assert r.measured_means["BaseCMOS"] == pytest.approx(1.0)
+        assert r.measured_means["BaseHet"] > 1.0
+        assert "MEAN" in r.rows
+
+    def test_figure9_advhet_beats_basecmos(self, small_runner):
+        r = figure9(small_runner)
+        assert r.measured_means["AdvHet"] < 1.0
+        assert r.measured_means["AdvHet-2X"] < r.measured_means["AdvHet"]
+
+    def test_figure10_gpu_ordering(self, small_runner):
+        r = figure10(small_runner)
+        m = r.measured_means
+        assert m["BaseTFET"] > m["BaseHet"] > m["AdvHet"] > m["AdvHet-2X"]
+
+    def test_per_app_rows_present(self, small_runner):
+        r = figure7(small_runner)
+        for app in small_runner.settings.apps:
+            assert app in r.rows
+
+    def test_table_renders_all_configs(self, small_runner):
+        r = figure7(small_runner)
+        for config in ("BaseCMOS", "BaseTFET", "AdvHet-2X"):
+            assert config in r.table
+
+
+class TestReport:
+    def test_paper_vs_measured_has_rows(self, small_runner):
+        r = figure7(small_runner)
+        text = paper_vs_measured(r)
+        assert "| quantity | paper | measured |" in text
+        assert "BaseHet" in text
+
+    def test_table_only_exhibits_noted(self):
+        text = paper_vs_measured(table3())
+        assert "no means to compare" in text
+
+    def test_full_report_concatenates(self, small_runner):
+        text = full_report([table1(), figure7(small_runner)])
+        assert "## Table I" in text
+        assert "## Figure 7" in text
+
+    def test_missing_measured_value_tolerated(self):
+        r = FigureResult(
+            exhibit="X", title="t", rows={}, table="",
+            paper_means={"a": 1.0}, measured_means={},
+        )
+        assert "n/a" in paper_vs_measured(r)

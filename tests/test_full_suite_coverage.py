@@ -1,0 +1,100 @@
+"""Parametrised sanity coverage across every app, kernel, and config.
+
+These tests guarantee that no profile or configuration in the registries
+is broken: every app generates a valid trace and executes; every kernel
+generates and executes; every Table IV configuration builds and runs.
+Kept small per case so the whole matrix stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.configs import CPU_CONFIGS, GPU_CONFIGS, cpu_config, gpu_config
+from repro.core.simulate import simulate_cpu, simulate_gpu
+from repro.cpu.core import CoreConfig, OutOfOrderCore
+from repro.cpu.units import FunctionalUnitPool
+from repro.cpu.uops import UopType
+from repro.mem.hierarchy import CacheLatencies, MemoryHierarchy
+from repro.workloads import (
+    CPU_APPS,
+    GPU_KERNELS,
+    cpu_app,
+    generate_kernel,
+    generate_trace,
+    gpu_kernel,
+)
+
+SMALL_N = 6000
+SMALL_WARM = 2000
+
+
+@pytest.mark.parametrize("app", sorted(CPU_APPS))
+class TestEveryApp:
+    def test_trace_generates_and_validates(self, app):
+        trace = generate_trace(cpu_app(app), SMALL_N, seed=0)
+        trace.validate()
+        assert len(trace) == SMALL_N
+
+    def test_mix_matches_profile(self, app):
+        profile = cpu_app(app)
+        trace = generate_trace(profile, 20_000, seed=0)
+        mix = trace.mix()
+        assert mix["LOAD"] == pytest.approx(profile.f_load, abs=0.025)
+        fp = mix["FADD"] + mix["FMUL"] + mix["FDIV"]
+        assert fp == pytest.approx(profile.fp_fraction, abs=0.03)
+
+    def test_executes_on_baseline_core(self, app):
+        trace = generate_trace(cpu_app(app), SMALL_N, seed=0)
+        core = OutOfOrderCore(
+            CoreConfig(), MemoryHierarchy(CacheLatencies()), FunctionalUnitPool()
+        )
+        result = core.run(trace, warmup=SMALL_WARM)
+        assert result.committed == SMALL_N - SMALL_WARM
+        assert 0.05 < result.ipc < 4.0
+        assert 0.0 <= result.branch_mispredict_rate < 0.5
+
+    def test_addresses_fall_in_declared_regions(self, app):
+        profile = cpu_app(app)
+        trace = generate_trace(profile, SMALL_N, seed=0)
+        mem = np.isin(trace.op, [int(UopType.LOAD), int(UopType.STORE)])
+        addrs = trace.addr[mem]
+        assert (addrs >= 0).all()
+        # Nothing beyond the largest region base + footprint.
+        from repro.workloads import generator as g
+
+        limit = g._STREAM_BASE + profile.footprint_mb * 1024 * 1024
+        top = max(limit, g._STACK_BASE + profile.stack_kb * 1024)
+        assert int(addrs.max()) < top
+
+
+@pytest.mark.parametrize("kernel", sorted(GPU_KERNELS))
+class TestEveryKernel:
+    def test_generates_and_validates(self, kernel):
+        generate_kernel(gpu_kernel(kernel)).validate()
+
+    def test_runs_on_advhet_gpu(self, kernel):
+        run = simulate_gpu(gpu_config("AdvHet"), kernel)
+        assert run.time_s > 0
+        assert run.energy_j > 0
+        cu = run.gpu.cu_result
+        assert cu.fma_ops + cu.mem_ops == cu.instructions
+
+    def test_tfet_designs_never_faster_than_cmos(self, kernel):
+        base = simulate_gpu(gpu_config("BaseCMOS"), kernel)
+        het = simulate_gpu(gpu_config("BaseHet"), kernel)
+        assert het.time_s >= base.time_s * 0.999
+
+
+@pytest.mark.parametrize("config", sorted(CPU_CONFIGS))
+def test_every_cpu_config_runs(config):
+    run = simulate_cpu(cpu_config(config), "fmm", instructions=SMALL_N, warmup=SMALL_WARM)
+    assert run.time_s > 0
+    assert run.energy_j > 0
+    assert run.core.committed == SMALL_N - SMALL_WARM
+
+
+@pytest.mark.parametrize("config", sorted(GPU_CONFIGS))
+def test_every_gpu_config_runs(config):
+    run = simulate_gpu(gpu_config(config), "Histogram")
+    assert run.time_s > 0
+    assert run.energy_j > 0

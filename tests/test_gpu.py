@@ -1,0 +1,196 @@
+"""Tests for the GPU substrate: register files, CU engine, whole-GPU runs."""
+
+import pytest
+
+from repro.gpu.cu import ComputeUnit, CUConfig, SIMDS_PER_CU
+from repro.gpu.gpu import (
+    GPU_CONTENTION_ALPHA,
+    GpuConfig,
+    memory_contention_scale,
+    run_gpu,
+)
+from repro.gpu.regfile import RegisterFileCache, VectorRegisterFile
+from repro.workloads import GPU_KERNELS, generate_kernel, gpu_kernel
+from repro.workloads.gpu_generator import OP_FMA, OP_MEM
+
+
+class TestVectorRegisterFile:
+    def test_read_latency_and_count(self):
+        rf = VectorRegisterFile(access_cycles=2)
+        assert rf.read(5) == 2
+        assert rf.reads == 1
+
+    def test_write_count(self):
+        rf = VectorRegisterFile()
+        rf.write(10)
+        assert rf.writes == 1
+
+    def test_out_of_range_register(self):
+        rf = VectorRegisterFile(n_regs=16)
+        with pytest.raises(ValueError):
+            rf.read(16)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            VectorRegisterFile(n_regs=0)
+
+
+class TestRegisterFileCache:
+    def test_write_allocates(self):
+        c = RegisterFileCache(n_wavefronts=1)
+        c.write(0, 7)
+        assert c.read_hit(0, 7)
+
+    def test_unwritten_register_misses(self):
+        c = RegisterFileCache(n_wavefronts=1)
+        assert not c.read_hit(0, 7)
+
+    def test_capacity_six_entries(self):
+        c = RegisterFileCache(n_wavefronts=1)
+        for reg in range(7):
+            c.write(0, reg)
+        assert c.occupancy(0) == 6
+        assert not c.read_hit(0, 0)  # oldest evicted
+        assert c.read_hit(0, 6)
+
+    def test_lru_refresh_on_read(self):
+        c = RegisterFileCache(n_wavefronts=1, entries_per_thread=2)
+        c.write(0, 1)
+        c.write(0, 2)
+        c.read_hit(0, 1)   # refresh 1
+        c.write(0, 3)      # evicts 2
+        assert c.read_hit(0, 1)
+        assert not c.read_hit(0, 2)
+
+    def test_wavefronts_isolated(self):
+        c = RegisterFileCache(n_wavefronts=2)
+        c.write(0, 5)
+        assert not c.read_hit(1, 5)
+
+    def test_hit_rate(self):
+        c = RegisterFileCache(n_wavefronts=1)
+        c.write(0, 1)
+        c.read_hit(0, 1)
+        c.read_hit(0, 2)
+        assert c.read_hit_rate == pytest.approx(0.5)
+
+    def test_rewrite_refreshes_not_grows(self):
+        c = RegisterFileCache(n_wavefronts=1, entries_per_thread=2)
+        c.write(0, 1)
+        c.write(0, 1)
+        assert c.occupancy(0) == 1
+
+
+class TestCUConfig:
+    def test_rejects_bad_latency(self):
+        with pytest.raises(ValueError):
+            CUConfig(fma_depth=0)
+
+    def test_rejects_speedup_contention(self):
+        with pytest.raises(ValueError):
+            CUConfig(mem_latency_scale=0.5)
+
+
+class TestComputeUnit:
+    def test_all_instructions_execute(self):
+        trace = generate_kernel(gpu_kernel("DCT"))
+        r = ComputeUnit(CUConfig()).run(trace)
+        assert r.instructions == trace.n_wavefronts * trace.stream_len
+        assert r.fma_ops + r.mem_ops == r.instructions
+
+    def test_tfet_config_slower(self):
+        trace = generate_kernel(gpu_kernel("BlackScholes"))
+        cmos = ComputeUnit(CUConfig(fma_depth=3, rf_cycles=1)).run(trace)
+        tfet = ComputeUnit(CUConfig(fma_depth=6, rf_cycles=2)).run(trace)
+        assert tfet.cycles > cmos.cycles
+
+    def test_rf_cache_recovers_performance(self):
+        trace = generate_kernel(gpu_kernel("BlackScholes"))
+        plain = ComputeUnit(CUConfig(fma_depth=6, rf_cycles=2)).run(trace)
+        cached = ComputeUnit(
+            CUConfig(fma_depth=6, rf_cycles=2, rf_cache_enabled=True)
+        ).run(trace)
+        assert cached.cycles < plain.cycles
+        assert cached.rf_cache_hit_rate > 0.3
+
+    def test_rf_cache_cuts_rf_reads(self):
+        trace = generate_kernel(gpu_kernel("MatrixMultiplication"))
+        plain = ComputeUnit(CUConfig()).run(trace)
+        cached = ComputeUnit(CUConfig(rf_cache_enabled=True)).run(trace)
+        assert cached.rf_reads < plain.rf_reads
+
+    def test_more_wavefronts_more_throughput(self):
+        import dataclasses
+
+        prof = gpu_kernel("DCT")
+        small = generate_kernel(dataclasses.replace(prof, n_wavefronts=4))
+        large = generate_kernel(dataclasses.replace(prof, n_wavefronts=16))
+        r_small = ComputeUnit(CUConfig()).run(small)
+        r_large = ComputeUnit(CUConfig()).run(large)
+        assert r_large.ipc > r_small.ipc
+
+    def test_simd_count_constant(self):
+        assert SIMDS_PER_CU == 4
+
+    def test_mem_latency_scale_slows_memory_bound_kernel(self):
+        trace = generate_kernel(gpu_kernel("MatrixTranspose"))
+        base = ComputeUnit(CUConfig()).run(trace)
+        congested = ComputeUnit(CUConfig(mem_latency_scale=2.0)).run(trace)
+        assert congested.cycles > base.cycles * 1.2
+
+
+class TestWholeGpu:
+    def test_contention_scale_reference(self):
+        assert memory_contention_scale(8, 0.5) == 1.0
+        assert memory_contention_scale(4, 0.5) == 1.0
+
+    def test_contention_grows_with_cus(self):
+        assert memory_contention_scale(16, 0.5) == pytest.approx(
+            1.0 + GPU_CONTENTION_ALPHA * 0.5
+        )
+
+    def test_doubling_cus_sublinear_speedup(self):
+        trace = generate_kernel(gpu_kernel("MatrixTranspose"))  # bw-bound
+        cu = CUConfig()
+        t8 = run_gpu(GpuConfig(cu, n_cus=8), trace).time_s
+        t16 = run_gpu(GpuConfig(cu, n_cus=16), trace).time_s
+        assert t8 / 2 < t16 < t8
+
+    def test_compute_bound_kernel_scales_nearly_linearly(self):
+        trace = generate_kernel(gpu_kernel("BlackScholes"))
+        cu = CUConfig()
+        t8 = run_gpu(GpuConfig(cu, n_cus=8), trace).time_s
+        t16 = run_gpu(GpuConfig(cu, n_cus=16), trace).time_s
+        assert t16 < 0.62 * t8
+
+    def test_invalid_cu_count(self):
+        with pytest.raises(ValueError):
+            GpuConfig(CUConfig(), n_cus=0)
+
+
+class TestKernelProfiles:
+    def test_sixteen_kernels(self):
+        assert len(GPU_KERNELS) == 16
+
+    def test_expected_names(self):
+        for name in ("BlackScholes", "MatrixMultiplication", "Reduction",
+                     "SobelFilter", "BinarySearch"):
+            assert name in GPU_KERNELS
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            gpu_kernel("Crysis")
+
+    def test_generated_kernel_validates(self):
+        for name in ("DCT", "RadixSort"):
+            generate_kernel(gpu_kernel(name)).validate()
+
+    def test_kernel_deterministic(self):
+        a = generate_kernel(gpu_kernel("DCT"), seed=1)
+        b = generate_kernel(gpu_kernel("DCT"), seed=1)
+        assert (a.op == b.op).all()
+        assert (a.dep_dist == b.dep_dist).all()
+
+    def test_op_encoding(self):
+        t = generate_kernel(gpu_kernel("DCT"))
+        assert set(t.op.flatten().tolist()) <= {OP_FMA, OP_MEM}

@@ -1,0 +1,163 @@
+"""Tests for the asymmetric DL1 (Section IV-C1)."""
+
+import pytest
+
+from repro.mem.asym import AsymmetricL1
+
+
+def make_asym(**kw):
+    return AsymmetricL1(**kw)
+
+
+class TestGeometry:
+    def test_default_partition_sizes(self):
+        a = make_asym()
+        assert a.fast.size_bytes == 4 * 1024
+        assert a.fast.assoc == 1
+        assert a.slow.size_bytes == 28 * 1024
+        assert a.slow.assoc == 7
+
+    def test_latencies(self):
+        a = make_asym()
+        assert a.fast_hit_cycles == 1
+        assert a.slow_hit_cycles == 5  # 1 + 4 per the paper
+
+    def test_cmos_variant_latencies(self):
+        a = make_asym(slow_extra_cycles=2)
+        assert a.slow_hit_cycles == 3  # BaseCMOS-Enh: 1 and 3 cycles
+
+    def test_needs_two_ways(self):
+        with pytest.raises(ValueError):
+            make_asym(assoc=1)
+
+
+class TestAccessPath:
+    def test_miss_fills_fast(self):
+        a = make_asym()
+        hit, latency = a.access(0x1000)
+        assert not hit
+        assert latency == a.fast_hit_cycles
+        assert a.fast.probe(0x1000)
+
+    def test_fast_hit_after_fill(self):
+        a = make_asym()
+        a.access(0x1000)
+        hit, latency = a.access(0x1000)
+        assert hit and latency == 1
+        assert a.stats.fast_hits == 1
+
+    def test_conflicting_line_demotes_to_slow(self):
+        a = make_asym()
+        conflict = 4 * 1024  # same fast set as 0x0 (4KB direct-mapped)
+        a.access(0x0)
+        a.access(conflict)
+        assert a.fast.probe(conflict)
+        assert a.slow.probe(0x0)
+        assert a.stats.line_moves == 1
+
+    def test_slow_hit_promotes_back(self):
+        a = make_asym()
+        conflict = 4 * 1024
+        a.access(0x0)
+        a.access(conflict)      # 0x0 demoted to slow
+        hit, latency = a.access(0x0)  # slow hit, promoted back
+        assert hit and latency == a.slow_hit_cycles
+        assert a.fast.probe(0x0)
+        assert a.slow.probe(conflict)
+        assert a.stats.slow_hits == 1
+
+    def test_mru_line_lives_in_fast(self):
+        """The paper's invariant: the most recently used line of a set is
+        in the FastCache."""
+        a = make_asym()
+        addrs = [0x0, 4 * 1024, 8 * 1024, 12 * 1024]  # all map to fast set 0
+        for addr in addrs:
+            a.access(addr)
+        for addr in addrs:
+            a.access(addr)
+            assert a.fast.probe(addr)
+
+    def test_dirty_line_survives_demotion_and_promotion(self):
+        a = make_asym()
+        conflict = 4 * 1024
+        a.access(0x0, is_write=True)
+        a.access(conflict)           # dirty 0x0 -> slow
+        a.access(0x0)                # promote back
+        a.access(conflict)           # 0x0 demoted again
+        # Fill the slow set to force eviction of the dirty line eventually.
+        for i in range(2, 10):
+            a.access(i * 4 * 1024)
+        assert a.fast.stats.writebacks + a.slow.stats.writebacks >= 1
+
+
+class TestStats:
+    def test_hit_rate_accounting(self):
+        a = make_asym()
+        a.access(0x0)      # miss
+        a.access(0x0)      # fast hit
+        a.access(4096)     # miss (same set -> demotes 0x0)
+        a.access(0x0)      # slow hit
+        s = a.stats
+        assert s.accesses == 4
+        assert s.fast_hits == 1
+        assert s.slow_hits == 1
+        assert s.misses == 2
+        assert s.hit_rate == pytest.approx(0.5)
+        assert s.fast_hit_rate == pytest.approx(0.25)
+
+    def test_combined_stats_view(self):
+        a = make_asym()
+        a.access(0x0)
+        a.access(0x0)
+        combined = a.combined_stats()
+        assert combined.accesses == 2
+        assert combined.hits == 1
+        assert combined.misses == 1
+
+    def test_reset(self):
+        a = make_asym()
+        a.access(0x0)
+        a.stats.reset()
+        assert a.stats.accesses == 0
+
+    def test_probe_has_no_side_effects(self):
+        a = make_asym()
+        a.access(0x0)
+        before = a.stats.accesses
+        assert a.probe(0x0)
+        assert not a.probe(0x999999)
+        assert a.stats.accesses == before
+
+    def test_invalidate_all(self):
+        a = make_asym()
+        a.access(0x0)
+        a.invalidate_all()
+        assert not a.probe(0x0)
+
+
+class TestLocalityBehaviour:
+    def test_bursty_stream_mostly_fast_hits(self):
+        """Temporal bursts (repeat the MRU address) must land in fast."""
+        import random
+
+        rng = random.Random(7)
+        a = make_asym()
+        last = [0x0]
+        for _ in range(4000):
+            if rng.random() < 0.6 and last:
+                addr = last[-1]
+            else:
+                addr = rng.randrange(0, 64 * 1024) & ~7
+                last.append(addr)
+                last = last[-4:]
+            a.access(addr)
+        assert a.stats.fast_hit_rate > 0.45
+
+    def test_uniform_random_mostly_not_fast(self):
+        import random
+
+        rng = random.Random(7)
+        a = make_asym()
+        for _ in range(4000):
+            a.access(rng.randrange(0, 64 * 1024) & ~7)
+        assert a.stats.fast_hit_rate < 0.25

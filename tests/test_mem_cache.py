@@ -1,0 +1,190 @@
+"""Tests for repro.mem.cache (set-associative LRU cache)."""
+
+import pytest
+
+from repro.mem.cache import Cache, CacheStats
+
+
+def make_cache(size=1024, assoc=2, line=64):
+    return Cache("t", size, assoc, line)
+
+
+class TestGeometry:
+    def test_set_count(self):
+        c = Cache("t", 32 * 1024, 8, 64)
+        assert c.n_sets == 64
+
+    def test_direct_mapped(self):
+        c = Cache("t", 4 * 1024, 1, 64)
+        assert c.n_sets == 64
+
+    def test_rejects_nonpow2_sets(self):
+        with pytest.raises(ValueError):
+            Cache("t", 3 * 1024, 2, 64)
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ValueError):
+            Cache("t", 1000, 3, 64)
+
+    def test_rejects_nonpow2_line(self):
+        with pytest.raises(ValueError):
+            Cache("t", 1024, 2, 48)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Cache("t", 0, 2, 64)
+
+
+class TestAccessSemantics:
+    def test_cold_miss_then_hit(self):
+        c = make_cache()
+        assert c.access(0x1000) is False
+        assert c.access(0x1000) is True
+
+    def test_same_line_different_words_hit(self):
+        c = make_cache()
+        c.access(0x1000)
+        assert c.access(0x1000 + 63) is True
+
+    def test_adjacent_lines_are_distinct(self):
+        c = make_cache()
+        c.access(0x1000)
+        assert c.access(0x1000 + 64) is False
+
+    def test_lru_eviction_order(self):
+        c = Cache("t", 2 * 64, 2, 64)  # one set, two ways
+        c.access(0x000)
+        c.access(0x040)   # set is {0x40 (MRU), 0x00}
+        c.access(0x000)   # touch -> {0x00 (MRU), 0x40}
+        c.access(0x080)   # evicts 0x40
+        assert c.probe(0x000)
+        assert not c.probe(0x040)
+        assert c.probe(0x080)
+
+    def test_capacity_never_exceeded(self):
+        c = make_cache(size=1024, assoc=2)
+        for i in range(200):
+            c.access(i * 64)
+        assert c.resident_lines <= 1024 // 64
+
+    def test_writeback_counted_on_dirty_eviction(self):
+        c = Cache("t", 2 * 64, 2, 64)
+        c.access(0x000, is_write=True)
+        c.access(0x040)
+        c.access(0x080)  # evicts... LRU is 0x000 (dirty)
+        assert c.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = Cache("t", 2 * 64, 2, 64)
+        c.access(0x000)
+        c.access(0x040)
+        c.access(0x080)
+        assert c.stats.writebacks == 0
+        assert c.stats.evictions == 1
+
+    def test_write_hit_marks_dirty(self):
+        c = Cache("t", 2 * 64, 2, 64)
+        c.access(0x000)
+        c.access(0x000, is_write=True)
+        c.access(0x040)
+        c.access(0x080)
+        assert c.stats.writebacks == 1
+
+
+class TestLookupNoFill:
+    def test_lookup_miss_does_not_allocate(self):
+        c = make_cache()
+        assert c.lookup(0x1000) is False
+        assert not c.probe(0x1000)
+
+    def test_lookup_hit_updates_recency(self):
+        c = Cache("t", 2 * 64, 2, 64)
+        c.access(0x000)
+        c.access(0x040)
+        c.lookup(0x000)  # refresh
+        c.access(0x080)  # should evict 0x040
+        assert c.probe(0x000)
+        assert not c.probe(0x040)
+
+    def test_lookup_counts_stats(self):
+        c = make_cache()
+        c.lookup(0x0)
+        assert c.stats.accesses == 1
+        assert c.stats.misses == 1
+
+
+class TestExtractInsert:
+    def test_extract_removes_line(self):
+        c = make_cache()
+        c.access(0x1000)
+        present, dirty = c.extract(0x1000)
+        assert present and not dirty
+        assert not c.probe(0x1000)
+
+    def test_extract_reports_dirty(self):
+        c = make_cache()
+        c.access(0x1000, is_write=True)
+        present, dirty = c.extract(0x1000)
+        assert present and dirty
+
+    def test_extract_missing_line(self):
+        c = make_cache()
+        assert c.extract(0x2000) == (False, False)
+
+    def test_insert_evicts_and_returns_victim(self):
+        c = Cache("t", 2 * 64, 2, 64)
+        c.access(0x000, is_write=True)
+        c.access(0x040)
+        victim, dirty = c.insert(0x080)
+        assert victim == 0x000
+        assert dirty is True
+        assert c.probe(0x080)
+
+    def test_insert_into_space_returns_none(self):
+        c = make_cache()
+        victim, dirty = c.insert(0x1000)
+        assert victim is None and dirty is False
+
+    def test_insert_existing_refreshes(self):
+        c = Cache("t", 2 * 64, 2, 64)
+        c.access(0x000)
+        c.access(0x040)
+        c.insert(0x000)
+        c.access(0x080)
+        assert c.probe(0x000)
+
+    def test_insert_victim_address_maps_to_same_set(self):
+        c = Cache("t", 4 * 1024, 1, 64)  # direct-mapped, 64 sets
+        addr = 5 * 64
+        c.access(addr)
+        victim, _ = c.insert(addr + 4 * 1024)  # same set, different tag
+        assert victim is not None
+        assert (victim >> 6) % c.n_sets == (addr >> 6) % c.n_sets
+
+
+class TestStats:
+    def test_hit_rate_math(self):
+        c = make_cache()
+        c.access(0x0)
+        c.access(0x0)
+        c.access(0x0)
+        assert c.stats.hit_rate == pytest.approx(2 / 3)
+        assert c.stats.miss_rate == pytest.approx(1 / 3)
+
+    def test_untouched_cache_rates(self):
+        s = CacheStats()
+        assert s.hit_rate == 1.0
+        assert s.miss_rate == 0.0
+
+    def test_reset(self):
+        c = make_cache()
+        c.access(0x0)
+        c.stats.reset()
+        assert c.stats.accesses == 0
+        assert c.probe(0x0)  # contents preserved
+
+    def test_invalidate_all(self):
+        c = make_cache()
+        c.access(0x0)
+        c.invalidate_all()
+        assert c.resident_lines == 0

@@ -1,0 +1,195 @@
+"""Tests for the ring interconnect and the MESI directory (Table III)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.coherence import LineState, MesiDirectory
+from repro.mem.ring import RingNetwork
+
+
+class TestRingTopology:
+    def test_hops_shortest_direction(self):
+        ring = RingNetwork(n_nodes=8)
+        assert ring.hops(0, 1) == 1
+        assert ring.hops(0, 7) == 1  # wraps the other way
+        assert ring.hops(0, 4) == 4
+        assert ring.hops(3, 3) == 0
+
+    def test_one_way_latency(self):
+        ring = RingNetwork(n_nodes=4, hop_cycles=2, router_cycles=1)
+        assert ring.one_way_latency(0, 2) == 5  # 2 hops * 2 + 1
+        assert ring.one_way_latency(1, 1) == 0
+
+    def test_round_trip_symmetric(self):
+        ring = RingNetwork(n_nodes=6)
+        assert ring.round_trip_latency(0, 2) == 2 * ring.one_way_latency(0, 2)
+
+    def test_slice_interleaving(self):
+        ring = RingNetwork(n_nodes=4)
+        assert ring.slice_of(0) == 0
+        assert ring.slice_of(64) == 1
+        assert ring.slice_of(4 * 64) == 0
+
+    def test_average_round_trip_single_node(self):
+        assert RingNetwork(n_nodes=1).average_round_trip() == 0.0
+
+    def test_average_round_trip_grows_with_nodes(self):
+        assert (
+            RingNetwork(n_nodes=8).average_round_trip()
+            > RingNetwork(n_nodes=4).average_round_trip()
+        )
+
+    def test_message_statistics(self):
+        ring = RingNetwork(n_nodes=4)
+        ring.one_way_latency(0, 2)
+        ring.one_way_latency(0, 1)
+        assert ring.messages == 2
+        assert ring.mean_hops == pytest.approx(1.5)
+
+    def test_bad_node_rejected(self):
+        with pytest.raises(ValueError):
+            RingNetwork(n_nodes=4).hops(0, 4)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            RingNetwork(n_nodes=0)
+
+
+class TestMesiBasicTransitions:
+    def test_first_read_is_exclusive(self):
+        d = MesiDirectory(4)
+        actions = d.read(0, 0x100)
+        assert actions.memory_fetch
+        assert actions.new_state == LineState.EXCLUSIVE
+        assert d.sharers_of(0x100) == {0}
+
+    def test_second_reader_downgrades_to_shared(self):
+        d = MesiDirectory(4)
+        d.read(0, 0x100)
+        actions = d.read(1, 0x100)
+        assert not actions.memory_fetch
+        assert actions.new_state == LineState.SHARED
+        assert d.sharers_of(0x100) == {0, 1}
+
+    def test_write_makes_modified(self):
+        d = MesiDirectory(4)
+        actions = d.write(0, 0x100)
+        assert actions.new_state == LineState.MODIFIED
+        assert d.state_of(0x100) == LineState.MODIFIED
+
+    def test_write_invalidates_sharers(self):
+        d = MesiDirectory(4)
+        d.read(0, 0x100)
+        d.read(1, 0x100)
+        d.read(2, 0x100)
+        actions = d.write(3, 0x100)
+        assert actions.invalidations == 3
+        assert d.sharers_of(0x100) == {3}
+
+    def test_read_of_modified_causes_intervention(self):
+        d = MesiDirectory(4)
+        d.write(0, 0x100)
+        actions = d.read(1, 0x100)
+        assert actions.owner_intervention
+        assert actions.new_state == LineState.SHARED
+
+    def test_owner_rereads_silently(self):
+        d = MesiDirectory(4)
+        d.write(0, 0x100)
+        actions = d.read(0, 0x100)
+        assert not actions.owner_intervention
+        assert d.state_of(0x100) == LineState.MODIFIED
+
+    def test_write_steals_modified_line(self):
+        d = MesiDirectory(4)
+        d.write(0, 0x100)
+        actions = d.write(1, 0x100)
+        assert actions.owner_intervention
+        assert actions.invalidations == 1
+        assert d.sharers_of(0x100) == {1}
+
+    def test_upgrade_from_shared(self):
+        d = MesiDirectory(4)
+        d.read(0, 0x100)
+        d.read(1, 0x100)
+        actions = d.write(0, 0x100)
+        assert actions.invalidations == 1  # only core 1
+        assert d.state_of(0x100) == LineState.MODIFIED
+
+    def test_lines_are_independent(self):
+        d = MesiDirectory(2)
+        d.write(0, 0x100)
+        d.read(1, 0x180)  # different line
+        assert d.state_of(0x100) == LineState.MODIFIED
+        assert d.state_of(0x180) == LineState.EXCLUSIVE
+
+
+class TestMesiEviction:
+    def test_dirty_eviction_writes_back(self):
+        d = MesiDirectory(2)
+        d.write(0, 0x100)
+        assert d.evict(0, 0x100) is True
+        assert d.state_of(0x100) == LineState.INVALID
+
+    def test_clean_eviction_no_writeback(self):
+        d = MesiDirectory(2)
+        d.read(0, 0x100)
+        assert d.evict(0, 0x100) is False
+
+    def test_partial_eviction_keeps_shared(self):
+        d = MesiDirectory(3)
+        d.read(0, 0x100)
+        d.read(1, 0x100)
+        d.evict(0, 0x100)
+        assert d.state_of(0x100) == LineState.SHARED
+        assert d.sharers_of(0x100) == {1}
+
+    def test_evict_non_sharer_is_noop(self):
+        d = MesiDirectory(2)
+        d.read(0, 0x100)
+        assert d.evict(1, 0x100) is False
+
+    def test_bad_core_rejected(self):
+        d = MesiDirectory(2)
+        with pytest.raises(ValueError):
+            d.read(2, 0x100)
+
+
+class TestMesiProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["r", "w", "e"]),
+                st.integers(0, 3),
+                st.sampled_from([0x100, 0x140, 0x180]),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_invariants_hold_under_any_request_stream(self, requests):
+        d = MesiDirectory(4)
+        for op, core, addr in requests:
+            if op == "r":
+                d.read(core, addr)
+            elif op == "w":
+                d.write(core, addr)
+            else:
+                d.evict(core, addr)
+            d.check_invariants()
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.sampled_from([0x100, 0x140])),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_writes_always_end_modified_with_single_owner(self, writes):
+        d = MesiDirectory(4)
+        for core, addr in writes:
+            actions = d.write(core, addr)
+            assert actions.new_state == LineState.MODIFIED
+            assert d.sharers_of(addr) == {core}

@@ -1,0 +1,230 @@
+"""Tests for the power model, unit database, and metrics."""
+
+import pytest
+
+from repro.cpu.core import ActivityCounts
+from repro.gpu.cu import CUResult
+from repro.power.metrics import (
+    arithmetic_mean,
+    ed2_product,
+    ed_product,
+    geometric_mean,
+    normalize_to,
+)
+from repro.power.model import (
+    DeviceKind,
+    ScalingKnobs,
+    cpu_energy,
+    gpu_energy,
+)
+from repro.power.unitdb import (
+    CPU_UNIT_DB,
+    GPU_UNIT_DB,
+    CONSERVATIVE_TFET_DYNAMIC_FACTOR,
+    CONSERVATIVE_TFET_LEAKAGE_FACTOR,
+    HIGHVT_LEAKAGE_FACTOR,
+    UnitPower,
+    total_cpu_leakage_mw,
+    total_gpu_cu_leakage_mw,
+)
+
+
+def sample_activity(**overrides) -> ActivityCounts:
+    base = dict(
+        fetched=1000, dispatched=1000, issued=1000, committed=1000,
+        int_reg_reads=800, int_reg_writes=600, fp_reg_reads=300,
+        fp_reg_writes=200, bpred_lookups=120, alu_fast_ops=0,
+        alu_slow_ops=450, muldiv_ops=12, fpu_ops=200, lsu_ops=350,
+        loads=250, stores=100, il1_accesses=60, dl1_accesses=350,
+        dl1_fast_hits=0, dl1_slow_accesses=0, dl1_line_moves=0,
+        l2_accesses=30, l3_accesses=8, dram_accesses=2,
+    )
+    base.update(overrides)
+    return ActivityCounts(**base)
+
+
+def sample_cu() -> CUResult:
+    return CUResult(
+        cycles=10000, instructions=8000, fma_ops=6000, mem_ops=2000,
+        rf_reads=9000, rf_writes=6000, rf_cache_read_hits=0,
+        rf_cache_read_misses=0, rf_cache_writes=0, freq_ghz=1.0,
+    )
+
+
+class TestUnitDb:
+    def test_paper_factors(self):
+        assert CONSERVATIVE_TFET_DYNAMIC_FACTOR == 4.0
+        assert CONSERVATIVE_TFET_LEAKAGE_FACTOR == 10.0
+        assert HIGHVT_LEAKAGE_FACTOR == 10.0
+
+    def test_all_units_nonnegative(self):
+        for db in (CPU_UNIT_DB, GPU_UNIT_DB):
+            for u in db.values():
+                assert u.dynamic_pj >= 0 and u.leakage_mw >= 0
+
+    def test_groups_valid(self):
+        for u in CPU_UNIT_DB.values():
+            assert u.group in ("core", "l2", "l3")
+
+    def test_caches_dominate_cpu_leakage(self):
+        # Section IV-B3: "Caches contribute the majority of the leakage".
+        cache_leak = sum(
+            CPU_UNIT_DB[name].leakage_mw
+            for name in ("il1", "dl1", "l2", "l3")
+        )
+        assert cache_leak > 0.4 * total_cpu_leakage_mw()
+
+    def test_totals_positive(self):
+        assert total_cpu_leakage_mw() > 0
+        assert total_gpu_cu_leakage_mw() > 0
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            UnitPower("bad", dynamic_pj=-1.0, leakage_mw=0.0)
+
+
+class TestCpuEnergy:
+    def test_all_cmos_baseline(self):
+        e = cpu_energy(sample_activity(), time_s=1e-5)
+        assert e.total > 0
+        assert e.total == pytest.approx(e.total_dynamic + e.total_leakage)
+        assert set(e.dynamic_j) <= {"core", "l2", "l3"}
+
+    def test_energy_additive_in_time(self):
+        a = sample_activity()
+        e1 = cpu_energy(a, time_s=1e-5)
+        e2 = cpu_energy(a, time_s=2e-5)
+        assert e2.total_leakage == pytest.approx(2 * e1.total_leakage)
+        assert e2.total_dynamic == pytest.approx(e1.total_dynamic)
+
+    def test_tfet_units_cut_dynamic_by_4x(self):
+        a = sample_activity()
+        cmos = cpu_energy(a, 1e-5)
+        tfet_map = {u: DeviceKind.TFET for u in ("alu", "muldiv", "fpu", "dl1", "l2", "l3")}
+        het = cpu_energy(a, 1e-5, device_map=tfet_map)
+        assert het.total < cmos.total
+        # l2/l3 groups are fully TFET: exactly 4x dynamic, 10x leakage.
+        assert cmos.dynamic_j["l2"] / het.dynamic_j["l2"] == pytest.approx(4.0)
+        assert cmos.leakage_j["l3"] / het.leakage_j["l3"] == pytest.approx(10.0)
+
+    def test_all_tfet_native_uses_table1_factor(self):
+        a = sample_activity()
+        cmos = cpu_energy(a, 1e-5)
+        native = cpu_energy(
+            a, 1e-5,
+            device_map={u: DeviceKind.TFET_NATIVE for u in
+                        ("alu", "muldiv", "fpu", "dl1", "l2", "l3", "others")},
+        )
+        assert cmos.total_dynamic / native.total_dynamic == pytest.approx(3.92)
+
+    def test_highvt_saves_leakage_not_dynamic(self):
+        a = sample_activity()
+        cmos = cpu_energy(a, 1e-5)
+        hv = cpu_energy(
+            a, 1e-5,
+            device_map={"alu": DeviceKind.HIGHVT, "fpu": DeviceKind.HIGHVT,
+                        "muldiv": DeviceKind.HIGHVT},
+        )
+        assert hv.total_dynamic == pytest.approx(cmos.total_dynamic)
+        assert hv.total_leakage < cmos.total_leakage
+
+    def test_dual_speed_alu_splits_energy(self):
+        slow_only = cpu_energy(
+            sample_activity(alu_fast_ops=0, alu_slow_ops=450), 1e-5,
+            device_map={"alu": DeviceKind.TFET},
+        )
+        mixed = cpu_energy(
+            sample_activity(alu_fast_ops=200, alu_slow_ops=250), 1e-5,
+            device_map={"alu": DeviceKind.TFET},
+        )
+        assert mixed.total_dynamic > slow_only.total_dynamic
+
+    def test_asym_dl1_accounting(self):
+        a = sample_activity(
+            dl1_accesses=350, dl1_fast_hits=250, dl1_slow_accesses=100,
+            dl1_line_moves=40,
+        )
+        e = cpu_energy(a, 1e-5, device_map={"dl1": DeviceKind.TFET}, asym_dl1=True)
+        assert e.total > 0
+
+    def test_work_scale_multiplies_dynamic_only(self):
+        a = sample_activity()
+        base = cpu_energy(a, 1e-5)
+        scaled = cpu_energy(a, 1e-5, knobs=ScalingKnobs(work_scale=4.0))
+        assert scaled.total_dynamic == pytest.approx(4 * base.total_dynamic)
+        assert scaled.total_leakage == pytest.approx(base.total_leakage)
+
+    def test_leakage_instances_multiplies_leakage_only(self):
+        a = sample_activity()
+        base = cpu_energy(a, 1e-5)
+        scaled = cpu_energy(a, 1e-5, knobs=ScalingKnobs(leakage_instances=4.0))
+        assert scaled.total_leakage == pytest.approx(4 * base.total_leakage)
+        assert scaled.total_dynamic == pytest.approx(base.total_dynamic)
+
+    def test_voltage_knobs_scale_families_independently(self):
+        a = sample_activity()
+        tfet_map = {"fpu": DeviceKind.TFET}
+        base = cpu_energy(a, 1e-5, device_map=tfet_map)
+        boosted = cpu_energy(
+            a, 1e-5, device_map=tfet_map,
+            knobs=ScalingKnobs(tfet_energy=1.2, tfet_leakage=1.2),
+        )
+        assert boosted.total > base.total
+
+
+class TestGpuEnergy:
+    def test_baseline(self):
+        e = gpu_energy(sample_cu(), 1e-5)
+        assert e.total > 0
+
+    def test_tfet_fma_and_rf_save(self):
+        cu = sample_cu()
+        cmos = gpu_energy(cu, 1e-5)
+        het = gpu_energy(
+            cu, 1e-5,
+            device_map={"fma": DeviceKind.TFET, "rf": DeviceKind.TFET},
+        )
+        assert het.total < cmos.total
+
+    def test_rf_cache_events_charged_when_enabled(self):
+        cu = sample_cu()
+        cu.rf_cache_read_hits = 4000
+        cu.rf_cache_writes = 5000
+        with_cache = gpu_energy(cu, 1e-5, rf_cache_enabled=True)
+        without = gpu_energy(cu, 1e-5, rf_cache_enabled=False)
+        assert with_cache.total_dynamic > without.total_dynamic
+
+
+class TestMetrics:
+    def test_ed_products(self):
+        assert ed_product(2.0, 3.0) == 6.0
+        assert ed2_product(2.0, 3.0) == 18.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ed_product(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            ed2_product(1.0, -1.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+    def test_normalize_to(self):
+        row = {"a": 2.0, "b": 4.0}
+        normed = normalize_to(row, "a")
+        assert normed == {"a": 1.0, "b": 2.0}
+
+    def test_normalize_to_zero_baseline(self):
+        with pytest.raises(ValueError):
+            normalize_to({"a": 0.0}, "a")

@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.branch import ReturnAddressStack, TournamentPredictor
+from repro.devices.scaling import dynamic_energy_scale, leakage_power_scale
+from repro.devices.vf import CMOS_VF, TFET_VF
+from repro.mem.asym import AsymmetricL1
+from repro.mem.cache import Cache
+from repro.power.metrics import ed2_product, ed_product, geometric_mean
+
+addresses = st.integers(min_value=0, max_value=1 << 30)
+addr_lists = st.lists(addresses, min_size=1, max_size=300)
+
+
+class TestCacheProperties:
+    @given(addr_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_invariant(self, addrs):
+        c = Cache("p", 2048, 4, 64)
+        for a in addrs:
+            c.access(a)
+        assert c.resident_lines <= 2048 // 64
+
+    @given(addr_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_stats_conservation(self, addrs):
+        c = Cache("p", 2048, 4, 64)
+        for a in addrs:
+            c.access(a)
+        assert c.stats.hits + c.stats.misses == c.stats.accesses
+        assert c.stats.writebacks <= c.stats.evictions
+
+    @given(addr_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_immediate_rereference_always_hits(self, addrs):
+        c = Cache("p", 2048, 4, 64)
+        for a in addrs:
+            c.access(a)
+            assert c.access(a) is True
+
+    @given(addr_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_probe_agrees_with_extract(self, addrs):
+        c = Cache("p", 2048, 4, 64)
+        for a in addrs:
+            c.access(a)
+        for a in addrs[-8:]:
+            present = c.probe(a)
+            extracted, _ = c.extract(a)
+            assert present == extracted
+
+
+class TestAsymProperties:
+    @given(addr_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_mru_always_in_fast(self, addrs):
+        """After any access the touched line must reside in the fast way."""
+        a = AsymmetricL1()
+        for addr in addrs:
+            a.access(addr)
+            assert a.fast.probe(addr)
+
+    @given(addr_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_line_never_in_both_partitions(self, addrs):
+        a = AsymmetricL1()
+        for addr in addrs:
+            a.access(addr)
+        for addr in addrs:
+            assert not (a.fast.probe(addr) and a.slow.probe(addr))
+
+    @given(addr_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_stats_conservation(self, addrs):
+        a = AsymmetricL1()
+        for addr in addrs:
+            a.access(addr)
+        s = a.stats
+        assert s.fast_hits + s.slow_hits + s.misses == len(addrs)
+
+    @given(addr_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_latency_is_fast_or_slow_constant(self, addrs):
+        a = AsymmetricL1()
+        for addr in addrs:
+            _, latency = a.access(addr)
+            assert latency in (a.fast_hit_cycles, a.slow_hit_cycles)
+
+
+class TestPredictorProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_mispredictions_bounded_by_lookups(self, outcomes):
+        p = TournamentPredictor()
+        for t in outcomes:
+            p.update(0x400, t)
+        assert 0 <= p.mispredictions <= p.lookups
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=64))
+    @settings(max_examples=40, deadline=None)
+    def test_ras_balanced_sequences_never_mispredict(self, pcs):
+        ras = ReturnAddressStack(depth=len(pcs) + 1)
+        for pc in pcs:
+            ras.push(pc)
+        for pc in reversed(pcs):
+            assert ras.pop(pc) is False
+
+
+class TestVFCurveProperties:
+    @given(st.floats(min_value=0.56, max_value=0.94))
+    @settings(max_examples=60, deadline=None)
+    def test_cmos_roundtrip(self, v):
+        f = CMOS_VF.freq_ghz(v)
+        assert CMOS_VF.vdd_for(f) == pytest.approx(v, abs=1e-5)
+
+    @given(st.floats(min_value=0.25, max_value=0.59))
+    @settings(max_examples=60, deadline=None)
+    def test_tfet_monotone(self, v):
+        assert TFET_VF.freq_ghz(v + 0.005) > TFET_VF.freq_ghz(v)
+
+
+class TestScalingProperties:
+    @given(
+        st.floats(min_value=0.1, max_value=2.0),
+        st.floats(min_value=0.1, max_value=2.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dynamic_scale_multiplicative(self, v1, v2):
+        # scale(v1 -> v2) * scale(v2 -> v1) == 1
+        assert dynamic_energy_scale(v1, v2) * dynamic_energy_scale(v2, v1) == (
+            pytest.approx(1.0)
+        )
+
+    @given(st.floats(min_value=0.1, max_value=2.0))
+    @settings(max_examples=60, deadline=None)
+    def test_scales_positive(self, v):
+        assert dynamic_energy_scale(v, 0.73) > 0
+        assert leakage_power_scale(v, 0.73) > 0
+
+
+class TestMetricProperties:
+    @given(
+        st.floats(min_value=1e-9, max_value=1e3),
+        st.floats(min_value=1e-9, max_value=1e3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ed2_dominated_by_delay(self, e, t):
+        assert ed2_product(e, t) == pytest.approx(ed_product(e, t) * t)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_geomean_between_min_and_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) * (1 - 1e-9) <= g <= max(values) * (1 + 1e-9)
+
+
+class TestGeneratorProperties:
+    @given(st.integers(min_value=1, max_value=2000), st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_any_length_validates(self, n, seed):
+        from repro.workloads import cpu_app, generate_trace
+
+        trace = generate_trace(cpu_app("fmm"), n, seed=seed)
+        trace.validate()
+        assert len(trace) == n
+
+    @given(st.integers(0, 3))
+    @settings(max_examples=4, deadline=None)
+    def test_core_executes_any_seed(self, seed):
+        from repro.cpu.core import CoreConfig, OutOfOrderCore
+        from repro.cpu.units import FunctionalUnitPool
+        from repro.mem.hierarchy import CacheLatencies, MemoryHierarchy
+        from repro.workloads import cpu_app, generate_trace
+
+        trace = generate_trace(cpu_app("radiosity"), 3000, seed=seed)
+        core = OutOfOrderCore(
+            CoreConfig(), MemoryHierarchy(CacheLatencies()), FunctionalUnitPool()
+        )
+        result = core.run(trace)
+        assert result.committed == 3000
+        assert result.cycles > 0
+

@@ -1,0 +1,168 @@
+"""Tests for workload profiles and the CPU trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.uops import UopType
+from repro.workloads import CPU_APPS, cpu_app, generate_trace
+from repro.workloads.generator import MAX_DEP_DIST
+from repro.workloads.profiles import AppProfile
+
+
+class TestProfiles:
+    def test_fourteen_applications(self):
+        assert len(CPU_APPS) == 14
+
+    def test_paper_suite_composition(self):
+        splash = [p for p in CPU_APPS.values() if p.suite == "splash2"]
+        parsec = [p for p in CPU_APPS.values() if p.suite == "parsec"]
+        assert len(splash) == 10
+        assert len(parsec) == 4
+
+    def test_expected_apps_present(self):
+        for name in ("barnes", "fft", "lu", "radix", "raytrace",
+                     "blackscholes", "canneal", "streamcluster"):
+            assert name in CPU_APPS
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            cpu_app("doom")
+
+    def test_radix_is_integer_only(self):
+        assert cpu_app("radix").fp_fraction == 0.0
+
+    def test_fp_apps_have_fp_fraction(self):
+        for name in ("lu", "fft", "blackscholes", "water-nsq"):
+            assert cpu_app(name).fp_fraction > 0.2
+
+    def test_canneal_has_poor_locality(self):
+        canneal = cpu_app("canneal")
+        barnes = cpu_app("barnes")
+        outer = lambda p: p.p_warm + p.p_big + p.p_mem  # noqa: E731
+        assert outer(canneal) > 2 * outer(barnes)
+
+    def test_mix_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            AppProfile(name="bad", suite="x", input_name="x", f_load=0.9, f_store=0.2)
+
+    def test_locality_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            AppProfile(name="bad", suite="x", input_name="x", p_stack=0.9, p_hot=0.3)
+
+
+class TestGeneratorStructure:
+    def setup_method(self):
+        self.trace = generate_trace(cpu_app("barnes"), 20000, seed=3)
+
+    def test_requested_length(self):
+        assert len(self.trace) == 20000
+
+    def test_validates(self):
+        self.trace.validate()
+
+    def test_deterministic(self):
+        t2 = generate_trace(cpu_app("barnes"), 20000, seed=3)
+        assert (self.trace.op == t2.op).all()
+        assert (self.trace.addr == t2.addr).all()
+        assert (self.trace.pc == t2.pc).all()
+
+    def test_seeds_differ(self):
+        t2 = generate_trace(cpu_app("barnes"), 20000, seed=4)
+        assert not (self.trace.op == t2.op).all()
+
+    def test_mix_close_to_profile(self):
+        p = cpu_app("barnes")
+        mix = self.trace.mix()
+        assert mix["LOAD"] == pytest.approx(p.f_load, abs=0.02)
+        assert mix["BRANCH"] == pytest.approx(p.f_branch, abs=0.02)
+        assert mix["FMUL"] == pytest.approx(p.f_fmul, abs=0.02)
+
+    def test_dep_distances_bounded(self):
+        assert int(self.trace.src1_dist.max()) <= MAX_DEP_DIST
+        assert int(self.trace.src2_dist.max()) <= MAX_DEP_DIST
+
+    def test_memory_ops_have_addresses(self):
+        mem = np.isin(self.trace.op, [int(UopType.LOAD), int(UopType.STORE)])
+        assert (self.trace.addr[mem] > 0).all()
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            generate_trace(cpu_app("barnes"), 0)
+
+
+class TestGeneratorControlFlow:
+    def setup_method(self):
+        self.trace = generate_trace(cpu_app("raytrace"), 30000, seed=1)
+
+    def test_branch_pcs_are_stable_per_static_branch(self):
+        mask = self.trace.op == int(UopType.BRANCH)
+        pcs = np.unique(self.trace.pc[mask])
+        assert len(pcs) <= cpu_app("raytrace").n_static_branches
+
+    def test_branch_outcomes_biased_per_pc(self):
+        mask = self.trace.op == int(UopType.BRANCH)
+        pcs = self.trace.pc[mask]
+        outs = self.trace.taken[mask]
+        extremes = 0
+        total = 0
+        for pc in np.unique(pcs):
+            sel = outs[pcs == pc]
+            if len(sel) >= 20:
+                total += 1
+                rate = sel.mean()
+                if rate < 0.15 or rate > 0.85:
+                    extremes += 1
+        assert total > 10
+        assert extremes / total > 0.5  # most static branches are biased
+
+    def test_calls_and_returns_nest(self):
+        ops = self.trace.op
+        depth = 0
+        for o in ops.tolist():
+            if o == int(UopType.CALL):
+                depth += 1
+            elif o == int(UopType.RET):
+                depth -= 1
+            assert depth >= 0  # generator converts unmatched RETs
+
+    def test_learnable_branches(self):
+        from repro.cpu.branch import TournamentPredictor
+
+        mask = self.trace.op == int(UopType.BRANCH)
+        p = TournamentPredictor()
+        miss = 0
+        total = 0
+        outcomes = list(zip(self.trace.pc[mask].tolist(), self.trace.taken[mask].tolist()))
+        for i, (pc, t) in enumerate(outcomes):
+            wrong = p.update(pc, t)
+            if i > len(outcomes) // 2:
+                miss += wrong
+                total += 1
+        assert miss / total < 0.30  # raytrace is the branchiest app
+
+
+class TestGeneratorLocality:
+    def test_dl1_hit_rates_ranked_by_profile(self):
+        """Good-locality apps must hit DL1 more than pointer chasers."""
+        from repro.mem.cache import Cache
+
+        def dl1_hit(name):
+            trace = generate_trace(cpu_app(name), 30000, seed=0)
+            mem = np.isin(trace.op, [int(UopType.LOAD), int(UopType.STORE)])
+            cache = Cache("dl1", 32 * 1024, 8)
+            for addr in trace.addr[mem].tolist():
+                cache.access(addr)
+            return cache.stats.hit_rate
+
+        assert dl1_hit("blackscholes") > dl1_hit("canneal") + 0.1
+
+    def test_load_use_chains_present(self):
+        p = cpu_app("barnes")
+        trace = generate_trace(p, 30000, seed=0)
+        loads = np.nonzero(trace.op == int(UopType.LOAD))[0]
+        loads = loads[loads < len(trace) - 2]
+        consumed = 0
+        for i in loads.tolist():
+            if trace.src1_dist[i + 1] == 1 or trace.src1_dist[i + 2] == 2:
+                consumed += 1
+        assert consumed / len(loads) > p.p_loaduse * 0.7
