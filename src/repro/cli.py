@@ -6,10 +6,18 @@ Commands
     Show available exhibits, CPU/GPU configurations, apps, and kernels.
 ``exhibit NAME [NAME...]``
     Regenerate paper exhibits (e.g. ``table1``, ``figure7``) and print
-    their tables plus paper-vs-measured comparisons.
-``run CONFIG WORKLOAD``
+    their tables plus paper-vs-measured comparisons.  Each exhibit is
+    followed by a one-line sweep-cache/telemetry summary.
+``run CONFIG WORKLOAD [--json]``
     Run one configuration on one workload (CPU app or GPU kernel) and
-    print the measurement.
+    print the measurement; ``--json`` emits a machine-readable record.
+``stats CONFIG WORKLOAD [--json]``
+    Run one pair with observability enabled and dump the structured
+    counter tree (DL1 fast-way hit rate, ALU steering split, stall
+    breakdown, ...).
+``trace CONFIG WORKLOAD --out FILE [--capacity N]``
+    Run one pair with pipeline tracing enabled and write a Chrome
+    trace-event JSON file (open in ``chrome://tracing`` or Perfetto).
 
 Sweep sizing obeys ``REPRO_INSTRUCTIONS`` / ``REPRO_APPS`` /
 ``REPRO_KERNELS``, as everywhere else.
@@ -18,13 +26,17 @@ Sweep sizing obeys ``REPRO_INSTRUCTIONS`` / ``REPRO_APPS`` /
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from repro import obs
 from repro.core.configs import CPU_CONFIGS, GPU_CONFIGS, cpu_config, gpu_config
 from repro.core.simulate import simulate_cpu, simulate_gpu
 from repro.experiments.figures import ALL_EXHIBITS
-from repro.experiments.report import paper_vs_measured
-from repro.experiments.runner import SweepRunner
+from repro.experiments.report import paper_vs_measured, stall_breakdown_table
+from repro.experiments.runner import SweepRunner, SweepSettings
+from repro.obs.stats import collect_cpu_stats, collect_gpu_stats, format_stats
+from repro.obs.trace import PipelineTracer
 from repro.workloads import CPU_APPS, GPU_KERNELS
 
 #: Exhibits that consume the shared sweep runner.
@@ -56,12 +68,84 @@ def _cmd_exhibit(args: argparse.Namespace) -> int:
         print(result.table)
         print("\npaper vs measured (means):")
         print(paper_vs_measured(result))
+        print(runner.telemetry.cache_summary())
     return 0
 
 
+def _classify(config: str, workload: str) -> "str | None":
+    """"cpu" / "gpu" for a valid (config, workload) pair, else None."""
+    if config in CPU_CONFIGS and workload in CPU_APPS:
+        return "cpu"
+    if config in GPU_CONFIGS and workload in GPU_KERNELS:
+        return "gpu"
+    return None
+
+
+def _no_pair(config: str, workload: str) -> int:
+    print(
+        f"no matching (config, workload) pair for "
+        f"({config!r}, {workload!r}); see `python -m repro list`",
+        file=sys.stderr,
+    )
+    return 2
+
+
+def _single_run(config: str, workload: str, kind: str, tracer=None):
+    """One simulation at the env-controlled sweep sizing."""
+    settings = SweepSettings()
+    if kind == "cpu":
+        return simulate_cpu(
+            cpu_config(config),
+            workload,
+            instructions=settings.instructions,
+            warmup=settings.warmup,
+            tracer=tracer,
+        )
+    return simulate_gpu(gpu_config(config), workload, tracer=tracer)
+
+
+def _run_record(run, kind: str) -> dict:
+    """The machine-readable ``run --json`` payload."""
+    record = {
+        "kind": kind,
+        "config": run.config,
+        "workload": run.app if kind == "cpu" else run.kernel,
+        "time_s": run.time_s,
+        "energy_j": run.energy_j,
+        "power_w": run.power_w,
+        "ed": run.ed,
+        "ed2": run.ed2,
+    }
+    if kind == "cpu":
+        core = run.core
+        record.update(
+            cycles=core.cycles,
+            committed=core.committed,
+            ipc=core.ipc,
+            bpred_miss_rate=core.branch_mispredict_rate,
+            dl1_hit_rate=core.dl1_hit_rate,
+            dl1_fast_way_hit_rate=core.dl1_fast_hit_rate,
+        )
+    else:
+        cu = run.gpu.cu_result
+        record.update(
+            cycles=cu.cycles,
+            instructions=cu.instructions,
+            ipc=cu.ipc,
+            rf_cache_hit_rate=cu.rf_cache_hit_rate,
+        )
+    return record
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    if args.config in CPU_CONFIGS and args.workload in CPU_APPS:
-        run = simulate_cpu(cpu_config(args.config), args.workload)
+    kind = _classify(args.config, args.workload)
+    if kind is None:
+        return _no_pair(args.config, args.workload)
+    run = _single_run(args.config, args.workload, kind)
+    if args.json:
+        print(json.dumps(_run_record(run, kind), indent=2))
+        return 0
+    if kind == "cpu":
         core = run.core
         print(f"{args.config} on {args.workload} (CPU):")
         print(f"  time    {run.time_s * 1e6:.2f} us   energy {run.energy_j * 1e3:.3f} mJ")
@@ -70,21 +154,60 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"  ipc {core.ipc:.2f}  bpred-miss {core.branch_mispredict_rate:.3f}  "
             f"dl1-hit {core.dl1_hit_rate:.3f}  fast-way {core.dl1_fast_hit_rate:.3f}"
         )
-        return 0
-    if args.config in GPU_CONFIGS and args.workload in GPU_KERNELS:
-        run = simulate_gpu(gpu_config(args.config), args.workload)
+    else:
         cu = run.gpu.cu_result
         print(f"{args.config} on {args.workload} (GPU):")
         print(f"  time    {run.time_s * 1e6:.2f} us   energy {run.energy_j * 1e3:.3f} mJ")
         print(f"  ED      {run.ed:.3e}   ED^2  {run.ed2:.3e}")
         print(f"  cu-ipc {cu.ipc:.2f}  rf-cache-hit {cu.rf_cache_hit_rate:.2f}")
-        return 0
-    print(
-        f"no matching (config, workload) pair for "
-        f"({args.config!r}, {args.workload!r}); see `python -m repro list`",
-        file=sys.stderr,
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    kind = _classify(args.config, args.workload)
+    if kind is None:
+        return _no_pair(args.config, args.workload)
+    obs.set_enabled(True)
+    try:
+        run = _single_run(args.config, args.workload, kind)
+        if kind == "cpu":
+            stats = collect_cpu_stats(run)
+        else:
+            stats = collect_gpu_stats(run)
+    finally:
+        obs.set_enabled(False)
+    if args.json:
+        print(json.dumps(stats, indent=2))
+    else:
+        print(format_stats(stats))
+        if kind == "cpu":
+            print("\nstall breakdown:")
+            print(stall_breakdown_table([run]))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    kind = _classify(args.config, args.workload)
+    if kind is None:
+        return _no_pair(args.config, args.workload)
+    if args.capacity <= 0:
+        print("--capacity must be positive", file=sys.stderr)
+        return 2
+    tracer = PipelineTracer(
+        capacity=args.capacity, process_name=f"{args.config}/{args.workload}"
     )
-    return 2
+    obs.set_enabled(True)
+    try:
+        _single_run(args.config, args.workload, kind, tracer=tracer)
+    finally:
+        obs.set_enabled(False)
+    tracer.write(args.out)
+    print(
+        f"wrote {len(tracer)} events to {args.out} "
+        f"({tracer.emitted} emitted, {tracer.dropped} dropped; "
+        f"open in chrome://tracing or Perfetto)"
+    )
+    return 0
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -99,7 +222,38 @@ def main(argv: "list[str] | None" = None) -> int:
     p_run = sub.add_parser("run", help="run one configuration on one workload")
     p_run.add_argument("config")
     p_run.add_argument("workload")
+    p_run.add_argument(
+        "--json", action="store_true", help="emit a machine-readable JSON record"
+    )
+
+    p_stats = sub.add_parser(
+        "stats", help="run one pair and dump the structured counter tree"
+    )
+    p_stats.add_argument("config")
+    p_stats.add_argument("workload")
+    p_stats.add_argument(
+        "--json", action="store_true", help="emit the counter tree as JSON"
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="run one pair and write a Chrome trace-event file"
+    )
+    p_trace.add_argument("config")
+    p_trace.add_argument("workload")
+    p_trace.add_argument("--out", required=True, metavar="FILE")
+    p_trace.add_argument(
+        "--capacity",
+        type=int,
+        default=65536,
+        help="ring-buffer size (oldest events drop beyond this)",
+    )
 
     args = parser.parse_args(argv)
-    handlers = {"list": _cmd_list, "exhibit": _cmd_exhibit, "run": _cmd_run}
+    handlers = {
+        "list": _cmd_list,
+        "exhibit": _cmd_exhibit,
+        "run": _cmd_run,
+        "stats": _cmd_stats,
+        "trace": _cmd_trace,
+    }
     return handlers[args.command](args)

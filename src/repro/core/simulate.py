@@ -110,6 +110,7 @@ def simulate_cpu(
     warmup: int = DEFAULT_WARMUP,
     detailed_cores: int = 1,
     seed: int = 0,
+    tracer=None,
 ) -> CpuRunResult:
     """Run one CPU configuration on one application.
 
@@ -117,6 +118,8 @@ def simulate_cpu(
     instructions of cache/predictor warm-up that are excluded from the
     measurement).  Energy is chip-level: dynamic for the fixed total work,
     leakage for all ``design.n_cores`` cores over the parallel runtime.
+    ``tracer`` (a :class:`repro.obs.trace.PipelineTracer`) records the
+    first detailed core's pipeline events when given.
     """
     profile = cpu_app(app) if isinstance(app, str) else app
 
@@ -128,7 +131,13 @@ def simulate_cpu(
             resources=design.resources(),
             steering_enabled=design.dual_speed_alu,
         )
-        return OutOfOrderCore(config, hierarchy, design.build_units())
+        return OutOfOrderCore(
+            config,
+            hierarchy,
+            design.build_units(),
+            name=f"cpu.core{core_idx}",
+            tracer=tracer if core_idx == 0 else None,
+        )
 
     def trace_factory(core_idx: int):
         return generate_trace(profile, instructions, seed=seed + core_idx)
@@ -164,6 +173,7 @@ def simulate_gpu(
     design: GpuDesign,
     kernel: "str | KernelProfile",
     seed: int = 0,
+    tracer=None,
 ) -> GpuRunResult:
     """Run one GPU configuration on one kernel.
 
@@ -182,7 +192,7 @@ def simulate_gpu(
         ),
         n_cus=design.n_cus,
     )
-    result = run_gpu(gpu_cfg, trace)
+    result = run_gpu(gpu_cfg, trace, tracer=tracer)
     knobs = design.energy_knobs()
     # The detailed CU executed one CU's share of the reference machine's
     # work; the whole job is 8 such shares regardless of this design's CU

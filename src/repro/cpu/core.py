@@ -28,7 +28,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from functools import partial
 
+from repro import obs
 from repro.cpu.branch import BranchTargetBuffer, ReturnAddressStack, TournamentPredictor
 from repro.cpu.resources import CoreResources, ResourceConfig
 from repro.cpu.steering import DualSpeedSteering
@@ -36,6 +38,16 @@ from repro.cpu.trace import Trace
 from repro.cpu.units import FunctionalUnitPool
 from repro.cpu.uops import UopType
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import (
+    STAGE_COMMIT,
+    STAGE_FETCH,
+    STAGE_ISSUE,
+    STAGE_MEM,
+    STAGE_STALL,
+    STAGE_STEER,
+    PipelineTracer,
+)
 
 _INF = 1 << 60
 
@@ -51,6 +63,9 @@ _FADD = int(UopType.FADD)
 _FMUL = int(UopType.FMUL)
 _FDIV = int(UopType.FDIV)
 _NOP = int(UopType.NOP)
+
+#: Trace-event name per op (tracing-only lookup, off the default path).
+_TRACE_NAMES = {int(t): t.name.lower() for t in UopType}
 
 _ALU_CLASS = frozenset({_IALU, _BRANCH, _CALL, _RET, _NOP})
 _MULDIV_CLASS = frozenset({_IMUL, _IDIV})
@@ -108,9 +123,28 @@ class ActivityCounts:
     l2_accesses: int = 0
     l3_accesses: int = 0
     dram_accesses: int = 0
+    #: Stall breakdown: cycles in which no op issued, by first cause.
+    stall_frontend_cycles: int = 0
+    stall_dep_cycles: int = 0
+    stall_mem_cycles: int = 0
+    stall_structural_cycles: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
+
+    def stall_breakdown(self, cycles: int) -> dict[str, float]:
+        """Stall-cycle fractions of ``cycles`` (plus the busy remainder)."""
+        if cycles <= 0:
+            return {k: 0.0 for k in
+                    ("frontend", "dep", "mem", "structural", "busy")}
+        stalls = {
+            "frontend": self.stall_frontend_cycles / cycles,
+            "dep": self.stall_dep_cycles / cycles,
+            "mem": self.stall_mem_cycles / cycles,
+            "structural": self.stall_structural_cycles / cycles,
+        }
+        stalls["busy"] = max(0.0, 1.0 - sum(stalls.values()))
+        return stalls
 
 
 @dataclass
@@ -147,14 +181,50 @@ class OutOfOrderCore:
         config: CoreConfig,
         hierarchy: MemoryHierarchy,
         units: FunctionalUnitPool,
+        name: str = "cpu.core0",
+        tracer: "PipelineTracer | None" = None,
     ):
         self.config = config
         self.hierarchy = hierarchy
         self.units = units
+        self.name = name
+        self.tracer = tracer
         self.predictor = TournamentPredictor()
         self.btb = BranchTargetBuffer()
         self.ras = ReturnAddressStack()
         self.resources = CoreResources(config.resources)
+        #: Per-run metrics registry (rebuilt by :meth:`run`).
+        self.metrics: "MetricsRegistry | None" = None
+
+    def _build_metrics(
+        self, act: ActivityCounts, steering: DualSpeedSteering
+    ) -> MetricsRegistry:
+        """A probe-only registry over every counter this core touches.
+
+        Probes read the live objects lazily, so registration costs nothing
+        on the per-cycle path; ``snapshot()``/``delta()`` at the warm-up
+        boundary replace the old hand-rolled snapshot dict.
+        """
+        reg = MetricsRegistry(self.name, enabled=True)
+        for fname in act.as_dict():
+            reg.probe(f"activity.{fname}", partial(getattr, act, fname))
+        h = self.hierarchy
+        h.il1.publish(reg, "il1")
+        h.l2.publish(reg, "l2")
+        h.l3.publish(reg, "l3")
+        h.dl1.publish(reg, "dl1")
+        reg.probe("dram.accesses", lambda: h.dram_accesses)
+        predictor = self.predictor
+        reg.probe("bpred.lookups", lambda: predictor.lookups)
+        reg.probe("bpred.mispredictions", lambda: predictor.mispredictions)
+        units = self.units
+        reg.probe("alu.fast_ops", lambda: units.alu_fast_ops)
+        reg.probe("alu.slow_ops", lambda: units.alu_slow_ops)
+        reg.probe("muldiv.ops", lambda: units.muldiv_ops)
+        reg.probe("fpu.ops", lambda: units.fpu_ops)
+        reg.probe("lsu.ops", lambda: units.lsu_ops)
+        steering.publish(reg, "steer")
+        return reg
 
     def run(self, trace: Trace, warmup: int = 0) -> CoreResult:
         """Execute ``trace`` and return statistics for the post-warmup part.
@@ -178,6 +248,15 @@ class OutOfOrderCore:
             trace, window=cfg.issue_width, enabled=cfg.steering_enabled
         )
 
+        act = ActivityCounts()
+        metrics = self._build_metrics(act, steering)
+        self.metrics = metrics
+        if obs.enabled():
+            get_registry().mount(self.name, metrics)
+        # Tracing is opt-in per run; a None local keeps the guard to a
+        # single truth test per event site (zero-overhead-when-off).
+        tracer = self.tracer
+
         ready = [_INF] * n  # completion cycle per trace entry
         rob: deque[int] = deque()
         iq: list[int] = []
@@ -191,7 +270,6 @@ class OutOfOrderCore:
 
         cycle = 0
         committed = 0
-        act = ActivityCounts()
         resources = self.resources
         units = self.units
         hierarchy = self.hierarchy
@@ -202,7 +280,7 @@ class OutOfOrderCore:
         measure_start_cycle = 0
         snapshot: dict[str, float] | None = None
         if warmup == 0:
-            snapshot = self._snapshot(act)
+            snapshot = metrics.snapshot()
 
         issue_width = cfg.issue_width
         dispatch_width = cfg.dispatch_width
@@ -226,9 +304,11 @@ class OutOfOrderCore:
                 committed += 1
                 ncommit += 1
                 act.committed += 1
+                if tracer is not None:
+                    tracer.emit(cycle, "commit", STAGE_COMMIT, idx=head, op=hop)
                 if committed == warmup:
                     measure_start_cycle = cycle
-                    snapshot = self._snapshot(act)
+                    snapshot = metrics.snapshot()
 
             # ---- issue ----
             if iq:
@@ -265,6 +345,13 @@ class OutOfOrderCore:
                             # Stores drain through the store buffer; they do
                             # not stall commit beyond address generation.
                             latency = agu
+                        if tracer is not None and access.level not in (
+                            "dl1", "dl1-fast"
+                        ):
+                            tracer.emit(
+                                cycle, "dl1_miss", STAGE_MEM,
+                                idx=idx, level=access.level,
+                            )
                     elif o in _FP_CLASS:
                         fl = units.issue_fpu(cycle, o)
                         if fl is None:
@@ -281,6 +368,11 @@ class OutOfOrderCore:
                     ready[idx] = completion
                     resources.issue()
                     nissued += 1
+                    if tracer is not None:
+                        tracer.emit(
+                            cycle, _TRACE_NAMES[o], STAGE_ISSUE,
+                            dur=latency, idx=idx,
+                        )
                     if idx == pending_redirect:
                         blocked = completion + cfg.redirect_penalty
                         if blocked > fetch_blocked_until:
@@ -288,6 +380,38 @@ class OutOfOrderCore:
                         pending_redirect = -1
                 iq = still_waiting
                 act.issued += nissued
+                if nissued == 0:
+                    # Nothing issued: classify the cycle by its first cause.
+                    # The oldest blocked op wins; re-examining it here keeps
+                    # the per-op issue path above free of any bookkeeping.
+                    # An in-flight-load producer counts as a memory stall,
+                    # any other producer as a dependency stall; an op held
+                    # only by a busy functional unit is structural.
+                    oldest = iq[0]
+                    d1 = src1_arr[oldest]
+                    d2 = src2_arr[oldest]
+                    if d1 and ready[oldest - d1] > cycle:
+                        producer = oldest - d1
+                    elif d2 and ready[oldest - d2] > cycle:
+                        producer = oldest - d2
+                    else:
+                        producer = -1
+                    if producer >= 0:
+                        if int(op_arr[producer]) == _LOAD:
+                            act.stall_mem_cycles += 1
+                            reason = "mem"
+                        else:
+                            act.stall_dep_cycles += 1
+                            reason = "dep"
+                    else:
+                        act.stall_structural_cycles += 1
+                        reason = "structural"
+                    if tracer is not None:
+                        tracer.emit(cycle, "stall", STAGE_STALL, reason=reason)
+            elif rob or fetch_q or next_fetch < n:
+                act.stall_frontend_cycles += 1
+                if tracer is not None:
+                    tracer.emit(cycle, "stall", STAGE_STALL, reason="frontend")
 
             # ---- dispatch ----
             ndisp = 0
@@ -302,6 +426,13 @@ class OutOfOrderCore:
                 fetch_q.popleft()
                 resources.dispatch(is_mem, w_int, w_fp)
                 prefer_fast[idx] = steering.prefer_fast(idx)
+                if tracer is not None and o in _ALU_CLASS:
+                    tracer.emit(
+                        cycle,
+                        "steer_fast" if prefer_fast[idx] else "steer_slow",
+                        STAGE_STEER,
+                        idx=idx,
+                    )
                 rob.append(idx)
                 iq.append(idx)
                 ndisp += 1
@@ -346,6 +477,11 @@ class OutOfOrderCore:
                         act.il1_accesses += 1
                         if access.latency > hierarchy.latencies.il1_rt:
                             fetch_blocked_until = cycle + access.latency
+                            if tracer is not None:
+                                tracer.emit(
+                                    cycle, "il1_miss", STAGE_FETCH,
+                                    dur=access.latency, level=access.level,
+                                )
                             break
                     o = int(op_arr[idx])
                     mispredicted = False
@@ -370,6 +506,8 @@ class OutOfOrderCore:
                     act.fetched += 1
                     if mispredicted:
                         pending_redirect = idx
+                        if tracer is not None:
+                            tracer.emit(cycle, "mispredict", STAGE_FETCH, idx=idx)
                         break
 
             cycle += 1
@@ -382,95 +520,56 @@ class OutOfOrderCore:
         if snapshot is None:
             raise RuntimeError("warmup never completed")
         return self._finalize(
-            snapshot, cycle - measure_start_cycle, n - warmup, act
+            metrics.delta(snapshot), cycle - measure_start_cycle, n - warmup, act
         )
 
     # ------------------------------------------------------------------
-    def _snapshot(self, act: ActivityCounts) -> dict[str, float]:
-        """Capture cumulative counters at the measurement boundary."""
-        h = self.hierarchy
-        snap: dict[str, float] = {
-            f"act_{name}": value for name, value in act.as_dict().items()
-        }
-        snap.update({
-            "il1_acc": h.il1.stats.accesses,
-            "il1_hit": h.il1.stats.hits,
-            "l2_acc": h.l2.stats.accesses,
-            "l2_hit": h.l2.stats.hits,
-            "l3_acc": h.l3.stats.accesses,
-            "l3_hit": h.l3.stats.hits,
-            "dram": h.dram_accesses,
-            "bp_lookups": self.predictor.lookups,
-            "bp_misses": self.predictor.mispredictions,
-            "alu_fast": self.units.alu_fast_ops,
-            "alu_slow": self.units.alu_slow_ops,
-            "muldiv": self.units.muldiv_ops,
-            "fpu": self.units.fpu_ops,
-            "lsu": self.units.lsu_ops,
-        })
-        if h.has_asymmetric_dl1:
-            s = h.dl1.stats
-            snap.update(
-                dl1_fast_hits=s.fast_hits,
-                dl1_slow_hits=s.slow_hits,
-                dl1_misses=s.misses,
-                dl1_moves=s.line_moves,
-            )
-        else:
-            s = h.dl1.stats
-            snap.update(dl1_acc=s.accesses, dl1_hit=s.hits)
-        return snap
-
     def _finalize(
         self,
-        snap: dict[str, float],
+        delta: dict[str, float],
         cycles: int,
         committed: int,
         act: ActivityCounts,
     ) -> CoreResult:
-        h = self.hierarchy
-
-        def d(key: str, now: float) -> float:
-            return now - snap.get(key, 0)
+        """Turn a registry delta (measured window) into a CoreResult."""
+        d = delta.get
 
         # Rebase cumulative activity counters to the measurement window.
-        for name, value in act.as_dict().items():
-            setattr(act, name, int(value - snap.get(f"act_{name}", 0)))
+        for name in act.as_dict():
+            setattr(act, name, int(d(f"activity.{name}", 0)))
 
-        bp_lookups = d("bp_lookups", self.predictor.lookups)
-        bp_misses = d("bp_misses", self.predictor.mispredictions)
+        bp_lookups = d("bpred.lookups", 0)
+        bp_misses = d("bpred.mispredictions", 0)
         act.bpred_lookups = int(bp_lookups)
-        act.alu_fast_ops = int(d("alu_fast", self.units.alu_fast_ops))
-        act.alu_slow_ops = int(d("alu_slow", self.units.alu_slow_ops))
-        act.muldiv_ops = int(d("muldiv", self.units.muldiv_ops))
-        act.fpu_ops = int(d("fpu", self.units.fpu_ops))
-        act.lsu_ops = int(d("lsu", self.units.lsu_ops))
-        act.l2_accesses = int(d("l2_acc", h.l2.stats.accesses))
-        act.l3_accesses = int(d("l3_acc", h.l3.stats.accesses))
-        act.dram_accesses = int(d("dram", h.dram_accesses))
-        l2_acc = d("l2_acc", h.l2.stats.accesses)
-        l2_hit = d("l2_hit", h.l2.stats.hits)
-        l3_acc = d("l3_acc", h.l3.stats.accesses)
-        l3_hit = d("l3_hit", h.l3.stats.hits)
+        act.alu_fast_ops = int(d("alu.fast_ops", 0))
+        act.alu_slow_ops = int(d("alu.slow_ops", 0))
+        act.muldiv_ops = int(d("muldiv.ops", 0))
+        act.fpu_ops = int(d("fpu.ops", 0))
+        act.lsu_ops = int(d("lsu.ops", 0))
+        act.l2_accesses = int(d("l2.accesses", 0))
+        act.l3_accesses = int(d("l3.accesses", 0))
+        act.dram_accesses = int(d("dram.accesses", 0))
+        l2_acc = d("l2.accesses", 0)
+        l2_hit = d("l2.hits", 0)
+        l3_acc = d("l3.accesses", 0)
+        l3_hit = d("l3.hits", 0)
 
-        if h.has_asymmetric_dl1:
-            s = h.dl1.stats
-            fast_hits = d("dl1_fast_hits", s.fast_hits)
-            slow_hits = d("dl1_slow_hits", s.slow_hits)
-            misses = d("dl1_misses", s.misses)
+        if self.hierarchy.has_asymmetric_dl1:
+            fast_hits = d("dl1.fast_way_hits", 0)
+            slow_hits = d("dl1.slow_way_hits", 0)
+            misses = d("dl1.misses", 0)
             accesses = fast_hits + slow_hits + misses
             act.dl1_accesses = int(accesses)
             act.dl1_fast_hits = int(fast_hits)
             act.dl1_slow_accesses = int(slow_hits + misses)
-            act.dl1_line_moves = int(d("dl1_moves", s.line_moves))
+            act.dl1_line_moves = int(d("dl1.line_moves", 0))
             dl1_hit_rate = (
                 (fast_hits + slow_hits) / accesses if accesses else 1.0
             )
             fast_rate = fast_hits / accesses if accesses else 0.0
         else:
-            s = h.dl1.stats
-            accesses = d("dl1_acc", s.accesses)
-            hits = d("dl1_hit", s.hits)
+            accesses = d("dl1.accesses", 0)
+            hits = d("dl1.hits", 0)
             act.dl1_accesses = int(accesses)
             dl1_hit_rate = hits / accesses if accesses else 1.0
             fast_rate = 0.0

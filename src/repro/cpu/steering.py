@@ -69,3 +69,19 @@ class DualSpeedSteering:
     def preference_rate(self) -> float:
         """Fraction of examined ALU ops steered to the fast ALU."""
         return self.preferred / self.examined if self.examined else 0.0
+
+    @property
+    def fast_dispatches(self) -> int:
+        """ALU ops steered to the CMOS (fast) ALU at dispatch."""
+        return self.preferred
+
+    @property
+    def slow_dispatches(self) -> int:
+        """ALU ops left to the TFET (slow) ALUs at dispatch."""
+        return self.examined - self.preferred
+
+    def publish(self, registry, prefix: str = "steer") -> None:
+        """Register lazy probes for the steering decision counters."""
+        registry.probe(f"{prefix}.examined", lambda: self.examined)
+        registry.probe(f"{prefix}.fast_alu_dispatches", lambda: self.fast_dispatches)
+        registry.probe(f"{prefix}.slow_alu_dispatches", lambda: self.slow_dispatches)

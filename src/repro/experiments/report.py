@@ -1,8 +1,11 @@
-"""Paper-vs-measured reporting (feeds EXPERIMENTS.md)."""
+"""Paper-vs-measured reporting (feeds EXPERIMENTS.md) and stall tables."""
 
 from __future__ import annotations
 
 from repro.experiments.figures import FigureResult
+
+#: Stall-breakdown column order (fractions of measured cycles).
+STALL_COLUMNS = ("frontend", "dep", "mem", "structural", "busy")
 
 
 def paper_vs_measured(result: FigureResult) -> str:
@@ -17,6 +20,43 @@ def paper_vs_measured(result: FigureResult) -> str:
         measured = result.measured_means.get(key)
         measured_str = f"{measured:.3f}" if isinstance(measured, (int, float)) else "n/a"
         lines.append(f"| {key} | {paper_value:.3f} | {measured_str} |")
+    return "\n".join(lines)
+
+
+def stall_breakdown_rows(runs: "list") -> "list[dict]":
+    """Stall-cycle fractions per CPU run (``CpuRunResult``), one row each.
+
+    Each row carries the identifying config/app pair, the IPC, and one
+    column per :data:`STALL_COLUMNS` entry -- the fraction of measured
+    cycles on which no op issued for that (first-cause) reason, plus the
+    busy remainder.
+    """
+    rows = []
+    for run in runs:
+        core = run.core
+        breakdown = core.activity.stall_breakdown(core.cycles)
+        rows.append(
+            {
+                "config": run.config,
+                "app": run.app,
+                "ipc": round(core.ipc, 3),
+                **{col: round(breakdown[col], 3) for col in STALL_COLUMNS},
+            }
+        )
+    return rows
+
+
+def stall_breakdown_table(runs: "list") -> str:
+    """The stall breakdown as a markdown table (columns = stall causes)."""
+    header = ["config", "app", "ipc", *STALL_COLUMNS]
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "---|" * len(header),
+    ]
+    for row in stall_breakdown_rows(runs):
+        lines.append(
+            "| " + " | ".join(str(row[col]) for col in header) + " |"
+        )
     return "\n".join(lines)
 
 

@@ -5,15 +5,25 @@ CPU runs, and Figures 10-12 the same GPU runs; the runner executes each
 pair once and caches the result.  Sweep size is controlled by
 :class:`SweepSettings`; the ``REPRO_INSTRUCTIONS`` / ``REPRO_APPS`` /
 ``REPRO_KERNELS`` environment variables override it for quick runs.
+
+Every lookup is accounted by the runner's :class:`SweepTelemetry`
+(:mod:`repro.obs.telemetry`): executed runs record wall time and simulated
+instructions per second, cache-served lookups bump hit counters (also
+mirrored into the global metrics registry as ``sweep.cpu.cache_hits``
+etc.), and registered progress callbacks fire after each lookup so long
+sweeps can report live.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.configs import cpu_config, gpu_config
 from repro.core.simulate import CpuRunResult, GpuRunResult, simulate_cpu, simulate_gpu
+from repro.obs.telemetry import SweepTelemetry
 from repro.workloads.gpu_profiles import GPU_KERNELS
 from repro.workloads.profiles import CPU_APPS
 
@@ -51,10 +61,22 @@ class SweepSettings:
 
 
 class SweepRunner:
-    """Runs and caches (configuration, workload) measurements."""
+    """Runs and caches (configuration, workload) measurements.
 
-    def __init__(self, settings: SweepSettings | None = None):
+    ``progress`` (or any callback added later via
+    ``runner.telemetry.on_progress``) is called with an event dict after
+    every lookup -- cached or not -- so callers can surface live status.
+    """
+
+    def __init__(
+        self,
+        settings: SweepSettings | None = None,
+        progress: "Callable[[dict], None] | None" = None,
+    ):
         self.settings = settings or SweepSettings()
+        self.telemetry = SweepTelemetry()
+        if progress is not None:
+            self.telemetry.on_progress(progress)
         self._cpu_cache: dict[tuple[str, str], CpuRunResult] = {}
         self._gpu_cache: dict[tuple[str, str], GpuRunResult] = {}
         self._dvfs_cache: dict[tuple[str, str, float, bool], CpuRunResult] = {}
@@ -64,9 +86,12 @@ class SweepRunner:
     ) -> CpuRunResult:
         """A DVFS/guardband point (Figure 14), cached like the sweeps."""
         key = (config_name, app, freq_ghz, variation)
-        if key not in self._dvfs_cache:
+        cached = key in self._dvfs_cache
+        wall = 0.0
+        if not cached:
             from repro.core.dvfs import HetCoreDvfs
 
+            start = time.perf_counter()
             self._dvfs_cache[key] = HetCoreDvfs().simulate_at(
                 cpu_config(config_name),
                 app,
@@ -75,24 +100,50 @@ class SweepRunner:
                 instructions=self.settings.instructions,
                 warmup=self.settings.warmup,
             )
-        return self._dvfs_cache[key]
+            wall = time.perf_counter() - start
+        result = self._dvfs_cache[key]
+        self.telemetry.record_run(
+            "dvfs", config_name, app, wall, result.core.committed, cached
+        )
+        return result
 
     def cpu_run(self, config_name: str, app: str) -> CpuRunResult:
         key = (config_name, app)
-        if key not in self._cpu_cache:
+        cached = key in self._cpu_cache
+        wall = 0.0
+        if not cached:
+            start = time.perf_counter()
             self._cpu_cache[key] = simulate_cpu(
                 cpu_config(config_name),
                 app,
                 instructions=self.settings.instructions,
                 warmup=self.settings.warmup,
             )
-        return self._cpu_cache[key]
+            wall = time.perf_counter() - start
+        result = self._cpu_cache[key]
+        self.telemetry.record_run(
+            "cpu", config_name, app, wall, result.core.committed, cached
+        )
+        return result
 
     def gpu_run(self, config_name: str, kernel: str) -> GpuRunResult:
         key = (config_name, kernel)
-        if key not in self._gpu_cache:
+        cached = key in self._gpu_cache
+        wall = 0.0
+        if not cached:
+            start = time.perf_counter()
             self._gpu_cache[key] = simulate_gpu(gpu_config(config_name), kernel)
-        return self._gpu_cache[key]
+            wall = time.perf_counter() - start
+        result = self._gpu_cache[key]
+        self.telemetry.record_run(
+            "gpu",
+            config_name,
+            kernel,
+            wall,
+            result.gpu.cu_result.instructions,
+            cached,
+        )
+        return result
 
     def cpu_sweep(self, config_names: list[str]) -> dict[str, dict[str, CpuRunResult]]:
         """All (config, app) results as {config: {app: result}}."""

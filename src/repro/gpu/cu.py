@@ -29,8 +29,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.gpu.partitioned_rf import PartitionedRegisterFile
 from repro.gpu.regfile import RegisterFileCache, VectorRegisterFile
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import STAGE_ISSUE, STAGE_MEM, STAGE_STALL, PipelineTracer
 from repro.workloads.gpu_generator import OP_FMA, KernelTrace
 
 #: SIMD units per compute unit (AMD Southern Islands).
@@ -99,11 +102,15 @@ class CUResult:
 class ComputeUnit:
     """One compute unit bound to a config; run a kernel trace through it."""
 
-    def __init__(self, config: CUConfig):
+    def __init__(self, config: CUConfig, tracer: "PipelineTracer | None" = None):
         self.config = config
+        self.tracer = tracer
+        #: Per-run metrics registry (rebuilt by :meth:`run`).
+        self.metrics: "MetricsRegistry | None" = None
 
     def run(self, trace: KernelTrace) -> CUResult:
         cfg = self.config
+        tracer = self.tracer
         n_wf = trace.n_wavefronts
         n_ins = trace.stream_len
 
@@ -166,6 +173,7 @@ class ComputeUnit:
                 pool = groups[s]
                 if not pool:
                     continue
+                saw_dep = False
                 for k in range(len(pool)):
                     wf = pool[(rr[s] + k) % len(pool)]
                     i = ip[wf]
@@ -173,6 +181,8 @@ class ComputeUnit:
                         continue
                     d = dep_list[wf][i]
                     if d and done[wf][i - d] > cycle:
+                        if tracer is not None:
+                            saw_dep = True
                         continue
                     latency = operand_latency(wf, i) + cfg.fma_depth
                     done[wf][i] = cycle + latency
@@ -186,7 +196,18 @@ class ComputeUnit:
                     ip[wf] = i + 1
                     if ip[wf] == n_ins:
                         remaining -= 1
+                    if tracer is not None:
+                        tracer.emit(
+                            cycle, "fma", STAGE_ISSUE, dur=latency, simd=s, wf=wf
+                        )
                     break
+                else:
+                    # No wavefront on this SIMD could issue this cycle.
+                    if tracer is not None:
+                        tracer.emit(
+                            cycle, "wf_stall", STAGE_STALL, simd=s,
+                            reason="dep" if saw_dep else "drained",
+                        )
                 rr[s] = (rr[s] + 1) % len(pool)
 
             # ---- memory issue: one per CU ----
@@ -203,6 +224,10 @@ class ComputeUnit:
                 ip[wf] = i + 1
                 if ip[wf] == n_ins:
                     remaining -= 1
+                if tracer is not None:
+                    tracer.emit(
+                        cycle, "gmem", STAGE_MEM, dur=mem_latency, wf=wf
+                    )
                 break
             mem_rr = (mem_rr + 1) % n_wf
 
@@ -212,6 +237,17 @@ class ComputeUnit:
 
         end = max(max(row) for row in done) if n_wf else 0
         total_cycles = max(cycle, end)
+        reg = MetricsRegistry("cu", enabled=True)
+        rf.publish(reg, "rf")
+        if rf_cache is not None:
+            rf_cache.publish(reg, "rfc")
+        reg.gauge("cycles").set(total_cycles)
+        reg.gauge("fma_ops").set(fma_ops)
+        reg.gauge("mem_ops").set(mem_ops)
+        reg.gauge("wavefronts").set(n_wf)
+        self.metrics = reg
+        if obs.enabled():
+            get_registry().mount("gpu.cu", reg)
         return CUResult(
             cycles=total_cycles,
             instructions=n_wf * n_ins,

@@ -62,7 +62,7 @@ def memory_contention_scale(n_cus: int, mem_intensity: float) -> float:
     return 1.0 + GPU_CONTENTION_ALPHA * extra * mem_intensity
 
 
-def run_gpu(config: GpuConfig, trace: KernelTrace) -> GpuResult:
+def run_gpu(config: GpuConfig, trace: KernelTrace, tracer=None) -> GpuResult:
     """Run ``trace``'s kernel on the configured GPU at fixed total work.
 
     The kernel trace describes the work one CU receives on the reference
@@ -79,7 +79,7 @@ def run_gpu(config: GpuConfig, trace: KernelTrace) -> GpuResult:
         rf_cache_entries=config.cu.rf_cache_entries,
         mem_latency_scale=config.cu.mem_latency_scale * scale,
     )
-    cu_result = ComputeUnit(cu_cfg).run(trace)
+    cu_result = ComputeUnit(cu_cfg, tracer=tracer).run(trace)
     serial = profile.serial_fraction
     parallel_cycles = cu_result.cycles * (REFERENCE_CUS / config.n_cus)
     effective = cu_result.cycles * serial + parallel_cycles * (1.0 - serial)

@@ -39,6 +39,11 @@ class VectorRegisterFile:
         if not 0 <= reg < self.n_regs:
             raise ValueError(f"register {reg} out of range 0..{self.n_regs - 1}")
 
+    def publish(self, registry, prefix: str = "rf") -> None:
+        """Register lazy probes for the RF access counters."""
+        registry.probe(f"{prefix}.reads", lambda: self.reads)
+        registry.probe(f"{prefix}.writes", lambda: self.writes)
+
 
 class RegisterFileCache:
     """Per-wavefront 6-entry LRU cache over *written* registers."""
@@ -84,3 +89,11 @@ class RegisterFileCache:
 
     def occupancy(self, wavefront: int) -> int:
         return len(self._sets[wavefront])
+
+    def publish(self, registry, prefix: str = "rfc") -> None:
+        """Register lazy probes for the register-file-cache counters
+        (``gpu.cu.rfc.hits`` et al. once mounted under ``gpu.cu``)."""
+        registry.probe(f"{prefix}.hits", lambda: self.read_hits)
+        registry.probe(f"{prefix}.misses", lambda: self.read_misses)
+        registry.probe(f"{prefix}.writes", lambda: self.writes)
+        registry.probe(f"{prefix}.evictions", lambda: self.evictions)

@@ -54,6 +54,19 @@ class AsymStats:
         self.misses = 0
         self.line_moves = 0
 
+    def publish(self, registry, prefix: str) -> None:
+        """Register lazy probes for the asymmetric counters.
+
+        Names follow the observability convention (``fast_way_hits`` /
+        ``slow_way_hits``) so ``cpu.coreN.dl1.fast_way_hits`` reads the
+        paper's headline DL1 statistic straight out of a snapshot.
+        """
+        registry.probe(f"{prefix}.fast_way_hits", lambda: self.fast_hits)
+        registry.probe(f"{prefix}.slow_way_hits", lambda: self.slow_hits)
+        registry.probe(f"{prefix}.misses", lambda: self.misses)
+        registry.probe(f"{prefix}.line_moves", lambda: self.line_moves)
+        registry.probe(f"{prefix}.accesses", lambda: self.accesses)
+
 
 class AsymmetricL1:
     """FastCache + SlowCache pair acting as one DL1.
@@ -122,6 +135,14 @@ class AsymmetricL1:
     def probe(self, addr: int) -> bool:
         """Residency in either partition, without side effects."""
         return self.fast.probe(addr) or self.slow.probe(addr)
+
+    def publish(self, registry, prefix: "str | None" = None) -> None:
+        """Expose the asymmetric counters plus both partitions' cache
+        statistics under ``prefix.`` in a metrics registry."""
+        prefix = prefix or self.name
+        self.stats.publish(registry, prefix)
+        self.fast.publish(registry, f"{prefix}.fast")
+        self.slow.publish(registry, f"{prefix}.slow")
 
     def invalidate_all(self) -> None:
         self.fast.invalidate_all()

@@ -8,6 +8,7 @@ real per-set recency state rather than sampling hit rates.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 
 @dataclass
@@ -41,6 +42,13 @@ class CacheStats:
         self.misses = 0
         self.evictions = 0
         self.writebacks = 0
+
+    def publish(self, registry, prefix: str) -> None:
+        """Register lazy probes for every counter under ``prefix.`` in
+        ``registry`` (a :class:`repro.obs.metrics.MetricsRegistry`); the
+        hot access path keeps its plain integer attributes."""
+        for name in ("accesses", "hits", "misses", "evictions", "writebacks"):
+            registry.probe(f"{prefix}.{name}", partial(getattr, self, name))
 
 
 def _is_power_of_two(n: int) -> bool:
@@ -190,6 +198,11 @@ class Cache:
         """Check residency without touching recency or statistics."""
         set_idx, tag = self._index_tag(addr)
         return tag in self._tags[set_idx]
+
+    def publish(self, registry, prefix: "str | None" = None) -> None:
+        """Expose this cache's counters in a metrics registry (see
+        :meth:`CacheStats.publish`); defaults to the cache's own name."""
+        self.stats.publish(registry, prefix or self.name)
 
     def mru_line(self, addr: int) -> int | None:
         """The MRU tag of ``addr``'s set, or None if the set is empty."""

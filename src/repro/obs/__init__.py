@@ -1,0 +1,78 @@
+"""Observability: metrics registry, pipeline tracing, and sweep telemetry.
+
+The subsystem has three legs:
+
+* :mod:`repro.obs.metrics` -- a hierarchical metrics registry.  Counters,
+  gauges, and histograms live under dotted names
+  (``cpu.core0.dl1.fast_way_hits``); *probes* bind a name to a zero-argument
+  callable so hot simulation loops keep their plain integer counters and the
+  registry reads them lazily at snapshot time.  ``snapshot()`` / ``delta()``
+  replace the hand-rolled measurement-window bookkeeping the CPU core used
+  to carry.
+* :mod:`repro.obs.trace` -- a bounded ring-buffer pipeline tracer whose
+  contents export as Chrome ``trace_event`` JSON (open the file in
+  ``chrome://tracing`` or Perfetto).
+* :mod:`repro.obs.telemetry` -- per-(config, workload) wall-time and
+  throughput records for sweep runs, including the SweepRunner's own
+  result-cache hit/miss accounting and a live progress callback.
+
+Zero overhead when off
+----------------------
+Observability is gated by a module-level flag (:func:`enabled`, initialised
+from the ``REPRO_OBS`` environment variable, default off).  Hot paths never
+call into this package per event: they test a *local* reference
+(``if tracer is not None: ...``) that is only non-None when tracing was
+explicitly requested, and all registry reads happen through probes at
+snapshot boundaries.  With the flag off, the global registry hands out a
+shared null metric whose mutators are no-ops, so stray ``inc()`` calls cost
+one dynamic dispatch and touch no state.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in {"1", "true", "yes", "on"}
+
+
+#: Module-level observability switch (see module docstring).
+_enabled = _env_flag("REPRO_OBS")
+
+
+def enabled() -> bool:
+    """Is observability globally enabled?"""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> None:
+    """Flip the global observability switch (returns nothing)."""
+    global _enabled
+    _enabled = bool(flag)
+
+
+from repro.obs.metrics import (  # noqa: E402  (flag must exist first)
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRIC,
+    get_registry,
+)
+from repro.obs.trace import PipelineTracer  # noqa: E402
+from repro.obs.telemetry import RunRecord, SweepTelemetry  # noqa: E402
+
+__all__ = [
+    "enabled",
+    "set_enabled",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "get_registry",
+    "PipelineTracer",
+    "RunRecord",
+    "SweepTelemetry",
+]

@@ -1,0 +1,299 @@
+"""Hierarchical metrics registry (counters, gauges, histograms, probes).
+
+Metrics live under dotted names (``cpu.core0.dl1.fast_way_hits``).  A
+registry can hand out *scoped children* (:meth:`MetricsRegistry.child`)
+that prefix every name, optionally tagging them with labels rendered as
+``name{key=value}``, and whole registries can be *mounted* under a prefix
+so a per-core registry shows up inside the global one.
+
+Two access patterns coexist:
+
+* **Push**: ``registry.counter("sweep.cpu.cache_hits").inc()`` for code
+  that runs at most a few thousand times per process (runners, exporters).
+* **Pull (probes)**: ``registry.probe("dl1.hits", lambda: stats.hits)``
+  for hot simulation loops -- the loop keeps its plain integer attribute
+  and the registry reads it only at :meth:`MetricsRegistry.snapshot` time,
+  so instrumentation adds nothing to the per-cycle path.
+
+``snapshot()`` returns a flat ``{name: value}`` dict; ``delta(since)``
+subtracts an earlier snapshot, which is exactly the measurement-window
+rebasing the CPU core needs between warm-up and the measured slice.
+
+When observability is globally disabled (:func:`repro.obs.enabled`), a
+registry created without ``enabled=True`` returns the shared
+:data:`NULL_METRIC` from every factory and records nothing; explicitly
+enabled registries (the CPU core's private one, whose counters feed the
+simulation *result*, not just diagnostics) keep working regardless.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Callable
+
+from repro import obs
+
+#: Default histogram bucket upper bounds (powers of two, seconds-friendly).
+DEFAULT_BOUNDS = (0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0)
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A point-in-time value metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """A bucketed distribution metric with explicit upper bounds."""
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum")
+
+    def __init__(self, name: str, bounds: "tuple[float, ...]" = DEFAULT_BOUNDS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be non-empty and sorted")
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(bounds) + 1)  # last bucket = +inf
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def snapshot_into(self, out: "dict[str, float]") -> None:
+        out[f"{self.name}.count"] = self.total
+        out[f"{self.name}.sum"] = self.sum
+        for bound, count in zip(self.bounds, self.counts):
+            out[f"{self.name}.le_{bound:g}"] = count
+        out[f"{self.name}.le_inf"] = self.counts[-1]
+
+
+class _NullMetric:
+    """Shared do-nothing stand-in handed out while observability is off."""
+
+    __slots__ = ()
+
+    name = "null"
+    value = 0
+    total = 0
+    sum = 0.0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_METRIC = _NullMetric()
+
+
+def _labeled(name: str, labels: "dict[str, object]") -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """A named collection of metrics, probes, and mounted sub-registries."""
+
+    def __init__(self, name: str = "", enabled: "bool | None" = None):
+        """``enabled=None`` defers to the global :func:`repro.obs.enabled`
+        flag on every factory call; ``True``/``False`` pin it."""
+        self.name = name
+        self._enabled = enabled
+        self._metrics: "dict[str, object]" = {}
+        self._probes: "dict[str, Callable[[], float]]" = {}
+        self._mounts: "dict[str, MetricsRegistry]" = {}
+
+    # -- state ---------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        return obs.enabled() if self._enabled is None else self._enabled
+
+    def __len__(self) -> int:
+        return len(self._metrics) + len(self._probes)
+
+    # -- factories -----------------------------------------------------
+    def _get(self, cls, name: str, labels: "dict[str, object]", **kwargs):
+        if not self.active:
+            return NULL_METRIC
+        full = _labeled(name, labels)
+        metric = self._metrics.get(full)
+        if metric is None:
+            metric = cls(full, **kwargs)
+            self._metrics[full] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {full!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, bounds: "tuple[float, ...]" = DEFAULT_BOUNDS, **labels
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, bounds=bounds)
+
+    def probe(self, name: str, fn: "Callable[[], float]", **labels) -> None:
+        """Bind ``name`` to a zero-argument callable read at snapshot time."""
+        if self.active:
+            self._probes[_labeled(name, labels)] = fn
+
+    def child(self, prefix: str, **labels) -> "ScopedRegistry":
+        """A view that prefixes every metric name with ``prefix.`` and tags
+        it with ``labels`` (the registry's *labeled children*)."""
+        return ScopedRegistry(self, prefix, labels)
+
+    # -- composition ---------------------------------------------------
+    def mount(self, prefix: str, registry: "MetricsRegistry") -> None:
+        """Expose another registry's metrics under ``prefix.`` in snapshots.
+
+        Re-mounting the same prefix replaces the previous registry (each
+        simulation run publishes a fresh per-core registry).
+        """
+        if registry is self:
+            raise ValueError("cannot mount a registry into itself")
+        self._mounts[prefix] = registry
+
+    def unmount(self, prefix: str) -> None:
+        self._mounts.pop(prefix, None)
+
+    # -- reading -------------------------------------------------------
+    def snapshot(self) -> "dict[str, float]":
+        """Flat ``{dotted.name: value}`` view of everything reachable."""
+        out: "dict[str, float]" = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Histogram):
+                metric.snapshot_into(out)
+            else:
+                out[name] = metric.value
+        for name, fn in self._probes.items():
+            out[name] = fn()
+        for prefix, registry in self._mounts.items():
+            for name, value in registry.snapshot().items():
+                out[f"{prefix}.{name}"] = value
+        return out
+
+    def delta(self, since: "dict[str, float]") -> "dict[str, float]":
+        """Current snapshot minus an earlier one (missing keys count as 0)."""
+        return {
+            name: value - since.get(name, 0)
+            for name, value in self.snapshot().items()
+        }
+
+    # -- lifecycle -----------------------------------------------------
+    def reset(self) -> None:
+        """Zero every owned metric (registrations and mounts are kept)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def clear(self) -> None:
+        """Drop every metric, probe, and mount."""
+        self._metrics.clear()
+        self._probes.clear()
+        self._mounts.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry({self.name!r}, metrics={len(self._metrics)}, "
+            f"probes={len(self._probes)}, mounts={len(self._mounts)})"
+        )
+
+
+class ScopedRegistry:
+    """A prefix+labels view over a parent registry (see ``child``)."""
+
+    __slots__ = ("_parent", "_prefix", "_labels")
+
+    def __init__(
+        self, parent: MetricsRegistry, prefix: str, labels: "dict[str, object]"
+    ):
+        self._parent = parent
+        self._prefix = prefix
+        self._labels = labels
+
+    def _full(self, name: str) -> str:
+        return f"{self._prefix}.{name}" if self._prefix else name
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._parent.counter(self._full(name), **{**self._labels, **labels})
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._parent.gauge(self._full(name), **{**self._labels, **labels})
+
+    def histogram(
+        self, name: str, bounds: "tuple[float, ...]" = DEFAULT_BOUNDS, **labels
+    ) -> Histogram:
+        return self._parent.histogram(
+            self._full(name), bounds=bounds, **{**self._labels, **labels}
+        )
+
+    def probe(self, name: str, fn: "Callable[[], float]", **labels) -> None:
+        self._parent.probe(self._full(name), fn, **{**self._labels, **labels})
+
+    def child(self, prefix: str, **labels) -> "ScopedRegistry":
+        return ScopedRegistry(
+            self._parent, self._full(prefix), {**self._labels, **labels}
+        )
+
+
+#: The process-wide registry (created eagerly; cheap when disabled).
+_REGISTRY = MetricsRegistry("global")
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _REGISTRY

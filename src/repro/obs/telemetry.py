@@ -1,0 +1,146 @@
+"""Sweep telemetry: per-run wall time, throughput, and cache accounting.
+
+The :class:`repro.experiments.runner.SweepRunner` memoises every
+(configuration, workload) simulation.  This module gives that cache and
+the runs behind it a visible shape:
+
+* every executed (non-cached) run becomes a :class:`RunRecord` with wall
+  time and simulated-instructions-per-second;
+* every lookup bumps ``sweep.<kind>.cache_hits`` / ``cache_misses``
+  counters in the global metrics registry (no-ops while observability is
+  off -- the telemetry object keeps its own authoritative plain-int
+  counts either way);
+* registered progress callbacks fire after each lookup so long sweeps can
+  report live instead of going dark for minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+#: Run kinds the SweepRunner distinguishes.
+KINDS = ("cpu", "gpu", "dvfs")
+
+#: Wall-time histogram buckets (seconds).
+_WALL_BOUNDS = (0.05, 0.2, 0.5, 1.0, 2.0, 5.0, 15.0, 60.0)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One executed (not cache-served) simulation."""
+
+    kind: str  # "cpu" | "gpu" | "dvfs"
+    config: str
+    workload: str
+    wall_s: float
+    instructions: int
+
+    @property
+    def ips(self) -> float:
+        """Simulated instructions per wall-clock second."""
+        return self.instructions / self.wall_s if self.wall_s > 0 else 0.0
+
+
+class SweepTelemetry:
+    """Collects run records and cache statistics for one SweepRunner."""
+
+    def __init__(self, registry: "MetricsRegistry | None" = None):
+        # NB: explicit None check -- an empty MetricsRegistry is falsy
+        # (it defines __len__), so `registry or get_registry()` would
+        # silently swap a fresh registry for the global one.
+        if registry is None:
+            registry = get_registry()
+        self._scope = registry.child("sweep")
+        self.records: "list[RunRecord]" = []
+        self._hits = dict.fromkeys(KINDS, 0)
+        self._misses = dict.fromkeys(KINDS, 0)
+        self._callbacks: "list[Callable[[dict], None]]" = []
+
+    # -- hooks ---------------------------------------------------------
+    def on_progress(self, callback: "Callable[[dict], None]") -> None:
+        """Register a callback fired (with an event dict) after each run."""
+        self._callbacks.append(callback)
+
+    def record_run(
+        self,
+        kind: str,
+        config: str,
+        workload: str,
+        wall_s: float,
+        instructions: int,
+        cached: bool,
+    ) -> None:
+        """Account one SweepRunner lookup (``cached`` = served from memo)."""
+        if kind not in self._hits:
+            raise ValueError(f"unknown run kind {kind!r} (expected {KINDS})")
+        scope = self._scope
+        if cached:
+            self._hits[kind] += 1
+            scope.counter(f"{kind}.cache_hits").inc()
+        else:
+            self._misses[kind] += 1
+            scope.counter(f"{kind}.cache_misses").inc()
+            scope.counter(f"{kind}.runs").inc()
+            scope.gauge(f"{kind}.last_wall_s").set(wall_s)
+            scope.histogram(f"{kind}.wall_s", bounds=_WALL_BOUNDS).observe(wall_s)
+            self.records.append(
+                RunRecord(kind, config, workload, wall_s, instructions)
+            )
+        event = {
+            "kind": kind,
+            "config": config,
+            "workload": workload,
+            "cached": cached,
+            "wall_s": wall_s,
+            "instructions": instructions,
+            "completed_runs": len(self.records),
+        }
+        for callback in self._callbacks:
+            callback(event)
+
+    # -- aggregate views ----------------------------------------------
+    def cache_counts(self) -> "dict[str, tuple[int, int]]":
+        """Per kind: (cache_hits, cache_misses)."""
+        return {k: (self._hits[k], self._misses[k]) for k in KINDS}
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(r.wall_s for r in self.records)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(r.instructions for r in self.records)
+
+    @property
+    def mean_ips(self) -> float:
+        wall = self.total_wall_s
+        return self.total_instructions / wall if wall > 0 else 0.0
+
+    def summary(self) -> dict:
+        """Machine-readable rollup of the sweep so far."""
+        return {
+            "runs": len(self.records),
+            "wall_s": round(self.total_wall_s, 3),
+            "instructions": self.total_instructions,
+            "instructions_per_s": round(self.mean_ips, 1),
+            "cache": {
+                kind: {"hits": h, "misses": m}
+                for kind, (h, m) in self.cache_counts().items()
+            },
+        }
+
+    def cache_summary(self) -> str:
+        """One-line human-readable cache + throughput summary."""
+        parts = [
+            f"{kind} {self._hits[kind]}h/{self._misses[kind]}m"
+            for kind in KINDS
+            if self._hits[kind] or self._misses[kind]
+        ]
+        cache = " ".join(parts) if parts else "empty"
+        return (
+            f"sweep cache: {cache} | {len(self.records)} runs, "
+            f"{self.total_wall_s:.1f}s wall, {self.mean_ips / 1e3:.1f}k instr/s"
+        )

@@ -1,0 +1,157 @@
+"""Bounded ring-buffer pipeline tracer with Chrome trace-event export.
+
+The tracer records per-cycle pipeline events -- fetch redirects, steering
+choices, issues, commits, cache misses, wavefront stalls -- into a
+``deque(maxlen=capacity)``: when full, the oldest events fall off, so a
+long run keeps its *tail* (usually what you want when a run misbehaves at
+the end) and memory stays bounded no matter the trace length.
+
+Export follows the Chrome ``trace_event`` JSON-array format understood by
+``chrome://tracing`` and Perfetto: one simulated cycle maps to one
+microsecond of trace time, pipeline stages map to named threads, duration
+events (``ph: "X"``) carry operation latencies, and everything else is an
+instant event (``ph: "i"``).
+
+Hot-path contract: simulation loops hold the tracer in a local and guard
+every emission with ``if tracer is not None`` -- when tracing is off the
+cost is a single local truth test and no call is made into this module.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+
+#: Stage -> virtual thread id for the Chrome export.
+STAGE_FETCH = 0
+STAGE_DISPATCH = 1
+STAGE_ISSUE = 2
+STAGE_COMMIT = 3
+STAGE_MEM = 4
+STAGE_STALL = 5
+STAGE_STEER = 6
+
+STAGE_NAMES = {
+    STAGE_FETCH: "fetch",
+    STAGE_DISPATCH: "dispatch",
+    STAGE_ISSUE: "issue",
+    STAGE_COMMIT: "commit",
+    STAGE_MEM: "memory",
+    STAGE_STALL: "stall",
+    STAGE_STEER: "steer",
+}
+
+
+class PipelineTracer:
+    """Bounded event recorder for one simulation run."""
+
+    def __init__(self, capacity: int = 65536, process_name: str = "repro"):
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self.process_name = process_name
+        self.emitted = 0
+        self._buf: "deque[tuple]" = deque(maxlen=capacity)
+
+    # -- recording -----------------------------------------------------
+    def emit(
+        self,
+        cycle: int,
+        name: str,
+        stage: int = STAGE_ISSUE,
+        dur: int = 0,
+        **args,
+    ) -> None:
+        """Record one event at ``cycle``.
+
+        ``dur > 0`` makes it a duration ("X") event of that many cycles;
+        otherwise it is an instant ("i") event.  ``args`` become the
+        event's ``args`` payload in the export.
+        """
+        self.emitted += 1
+        self._buf.append((cycle, name, stage, dur, args))
+
+    def clear(self) -> None:
+        self._buf.clear()
+        self.emitted = 0
+
+    # -- inspection ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    @property
+    def dropped(self) -> int:
+        """Events pushed out of the ring by newer ones."""
+        return self.emitted - len(self._buf)
+
+    def events(self) -> "list[tuple]":
+        """Raw ``(cycle, name, stage, dur, args)`` tuples, oldest first."""
+        return list(self._buf)
+
+    def counts_by_name(self) -> "dict[str, int]":
+        out: "dict[str, int]" = {}
+        for _, name, _, _, _ in self._buf:
+            out[name] = out.get(name, 0) + 1
+        return out
+
+    # -- export --------------------------------------------------------
+    def chrome_trace(self) -> dict:
+        """The run as a Chrome trace-event document (JSON-serialisable)."""
+        events: "list[dict]" = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": self.process_name},
+            }
+        ]
+        used_stages = {stage for _, _, stage, _, _ in self._buf}
+        for stage in sorted(used_stages):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": stage,
+                    "args": {"name": STAGE_NAMES.get(stage, f"stage{stage}")},
+                }
+            )
+        for cycle, name, stage, dur, args in self._buf:
+            event = {
+                "name": name,
+                "cat": STAGE_NAMES.get(stage, f"stage{stage}"),
+                "pid": 0,
+                "tid": stage,
+                "ts": cycle,  # 1 cycle == 1 us of trace time
+            }
+            if dur > 0:
+                event["ph"] = "X"
+                event["dur"] = dur
+            else:
+                event["ph"] = "i"
+                event["s"] = "t"
+            if args:
+                event["args"] = dict(args)
+            events.append(event)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "metadata": {
+                "tool": "repro.obs.trace",
+                "capacity": self.capacity,
+                "emitted": self.emitted,
+                "dropped": self.dropped,
+            },
+        }
+
+    def write(self, path: str) -> None:
+        """Write the Chrome trace JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.chrome_trace(), fh)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PipelineTracer(capacity={self.capacity}, "
+            f"recorded={len(self._buf)}, dropped={self.dropped})"
+        )

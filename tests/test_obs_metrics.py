@@ -1,0 +1,354 @@
+"""Tests for the observability metrics registry and sweep telemetry."""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.cpu.core import CoreConfig, OutOfOrderCore
+from repro.cpu.trace import Trace
+from repro.cpu.units import FunctionalUnitPool
+from repro.cpu.uops import UopType
+from repro.experiments.runner import SweepRunner, SweepSettings
+from repro.mem.hierarchy import CacheLatencies, MemoryHierarchy
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRIC,
+    get_registry,
+)
+from repro.obs.telemetry import SweepTelemetry
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    """Every test starts and ends with observability disabled."""
+    obs.set_enabled(False)
+    get_registry().clear()
+    yield
+    obs.set_enabled(False)
+    get_registry().clear()
+
+
+def enabled_registry() -> MetricsRegistry:
+    return MetricsRegistry("test", enabled=True)
+
+
+class TestPrimitives:
+    def test_counter_increments(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        c.reset()
+        assert c.value == 0
+
+    def test_gauge_sets_and_adds(self):
+        g = Gauge("depth")
+        g.set(2.5)
+        g.add(0.5)
+        assert g.value == 3.0
+
+    def test_histogram_buckets(self):
+        h = Histogram("lat", bounds=(1, 10, 100))
+        for v in (0.5, 5, 50, 500):
+            h.observe(v)
+        assert h.total == 4
+        assert h.counts == [1, 1, 1, 1]
+        assert h.sum == 555.5
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(10, 1))
+
+    def test_null_metric_is_inert(self):
+        NULL_METRIC.inc()
+        NULL_METRIC.set(9)
+        NULL_METRIC.observe(1.0)
+        assert NULL_METRIC.value == 0
+
+
+class TestRegistry:
+    def test_counter_identity_by_name(self):
+        reg = enabled_registry()
+        assert reg.counter("a.b") is reg.counter("a.b")
+        assert reg.counter("a.b") is not reg.counter("a.c")
+
+    def test_type_conflict_raises(self):
+        reg = enabled_registry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_flat_names(self):
+        reg = enabled_registry()
+        reg.counter("cpu.dl1.hits").inc(3)
+        reg.gauge("cpu.ipc").set(1.5)
+        snap = reg.snapshot()
+        assert snap["cpu.dl1.hits"] == 3
+        assert snap["cpu.ipc"] == 1.5
+
+    def test_histogram_snapshot_keys(self):
+        reg = enabled_registry()
+        reg.histogram("wall", bounds=(1.0, 2.0)).observe(1.5)
+        snap = reg.snapshot()
+        assert snap["wall.count"] == 1
+        assert snap["wall.le_1"] == 0
+        assert snap["wall.le_2"] == 1
+        assert snap["wall.le_inf"] == 0
+
+    def test_delta_subtracts_snapshot(self):
+        reg = enabled_registry()
+        c = reg.counter("n")
+        c.inc(10)
+        before = reg.snapshot()
+        c.inc(7)
+        assert reg.delta(before)["n"] == 7
+
+    def test_delta_handles_new_keys(self):
+        reg = enabled_registry()
+        before = reg.snapshot()
+        reg.counter("late").inc(2)
+        assert reg.delta(before)["late"] == 2
+
+    def test_probe_reads_lazily(self):
+        reg = enabled_registry()
+        box = {"v": 1}
+        reg.probe("box.v", lambda: box["v"])
+        assert reg.snapshot()["box.v"] == 1
+        box["v"] = 42
+        assert reg.snapshot()["box.v"] == 42
+
+    def test_labeled_children(self):
+        reg = enabled_registry()
+        child = reg.child("sweep", config="AdvHet")
+        child.counter("runs").inc()
+        grandchild = child.child("cpu", app="lu")
+        grandchild.counter("hits").inc(2)
+        snap = reg.snapshot()
+        assert snap["sweep.runs{config=AdvHet}"] == 1
+        assert snap["sweep.cpu.hits{app=lu,config=AdvHet}"] == 2
+
+    def test_mount_prefixes_and_replaces(self):
+        parent = enabled_registry()
+        inner = enabled_registry()
+        inner.counter("hits").inc(5)
+        parent.mount("core0", inner)
+        assert parent.snapshot()["core0.hits"] == 5
+        other = enabled_registry()
+        other.counter("hits").inc(1)
+        parent.mount("core0", other)  # re-mount replaces
+        assert parent.snapshot()["core0.hits"] == 1
+        parent.unmount("core0")
+        assert parent.snapshot() == {}
+
+    def test_mount_self_rejected(self):
+        reg = enabled_registry()
+        with pytest.raises(ValueError):
+            reg.mount("me", reg)
+
+    def test_reset_keeps_registrations(self):
+        reg = enabled_registry()
+        c = reg.counter("n")
+        c.inc(3)
+        reg.reset()
+        assert reg.counter("n") is c
+        assert c.value == 0
+
+
+class TestDisabledMode:
+    def test_global_flag_round_trip(self):
+        assert not obs.enabled()
+        obs.set_enabled(True)
+        assert obs.enabled()
+        obs.set_enabled(False)
+        assert not obs.enabled()
+
+    def test_disabled_registry_hands_out_null_metric(self):
+        reg = MetricsRegistry("deferred")  # defers to the global flag
+        assert reg.counter("a") is NULL_METRIC
+        assert reg.gauge("b") is NULL_METRIC
+        assert reg.histogram("c") is NULL_METRIC
+        reg.probe("d", lambda: 1)
+        assert reg.snapshot() == {}
+        assert len(reg) == 0
+
+    def test_flag_flips_registry_behaviour(self):
+        reg = MetricsRegistry("deferred")
+        obs.set_enabled(True)
+        reg.counter("real").inc()
+        obs.set_enabled(False)
+        assert reg.counter("other") is NULL_METRIC
+        # the metric registered while enabled is still visible
+        assert reg.snapshot()["real"] == 1
+
+    def test_pinned_registry_ignores_global_flag(self):
+        reg = enabled_registry()
+        assert not obs.enabled()
+        reg.counter("n").inc()
+        assert reg.snapshot()["n"] == 1
+
+    def test_disabled_inc_is_cheap_benchmark(self):
+        """Benchmark assertion for the zero-overhead-when-off guard.
+
+        The disabled-mode pattern (a null metric inc, plus the
+        ``tracer is not None`` guard hot loops use) must stay within a
+        small constant factor of the bare loop -- i.e. no hidden
+        registry work, allocation, or locking on the disabled path.
+        """
+        reg = MetricsRegistry("deferred")
+        metric = reg.counter("off")  # NULL_METRIC
+        tracer = None
+        n = 50_000
+
+        def bare():
+            t0 = time.perf_counter()
+            for _ in range(n):
+                pass
+            return time.perf_counter() - t0
+
+        def guarded():
+            t0 = time.perf_counter()
+            for _ in range(n):
+                if tracer is not None:
+                    metric.inc()
+            return time.perf_counter() - t0
+
+        base = min(bare() for _ in range(5))
+        off = min(guarded() for _ in range(5))
+        assert off < base * 10 + 5e-3  # generous CI margin; catches real work
+
+
+class TestCoreMetricsIntegration:
+    def _run_core(self):
+        ops = [UopType.IALU, UopType.LOAD] * 200
+        pcs = [(i % 16) * 4 for i in range(len(ops))]
+        addrs = [((i * 64) % 4096) for i in range(len(ops))]
+        trace = Trace.from_lists(ops, addrs=addrs, pcs=pcs)
+        core = OutOfOrderCore(
+            CoreConfig(),
+            MemoryHierarchy(CacheLatencies()),
+            FunctionalUnitPool(),
+            name="cpu.core0",
+        )
+        return core, core.run(trace, warmup=50)
+
+    def test_core_publishes_probe_registry(self):
+        core, result = self._run_core()
+        # _finalize rebases the counters in place, so the post-run
+        # snapshot reflects the measured (post-warmup) window.
+        snap = core.metrics.snapshot()
+        assert snap["activity.committed"] == 350
+        assert snap["dl1.accesses"] > 0
+        assert snap["bpred.lookups"] >= 0
+        assert "steer.slow_alu_dispatches" in snap
+
+    def test_core_result_matches_registry_window(self):
+        core, result = self._run_core()
+        # rebased activity equals the post-warmup window
+        assert result.activity.committed == result.committed == 350
+
+    def test_stall_breakdown_covers_cycles(self):
+        core, result = self._run_core()
+        breakdown = result.activity.stall_breakdown(result.cycles)
+        assert set(breakdown) == {"frontend", "dep", "mem", "structural", "busy"}
+        assert all(0.0 <= v <= 1.0 for v in breakdown.values())
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_core_mounts_into_global_registry_when_enabled(self):
+        obs.set_enabled(True)
+        try:
+            core, _ = self._run_core()
+            snap = get_registry().snapshot()
+            assert snap["cpu.core0.activity.committed"] == 350
+        finally:
+            obs.set_enabled(False)
+
+    def test_core_does_not_touch_global_registry_when_disabled(self):
+        self._run_core()
+        assert get_registry().snapshot() == {}
+
+
+class TestSweepTelemetry:
+    def test_record_and_cache_counts(self):
+        t = SweepTelemetry(registry=enabled_registry())
+        t.record_run("cpu", "AdvHet", "lu", 1.0, 40_000, cached=False)
+        t.record_run("cpu", "AdvHet", "lu", 0.0, 40_000, cached=True)
+        t.record_run("gpu", "AdvHet", "DCT", 0.5, 10_000, cached=False)
+        assert t.cache_counts()["cpu"] == (1, 1)
+        assert t.cache_counts()["gpu"] == (0, 1)
+        assert len(t.records) == 2
+        assert t.total_instructions == 50_000
+        assert t.mean_ips == pytest.approx(50_000 / 1.5)
+
+    def test_unknown_kind_rejected(self):
+        t = SweepTelemetry(registry=enabled_registry())
+        with pytest.raises(ValueError):
+            t.record_run("tpu", "x", "y", 1.0, 1, cached=False)
+
+    def test_registry_counters_mirrored(self):
+        reg = enabled_registry()
+        t = SweepTelemetry(registry=reg)
+        t.record_run("cpu", "A", "w", 0.2, 100, cached=False)
+        t.record_run("cpu", "A", "w", 0.0, 100, cached=True)
+        snap = reg.snapshot()
+        assert snap["sweep.cpu.cache_misses"] == 1
+        assert snap["sweep.cpu.cache_hits"] == 1
+        assert snap["sweep.cpu.wall_s.count"] == 1
+
+    def test_progress_callback_fires_per_lookup(self):
+        t = SweepTelemetry(registry=enabled_registry())
+        events = []
+        t.on_progress(events.append)
+        t.record_run("cpu", "A", "w", 0.2, 100, cached=False)
+        t.record_run("cpu", "A", "w", 0.0, 100, cached=True)
+        assert [e["cached"] for e in events] == [False, True]
+        assert events[0]["completed_runs"] == 1
+        assert events[1]["config"] == "A"
+
+    def test_cache_summary_one_line(self):
+        t = SweepTelemetry(registry=enabled_registry())
+        t.record_run("dvfs", "A", "w", 0.1, 100, cached=False)
+        line = t.cache_summary()
+        assert "\n" not in line
+        assert "dvfs 0h/1m" in line
+
+    def test_summary_dict(self):
+        t = SweepTelemetry(registry=enabled_registry())
+        t.record_run("gpu", "A", "k", 0.5, 1000, cached=False)
+        s = t.summary()
+        assert s["runs"] == 1
+        assert s["cache"]["gpu"] == {"hits": 0, "misses": 1}
+
+
+class TestSweepRunnerTelemetry:
+    def _settings(self):
+        return SweepSettings(instructions=3000, apps=["lu"], kernels=["DCT"])
+
+    def test_cpu_cache_hit_miss_accounting(self):
+        runner = SweepRunner(self._settings())
+        runner.cpu_run("BaseCMOS", "lu")
+        runner.cpu_run("BaseCMOS", "lu")
+        assert runner.telemetry.cache_counts()["cpu"] == (1, 1)
+        assert len(runner.telemetry.records) == 1
+        record = runner.telemetry.records[0]
+        assert record.kind == "cpu"
+        assert record.wall_s > 0
+        assert record.ips > 0
+
+    def test_gpu_cache_hit_miss_accounting(self):
+        runner = SweepRunner(self._settings())
+        runner.gpu_run("BaseHet", "DCT")
+        runner.gpu_run("BaseHet", "DCT")
+        assert runner.telemetry.cache_counts()["gpu"] == (1, 1)
+
+    def test_progress_callback_wired_through_constructor(self):
+        events = []
+        runner = SweepRunner(self._settings(), progress=events.append)
+        runner.cpu_run("BaseCMOS", "lu")
+        runner.cpu_run("BaseCMOS", "lu")
+        assert len(events) == 2
+        assert events[0]["kind"] == "cpu"
+        assert events[1]["cached"] is True

@@ -1,0 +1,140 @@
+"""Tests for the pipeline tracer: ring bound and Chrome trace export."""
+
+import json
+
+import pytest
+
+from repro.core.configs import cpu_config, gpu_config
+from repro.core.simulate import simulate_cpu, simulate_gpu
+from repro.obs.trace import (
+    STAGE_COMMIT,
+    STAGE_ISSUE,
+    STAGE_NAMES,
+    STAGE_STALL,
+    PipelineTracer,
+)
+
+#: Keys every Chrome trace event must carry.
+_REQUIRED = {"name", "ph", "pid", "tid"}
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_memory(self):
+        t = PipelineTracer(capacity=10)
+        for cycle in range(25):
+            t.emit(cycle, "ev", STAGE_ISSUE)
+        assert len(t) == 10
+        assert t.emitted == 25
+        assert t.dropped == 15
+
+    def test_oldest_events_drop_first(self):
+        t = PipelineTracer(capacity=4)
+        for cycle in range(9):
+            t.emit(cycle, "ev", STAGE_ISSUE)
+        cycles = [e[0] for e in t.events()]
+        assert cycles == [5, 6, 7, 8]
+
+    def test_clear_resets_counts(self):
+        t = PipelineTracer(capacity=4)
+        t.emit(0, "ev")
+        t.clear()
+        assert len(t) == 0 and t.emitted == 0 and t.dropped == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PipelineTracer(capacity=0)
+
+    def test_counts_by_name(self):
+        t = PipelineTracer()
+        t.emit(0, "a")
+        t.emit(1, "a")
+        t.emit(2, "b")
+        assert t.counts_by_name() == {"a": 2, "b": 1}
+
+
+class TestChromeExport:
+    def test_event_schema(self):
+        t = PipelineTracer(capacity=100, process_name="unit")
+        t.emit(3, "commit", STAGE_COMMIT, idx=7)
+        t.emit(4, "ialu", STAGE_ISSUE, dur=2, idx=8)
+        doc = t.chrome_trace()
+        assert isinstance(doc["traceEvents"], list)
+        for event in doc["traceEvents"]:
+            assert _REQUIRED <= set(event)
+            assert event["ph"] in {"M", "i", "X"}
+            if event["ph"] == "X":
+                assert event["dur"] > 0
+            if event["ph"] == "i":
+                assert event["s"] == "t"
+
+    def test_metadata_threads_and_process(self):
+        t = PipelineTracer(process_name="unit")
+        t.emit(0, "stall", STAGE_STALL, reason="dep")
+        doc = t.chrome_trace()
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert "unit" in names
+        assert STAGE_NAMES[STAGE_STALL] in names
+
+    def test_timestamps_are_cycles(self):
+        t = PipelineTracer()
+        t.emit(123, "ev")
+        [event] = [e for e in t.chrome_trace()["traceEvents"] if e["ph"] != "M"]
+        assert event["ts"] == 123
+
+    def test_dropped_counts_surface_in_metadata(self):
+        t = PipelineTracer(capacity=2)
+        for cycle in range(5):
+            t.emit(cycle, "ev")
+        meta = t.chrome_trace()["metadata"]
+        assert meta["emitted"] == 5
+        assert meta["dropped"] == 3
+
+    def test_write_round_trips_json(self, tmp_path):
+        t = PipelineTracer()
+        t.emit(1, "ev", STAGE_ISSUE, dur=3, idx=0)
+        path = tmp_path / "trace.json"
+        t.write(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+
+class TestSimulationCapture:
+    def test_cpu_run_emits_pipeline_events(self):
+        tracer = PipelineTracer(capacity=200_000)
+        simulate_cpu(
+            cpu_config("AdvHet"), "lu",
+            instructions=3000, warmup=500, tracer=tracer,
+        )
+        names = tracer.counts_by_name()
+        assert names.get("commit", 0) > 0
+        assert names.get("load", 0) > 0
+        # AdvHet steers its dual-speed ALU cluster at dispatch
+        assert names.get("steer_fast", 0) + names.get("steer_slow", 0) > 0
+        assert "stall" in names
+
+    def test_cpu_trace_is_valid_chrome_json(self):
+        tracer = PipelineTracer(capacity=5000)
+        simulate_cpu(
+            cpu_config("BaseCMOS"), "fft",
+            instructions=2000, warmup=200, tracer=tracer,
+        )
+        doc = json.loads(json.dumps(tracer.chrome_trace()))
+        events = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert events
+        assert all(_REQUIRED <= set(e) for e in events)
+
+    def test_gpu_run_emits_wavefront_events(self):
+        tracer = PipelineTracer(capacity=200_000)
+        simulate_gpu(gpu_config("BaseHet"), "DCT", tracer=tracer)
+        names = tracer.counts_by_name()
+        assert names.get("fma", 0) > 0
+        assert names.get("gmem", 0) > 0
+        assert names.get("wf_stall", 0) > 0
+
+    def test_no_tracer_means_no_events(self):
+        # The default path must not create or touch any tracer.
+        run = simulate_cpu(
+            cpu_config("BaseCMOS"), "lu", instructions=2000, warmup=200
+        )
+        assert run.core.committed == 1800
