@@ -18,9 +18,19 @@ Commands
 ``trace CONFIG WORKLOAD --out FILE [--capacity N]``
     Run one pair with pipeline tracing enabled and write a Chrome
     trace-event JSON file (open in ``chrome://tracing`` or Perfetto).
+``sweep CONFIGS... [--gpu] [--checkpoint PATH] [--resume] [--timeout S]
+[--max-retries N] [--fail-fast] [--json]``
+    Run a resilient (configuration x workload) sweep: failed cells
+    degrade to recorded gaps (retried up to ``--max-retries`` times with
+    backoff, killed after ``--timeout`` seconds each), the result caches
+    persist to ``--checkpoint`` after every executed run, and
+    ``--resume`` preloads a matching checkpoint so only missing cells
+    execute.  Exit status: 0 = complete, 3 = completed with gaps.
 
 Sweep sizing obeys ``REPRO_INSTRUCTIONS`` / ``REPRO_APPS`` /
-``REPRO_KERNELS``, as everywhere else.
+``REPRO_KERNELS``, as everywhere else; fault injection (for exercising
+the resilience path) obeys ``REPRO_FAULTS`` and friends
+(:mod:`repro.resilience.faults`).
 """
 
 from __future__ import annotations
@@ -33,8 +43,13 @@ from repro import obs
 from repro.core.configs import CPU_CONFIGS, GPU_CONFIGS, cpu_config, gpu_config
 from repro.core.simulate import simulate_cpu, simulate_gpu
 from repro.experiments.figures import ALL_EXHIBITS
-from repro.experiments.report import paper_vs_measured, stall_breakdown_table
+from repro.experiments.report import (
+    failure_table,
+    paper_vs_measured,
+    stall_breakdown_table,
+)
 from repro.experiments.runner import SweepRunner, SweepSettings
+from repro.resilience import GuardPolicy, SweepError
 from repro.obs.stats import collect_cpu_stats, collect_gpu_stats, format_stats
 from repro.obs.trace import PipelineTracer
 from repro.workloads import CPU_APPS, GPU_KERNELS
@@ -210,6 +225,109 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_status_table(results: dict, workloads: "list[str]") -> str:
+    """ok / `--` status matrix for a finished sweep."""
+    name_w = max(len(w) for w in workloads) + 2
+    configs = list(results)
+    header = " " * name_w + "".join(f"{c:>{len(c) + 2}}" for c in configs)
+    lines = [header]
+    for workload in workloads:
+        row = "".join(
+            f"{'ok' if results[c][workload] is not None else '--':>{len(c) + 2}}"
+            for c in configs
+        )
+        lines.append(f"{workload:<{name_w}}" + row)
+    return "\n".join(lines)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    known = GPU_CONFIGS if args.gpu else CPU_CONFIGS
+    unknown = [n for n in args.configs if n not in known]
+    if unknown:
+        kind = "GPU" if args.gpu else "CPU"
+        print(
+            f"unknown {kind} configs: {unknown}; choose from {sorted(known)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    policy = GuardPolicy(
+        timeout_s=args.timeout,
+        max_retries=args.max_retries,
+        fail_fast=args.fail_fast,
+    )
+    runner = SweepRunner(
+        policy=policy, checkpoint=args.checkpoint, resume=args.resume
+    )
+    workloads = runner.settings.kernels if args.gpu else runner.settings.apps
+    interrupted = False
+    try:
+        if args.gpu:
+            results = runner.gpu_sweep(args.configs)
+        else:
+            results = runner.cpu_sweep(args.configs)
+    except SweepError as exc:
+        runner.save_checkpoint()
+        print(f"sweep aborted (--fail-fast): {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        runner.save_checkpoint()
+        interrupted = True
+        results = {}
+    saved = runner.save_checkpoint()
+    failures = list(runner.failures.values())
+    if interrupted:
+        hint = (
+            f"; rerun with --checkpoint {args.checkpoint} --resume to continue"
+            if args.checkpoint
+            else ""
+        )
+        print(f"\nsweep interrupted{hint}", file=sys.stderr)
+        return 130
+    if args.json:
+        cells = {
+            config: {
+                workload: (
+                    None if run is None else {
+                        "time_s": run.time_s,
+                        "energy_j": run.energy_j,
+                        "ed2": run.ed2,
+                    }
+                )
+                for workload, run in row.items()
+            }
+            for config, row in results.items()
+        }
+        print(
+            json.dumps(
+                {
+                    "kind": "gpu" if args.gpu else "cpu",
+                    "configs": args.configs,
+                    "workloads": workloads,
+                    "cells": cells,
+                    "failures": [f.to_dict() for f in failures],
+                    "telemetry": runner.telemetry.summary(),
+                },
+                indent=2,
+            )
+        )
+    else:
+        total = len(args.configs) * len(workloads)
+        done = sum(
+            1 for row in results.values() for run in row.values() if run is not None
+        )
+        print(_sweep_status_table(results, workloads))
+        print(f"\n{done}/{total} cells ok, {len(failures)} failed")
+        if failures:
+            print(failure_table(failures))
+        print(runner.telemetry.cache_summary())
+        if args.checkpoint:
+            print(f"checkpoint: {args.checkpoint} ({saved} entries)")
+    return 3 if failures else 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -248,6 +366,39 @@ def main(argv: "list[str] | None" = None) -> int:
         help="ring-buffer size (oldest events drop beyond this)",
     )
 
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a resilient (config x workload) sweep with recorded gaps",
+    )
+    p_sweep.add_argument("configs", nargs="+", metavar="CONFIG")
+    p_sweep.add_argument(
+        "--gpu", action="store_true", help="sweep GPU configs over kernels"
+    )
+    p_sweep.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="persist result caches here after every executed run",
+    )
+    p_sweep.add_argument(
+        "--resume", action="store_true",
+        help="preload a matching checkpoint; only missing cells execute",
+    )
+    p_sweep.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="wall-clock budget per run attempt (seconds)",
+    )
+    p_sweep.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retries per cell with exponential backoff (default 2)",
+    )
+    p_sweep.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort the sweep on the first failed cell",
+    )
+    p_sweep.add_argument(
+        "--json", action="store_true",
+        help="emit cells, failures, and telemetry as JSON",
+    )
+
     args = parser.parse_args(argv)
     handlers = {
         "list": _cmd_list,
@@ -255,5 +406,6 @@ def main(argv: "list[str] | None" = None) -> int:
         "run": _cmd_run,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
+        "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)

@@ -5,10 +5,16 @@ a formatted text table (the same rows/series the paper plots), and the
 paper's reported mean values so callers can print paper-vs-measured
 comparisons.  Perf/energy exhibits take a :class:`SweepRunner` so multiple
 figures share one sweep.
+
+Sweeps are gap-tolerant: a cell whose run failed (recorded in the
+runner's failure taxonomy, see :mod:`repro.resilience`) arrives as
+``None``, renders as ``--`` in the tables, and is excluded from the
+means -- a partial sweep still yields a figure.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -44,17 +50,39 @@ class FigureResult:
         return f"== {self.exhibit}: {self.title} ==\n{self.table}"
 
 
+def _ratio(run, base, metric: Callable) -> float:
+    """metric(run)/metric(base), or NaN when either cell is a gap."""
+    if run is None or base is None:
+        return float("nan")
+    return metric(run) / metric(base)
+
+
+def _finite_mean(values: list) -> float:
+    """Arithmetic mean over the non-gap values (NaN when all are gaps)."""
+    finite = [v for v in values if v is not None and math.isfinite(v)]
+    return arithmetic_mean(finite) if finite else float("nan")
+
+
 def _fmt_matrix(
     row_names: list[str], col_names: list[str], cells: dict, width: int = 9
 ) -> str:
-    """Format {row: {col: float}} as an aligned text table."""
+    """Format {row: {col: float}} as an aligned text table.
+
+    Failed sweep cells (NaN) render as ``--`` so a partial sweep still
+    produces a readable exhibit.
+    """
     name_w = max(len(r) for r in row_names) + 2
     header = " " * name_w + "".join(f"{c:>{max(width, len(c) + 1)}}" for c in col_names)
     lines = [header]
     for r in row_names:
-        cols = "".join(
-            f"{cells[r][c]:>{max(width, len(c) + 1)}.3f}" for c in col_names
-        )
+        cols = ""
+        for c in col_names:
+            w = max(width, len(c) + 1)
+            value = cells[r][c]
+            if value is None or not math.isfinite(value):
+                cols += f"{'--':>{w}}"
+            else:
+                cols += f"{value:>{w}.3f}"
         lines.append(f"{r:<{name_w}}" + cols)
     return "\n".join(lines)
 
@@ -213,10 +241,9 @@ def _cpu_metric_matrix(
     cells: dict[str, dict[str, float]] = {app: {} for app in apps}
     for config in configs:
         for app in apps:
-            base = metric(sweep["BaseCMOS"][app])
-            cells[app][config] = metric(sweep[config][app]) / base
+            cells[app][config] = _ratio(sweep[config][app], sweep["BaseCMOS"][app], metric)
     means = {
-        config: arithmetic_mean([cells[app][config] for app in apps])
+        config: _finite_mean([cells[app][config] for app in apps])
         for config in configs
     }
     cells["MEAN"] = means
@@ -253,15 +280,19 @@ def figure8(runner: SweepRunner | None = None) -> FigureResult:
         parts = {k: 0.0 for k in (
             "core-dyn", "core-leak", "l2-dyn", "l2-leak", "l3-dyn", "l3-leak")}
         for app in apps:
-            base = sweep["BaseCMOS"][app].energy_j
-            e = sweep[config][app].energy
+            run, base_run = sweep[config][app], sweep["BaseCMOS"][app]
+            if run is None or base_run is None:
+                cells[app][config] = float("nan")
+                continue
+            base = base_run.energy_j
+            e = run.energy
             cells[app][config] = e.total / base
             for group in ("core", "l2", "l3"):
                 parts[f"{group}-dyn"] += e.dynamic_j.get(group, 0.0) / base / len(apps)
                 parts[f"{group}-leak"] += e.leakage_j.get(group, 0.0) / base / len(apps)
         breakdown[config] = parts
     means = {
-        config: arithmetic_mean([cells[app][config] for app in apps])
+        config: _finite_mean([cells[app][config] for app in apps])
         for config in CPU_MAIN_CONFIGS
     }
     cells["MEAN"] = means
@@ -316,10 +347,10 @@ def figure13(runner: SweepRunner | None = None) -> FigureResult:
         cells[config] = {}
         for mname, metric in metrics.items():
             vals = [
-                metric(sweep[config][app]) / metric(sweep["BaseCMOS"][app])
+                _ratio(sweep[config][app], sweep["BaseCMOS"][app], metric)
                 for app in apps
             ]
-            cells[config][mname] = arithmetic_mean(vals)
+            cells[config][mname] = _finite_mean(vals)
     return FigureResult(
         exhibit="Figure 13",
         title="Sensitivity analysis of HetCore CPU designs (means)",
@@ -361,18 +392,23 @@ def figure14(
         ("ProcessVar", 2.0, True),
     ]
     cells: dict[str, dict[str, float]] = {}
+    base_runs = {app: runner.dvfs_cell("BaseCMOS", app, 2.0, False) for app in apps}
     base_energy = {
-        app: runner.dvfs_run("BaseCMOS", app, 2.0, False).energy_j for app in apps
+        app: run.energy_j if run is not None else float("nan")
+        for app, run in base_runs.items()
     }
     for label, freq, variation in points:
         cells[label] = {}
         for config_name in ("BaseCMOS", "AdvHet"):
-            vals = [
-                runner.dvfs_run(config_name, app, freq, variation).energy_j
-                / base_energy[app]
-                for app in apps
-            ]
-            cells[label][config_name] = arithmetic_mean(vals)
+            vals = []
+            for app in apps:
+                run = runner.dvfs_cell(config_name, app, freq, variation)
+                vals.append(
+                    run.energy_j / base_energy[app]
+                    if run is not None
+                    else float("nan")
+                )
+            cells[label][config_name] = _finite_mean(vals)
     means = {
         f"{label}-savings": 1.0 - cells[label]["AdvHet"] / cells[label]["BaseCMOS"]
         for label, _, _ in points
@@ -404,9 +440,9 @@ def _gpu_metric_matrix(
     cells: dict[str, dict[str, float]] = {k: {} for k in kernels}
     for config in GPU_MAIN_CONFIGS:
         for k in kernels:
-            cells[k][config] = metric(sweep[config][k]) / metric(sweep["BaseCMOS"][k])
+            cells[k][config] = _ratio(sweep[config][k], sweep["BaseCMOS"][k], metric)
     means = {
-        config: arithmetic_mean([cells[k][config] for k in kernels])
+        config: _finite_mean([cells[k][config] for k in kernels])
         for config in GPU_MAIN_CONFIGS
     }
     cells["MEAN"] = means

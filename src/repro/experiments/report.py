@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 from repro.experiments.figures import FigureResult
 
 #: Stall-breakdown column order (fractions of measured cycles).
@@ -18,8 +20,31 @@ def paper_vs_measured(result: FigureResult) -> str:
     ]
     for key, paper_value in result.paper_means.items():
         measured = result.measured_means.get(key)
-        measured_str = f"{measured:.3f}" if isinstance(measured, (int, float)) else "n/a"
+        if not isinstance(measured, (int, float)):
+            measured_str = "n/a"
+        elif not math.isfinite(measured):
+            measured_str = "-- (failed cells)"
+        else:
+            measured_str = f"{measured:.3f}"
         lines.append(f"| {key} | {paper_value:.3f} | {measured_str} |")
+    return "\n".join(lines)
+
+
+def failure_table(failures: "list") -> str:
+    """Recorded sweep gaps (``RunFailure`` records) as a markdown table."""
+    if not failures:
+        return "*no failed cells*"
+    lines = [
+        "| kind | config | workload | failure | attempts | message |",
+        "|---|---|---|---|---|---|",
+    ]
+    for f in failures:
+        workload = f.workload + "".join(f" @{e}" for e in f.extra)
+        message = f.message.replace("|", "\\|").replace("\n", " ")
+        lines.append(
+            f"| {f.run_kind} | {f.config} | {workload} | {f.kind} "
+            f"| {f.attempts} | {message} |"
+        )
     return "\n".join(lines)
 
 

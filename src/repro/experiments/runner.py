@@ -1,4 +1,4 @@
-"""Sweep runner with a shared result cache.
+"""Sweep runner with a shared result cache and a resilient execution path.
 
 Figures 7, 8, 9, and 13 all consume the same (configuration x application)
 CPU runs, and Figures 10-12 the same GPU runs; the runner executes each
@@ -12,20 +12,47 @@ instructions per second, cache-served lookups bump hit counters (also
 mirrored into the global metrics registry as ``sweep.cpu.cache_hits``
 etc.), and registered progress callbacks fire after each lookup so long
 sweeps can report live.
+
+Resilience (:mod:`repro.resilience`)
+------------------------------------
+Every execution goes through the guard path: configuration and workload
+names are validated *before* anything runs (an unknown name is an
+immediate, actionable ``KeyError``, recorded in the failure taxonomy as
+``config``/``workload``); the simulation itself runs under the
+:class:`~repro.resilience.guard.GuardPolicy` wall-clock timeout and
+retry/backoff budget, routed through the env-gated fault injector when one
+is active; and results are sanity-checked so a corrupted measurement is
+rejected rather than cached.  A cell that exhausts its budget raises
+:class:`~repro.resilience.errors.SweepError` from the strict per-cell
+methods (``cpu_run`` etc.) but degrades to a recorded gap (``None`` cell,
+:class:`~repro.resilience.errors.RunFailure` in :attr:`SweepRunner.failures`)
+inside ``cpu_sweep``/``gpu_sweep``/``dvfs_cell`` -- unless the policy says
+``fail_fast``.
+
+Attach a checkpoint path to persist the caches across interruptions:
+results are saved (versioned JSON, integrity-hashed, keyed on the
+settings fingerprint) after every executed run, and ``resume=True``
+preloads them so a rerun executes only the missing cells.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import math
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.configs import cpu_config, gpu_config
 from repro.core.simulate import CpuRunResult, GpuRunResult, simulate_cpu, simulate_gpu
 from repro.obs.telemetry import SweepTelemetry
-from repro.workloads.gpu_profiles import GPU_KERNELS
-from repro.workloads.profiles import CPU_APPS
+from repro.resilience import faults
+from repro.resilience.checkpoint import SweepCheckpoint
+from repro.resilience.errors import CorruptResult, RunFailure, SweepError
+from repro.resilience.guard import GuardPolicy, run_guarded
+from repro.workloads.gpu_profiles import GPU_KERNELS, gpu_kernel
+from repro.workloads.profiles import CPU_APPS, cpu_app
 
 
 def _default_instructions() -> int:
@@ -59,6 +86,32 @@ class SweepSettings:
     def warmup(self) -> int:
         return int(self.instructions * self.warmup_fraction)
 
+    def fingerprint(self) -> str:
+        """A stable digest of everything that shapes the cached results.
+
+        Checkpoints minted under one fingerprint are invalid under any
+        other, and :func:`shared_runner` re-keys on it so env overrides
+        (``REPRO_APPS`` etc.) changed after first use are honoured.
+        """
+        payload = {
+            "instructions": self.instructions,
+            "warmup_fraction": self.warmup_fraction,
+            "apps": list(self.apps),
+            "kernels": list(self.kernels),
+        }
+        canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
+def _validate_result(result) -> None:
+    """Reject returned-but-bogus measurements (fed to the guard path)."""
+    time_s = result.time_s
+    energy = result.energy_j
+    if not (math.isfinite(time_s) and time_s > 0):
+        raise CorruptResult(f"non-finite or non-positive time_s ({time_s!r})")
+    if not (math.isfinite(energy) and energy > 0):
+        raise CorruptResult(f"non-finite or non-positive energy_j ({energy!r})")
+
 
 class SweepRunner:
     """Runs and caches (configuration, workload) measurements.
@@ -66,95 +119,275 @@ class SweepRunner:
     ``progress`` (or any callback added later via
     ``runner.telemetry.on_progress``) is called with an event dict after
     every lookup -- cached or not -- so callers can surface live status.
+
+    ``policy`` sets the per-run guard budget (timeout, retries, backoff,
+    fail-fast); ``checkpoint`` (a path or :class:`SweepCheckpoint`)
+    persists the caches after every executed run, and ``resume=True``
+    preloads whatever a matching checkpoint already holds.
     """
 
     def __init__(
         self,
         settings: SweepSettings | None = None,
         progress: "Callable[[dict], None] | None" = None,
+        policy: GuardPolicy | None = None,
+        checkpoint: "str | os.PathLike | SweepCheckpoint | None" = None,
+        resume: bool = False,
     ):
         self.settings = settings or SweepSettings()
+        self.policy = policy or GuardPolicy()
         self.telemetry = SweepTelemetry()
         if progress is not None:
             self.telemetry.on_progress(progress)
         self._cpu_cache: dict[tuple[str, str], CpuRunResult] = {}
         self._gpu_cache: dict[tuple[str, str], GpuRunResult] = {}
         self._dvfs_cache: dict[tuple[str, str, float, bool], CpuRunResult] = {}
+        #: Recorded gaps, keyed by failure cell coordinate.
+        self.failures: "dict[tuple, RunFailure]" = {}
+        if checkpoint is None:
+            self.checkpoint = None
+        elif isinstance(checkpoint, SweepCheckpoint):
+            self.checkpoint = checkpoint
+        else:
+            self.checkpoint = SweepCheckpoint(checkpoint)
+        if resume:
+            if self.checkpoint is None:
+                raise ValueError("resume=True requires a checkpoint")
+            self._load_checkpoint()
 
+    # -- checkpointing -------------------------------------------------
+    def _load_checkpoint(self) -> None:
+        data = self.checkpoint.load(self.settings.fingerprint())
+        if data is None:
+            self.telemetry.record_checkpoint("invalid")
+            return
+        self._cpu_cache.update(data.cpu)
+        self._gpu_cache.update(data.gpu)
+        self._dvfs_cache.update(data.dvfs)
+        # Past failures inform reporting but are NOT re-recorded as gaps:
+        # the whole point of resuming is to retry exactly those cells.
+        self.telemetry.record_checkpoint("load")
+        self.telemetry.record_checkpoint("entries_loaded", data.entries)
+
+    def save_checkpoint(self) -> int:
+        """Persist the caches now; returns entries written (0 = no path)."""
+        if self.checkpoint is None:
+            return 0
+        count = self.checkpoint.save(
+            self.settings.fingerprint(),
+            {"cpu": self._cpu_cache, "gpu": self._gpu_cache, "dvfs": self._dvfs_cache},
+            list(self.failures.values()),
+        )
+        self.telemetry.record_checkpoint("save")
+        return count
+
+    # -- guarded execution ---------------------------------------------
+    def _validated(self, run_kind: str, config_name: str, workload: str):
+        """Config/workload name validation, *before* any execution.
+
+        Raises the same actionable ``KeyError`` as
+        :func:`repro.core.configs.cpu_config` -- and records the cell in
+        the failure taxonomy (kind ``config``/``workload``) on the way
+        out, so sweeps degrade it to a gap instead of aborting.
+        """
+        lookup_config = gpu_config if run_kind == "gpu" else cpu_config
+        lookup_workload = gpu_kernel if run_kind == "gpu" else cpu_app
+        try:
+            design = lookup_config(config_name)
+        except KeyError as exc:
+            self._record_validation_failure(
+                run_kind, config_name, workload, "config", exc
+            )
+            raise
+        try:
+            lookup_workload(workload)
+        except KeyError as exc:
+            self._record_validation_failure(
+                run_kind, config_name, workload, "workload", exc
+            )
+            raise
+        return design
+
+    def _record_validation_failure(
+        self, run_kind: str, config: str, workload: str, kind: str, exc: Exception
+    ) -> None:
+        failure = RunFailure(
+            run_kind=run_kind,
+            config=config,
+            workload=workload,
+            kind=kind,
+            attempts=0,
+            message=str(exc).strip('"'),
+        )
+        self.failures[failure.cell] = failure
+        self.telemetry.record_failure(failure)
+
+    def _execute(self, run_kind: str, key: tuple, fn: Callable[[], object]):
+        """One execution attempt, routed through the fault injector."""
+        injector = faults.active()
+        if injector is None:
+            return fn()
+        return injector.call(run_kind, key, fn)
+
+    def _guarded(
+        self,
+        run_kind: str,
+        key: tuple,
+        cache: dict,
+        fn: Callable[[], object],
+        config_name: str,
+        workload: str,
+        instructions_of: Callable[[object], int],
+        extra: tuple = (),
+    ):
+        """Cache lookup + guarded execution for one sweep cell."""
+        cached = key in cache
+        if not cached:
+            outcome = run_guarded(
+                lambda: self._execute(run_kind, key, fn),
+                policy=self.policy,
+                run_kind=run_kind,
+                config=config_name,
+                workload=workload,
+                extra=extra,
+                validate=_validate_result,
+                on_retry=lambda _attempt, kind: self.telemetry.record_retry(
+                    run_kind, kind
+                ),
+            )
+            if outcome.failure is not None:
+                self.failures[outcome.failure.cell] = outcome.failure
+                self.telemetry.record_failure(outcome.failure)
+                raise SweepError(outcome.failure)
+            cache[key] = outcome.result
+            # A fresh success supersedes any gap recorded for this cell.
+            self.failures.pop((run_kind, config_name, workload, *extra), None)
+            self.telemetry.record_run(
+                run_kind,
+                config_name,
+                workload,
+                outcome.wall_s,
+                instructions_of(outcome.result),
+                cached=False,
+            )
+            if self.checkpoint is not None:
+                self.save_checkpoint()
+            return outcome.result
+        result = cache[key]
+        self.telemetry.record_run(
+            run_kind, config_name, workload, 0.0, instructions_of(result), cached=True
+        )
+        return result
+
+    # -- strict per-cell API -------------------------------------------
     def dvfs_run(
         self, config_name: str, app: str, freq_ghz: float, variation: bool
     ) -> CpuRunResult:
         """A DVFS/guardband point (Figure 14), cached like the sweeps."""
+        design = self._validated("dvfs", config_name, app)
         key = (config_name, app, freq_ghz, variation)
-        cached = key in self._dvfs_cache
-        wall = 0.0
-        if not cached:
+
+        def execute() -> CpuRunResult:
             from repro.core.dvfs import HetCoreDvfs
 
-            start = time.perf_counter()
-            self._dvfs_cache[key] = HetCoreDvfs().simulate_at(
-                cpu_config(config_name),
+            return HetCoreDvfs().simulate_at(
+                design,
                 app,
                 freq_ghz,
                 variation=variation,
                 instructions=self.settings.instructions,
                 warmup=self.settings.warmup,
             )
-            wall = time.perf_counter() - start
-        result = self._dvfs_cache[key]
-        self.telemetry.record_run(
-            "dvfs", config_name, app, wall, result.core.committed, cached
+
+        return self._guarded(
+            "dvfs",
+            key,
+            self._dvfs_cache,
+            execute,
+            config_name,
+            app,
+            lambda r: r.core.committed,
+            extra=(freq_ghz, variation),
         )
-        return result
 
     def cpu_run(self, config_name: str, app: str) -> CpuRunResult:
+        design = self._validated("cpu", config_name, app)
         key = (config_name, app)
-        cached = key in self._cpu_cache
-        wall = 0.0
-        if not cached:
-            start = time.perf_counter()
-            self._cpu_cache[key] = simulate_cpu(
-                cpu_config(config_name),
+
+        def execute() -> CpuRunResult:
+            return simulate_cpu(
+                design,
                 app,
                 instructions=self.settings.instructions,
                 warmup=self.settings.warmup,
             )
-            wall = time.perf_counter() - start
-        result = self._cpu_cache[key]
-        self.telemetry.record_run(
-            "cpu", config_name, app, wall, result.core.committed, cached
+
+        return self._guarded(
+            "cpu",
+            key,
+            self._cpu_cache,
+            execute,
+            config_name,
+            app,
+            lambda r: r.core.committed,
         )
-        return result
 
     def gpu_run(self, config_name: str, kernel: str) -> GpuRunResult:
+        design = self._validated("gpu", config_name, kernel)
         key = (config_name, kernel)
-        cached = key in self._gpu_cache
-        wall = 0.0
-        if not cached:
-            start = time.perf_counter()
-            self._gpu_cache[key] = simulate_gpu(gpu_config(config_name), kernel)
-            wall = time.perf_counter() - start
-        result = self._gpu_cache[key]
-        self.telemetry.record_run(
+
+        def execute() -> GpuRunResult:
+            return simulate_gpu(design, kernel)
+
+        return self._guarded(
             "gpu",
+            key,
+            self._gpu_cache,
+            execute,
             config_name,
             kernel,
-            wall,
-            result.gpu.cu_result.instructions,
-            cached,
+            lambda r: r.gpu.cu_result.instructions,
         )
-        return result
 
-    def cpu_sweep(self, config_names: list[str]) -> dict[str, dict[str, CpuRunResult]]:
-        """All (config, app) results as {config: {app: result}}."""
+    # -- gap-tolerant API ----------------------------------------------
+    def _cell(self, fn: Callable[[], object]):
+        """Run one cell; degrade failures to None unless fail-fast."""
+        try:
+            return fn()
+        except (SweepError, KeyError):
+            if self.policy.fail_fast:
+                raise
+            return None
+
+    def cpu_cell(self, config_name: str, app: str) -> "CpuRunResult | None":
+        """Like :meth:`cpu_run`, but a failed cell returns None (recorded
+        in :attr:`failures`) instead of raising."""
+        return self._cell(lambda: self.cpu_run(config_name, app))
+
+    def gpu_cell(self, config_name: str, kernel: str) -> "GpuRunResult | None":
+        return self._cell(lambda: self.gpu_run(config_name, kernel))
+
+    def dvfs_cell(
+        self, config_name: str, app: str, freq_ghz: float, variation: bool
+    ) -> "CpuRunResult | None":
+        return self._cell(
+            lambda: self.dvfs_run(config_name, app, freq_ghz, variation)
+        )
+
+    def cpu_sweep(
+        self, config_names: list[str]
+    ) -> "dict[str, dict[str, CpuRunResult | None]]":
+        """All (config, app) results as {config: {app: result-or-None}}."""
         return {
-            name: {app: self.cpu_run(name, app) for app in self.settings.apps}
+            name: {app: self.cpu_cell(name, app) for app in self.settings.apps}
             for name in config_names
         }
 
-    def gpu_sweep(self, config_names: list[str]) -> dict[str, dict[str, GpuRunResult]]:
+    def gpu_sweep(
+        self, config_names: list[str]
+    ) -> "dict[str, dict[str, GpuRunResult | None]]":
         return {
-            name: {k: self.gpu_run(name, k) for k in self.settings.kernels}
+            name: {k: self.gpu_cell(name, k) for k in self.settings.kernels}
             for name in config_names
         }
 
@@ -164,8 +397,21 @@ _SHARED: SweepRunner | None = None
 
 
 def shared_runner() -> SweepRunner:
-    """The process-wide cached runner (created on first use)."""
+    """The process-wide cached runner.
+
+    Re-keyed on the env-derived :meth:`SweepSettings.fingerprint`, so
+    changing ``REPRO_INSTRUCTIONS`` / ``REPRO_APPS`` / ``REPRO_KERNELS``
+    after first use yields a fresh runner instead of silently serving
+    results sized under the old settings.
+    """
     global _SHARED
-    if _SHARED is None:
-        _SHARED = SweepRunner()
+    current = SweepSettings()
+    if _SHARED is None or _SHARED.settings.fingerprint() != current.fingerprint():
+        _SHARED = SweepRunner(current)
     return _SHARED
+
+
+def reset_shared_runner() -> None:
+    """Drop the process-wide runner (next :func:`shared_runner` rebuilds)."""
+    global _SHARED
+    _SHARED = None

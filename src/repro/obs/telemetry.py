@@ -11,7 +11,13 @@ the runs behind it a visible shape:
   off -- the telemetry object keeps its own authoritative plain-int
   counts either way);
 * registered progress callbacks fire after each lookup so long sweeps can
-  report live instead of going dark for minutes.
+  report live instead of going dark for minutes -- a callback that raises
+  is counted (``sweep.progress_callback_errors``) and skipped, never
+  allowed to abort the sweep mid-run;
+* the resilience layer reports into the same object: retries
+  (``sweep.<kind>.retries``), failed cells (``sweep.<kind>.failures`` plus
+  a per-taxonomy-kind breakdown), and checkpoint activity
+  (``sweep.checkpoint.<event>``).
 """
 
 from __future__ import annotations
@@ -57,6 +63,11 @@ class SweepTelemetry:
         self.records: "list[RunRecord]" = []
         self._hits = dict.fromkeys(KINDS, 0)
         self._misses = dict.fromkeys(KINDS, 0)
+        self._retries = dict.fromkeys(KINDS, 0)
+        self._failures = dict.fromkeys(KINDS, 0)
+        self._failure_kinds: "dict[str, int]" = {}
+        self._checkpoint: "dict[str, int]" = {}
+        self.callback_errors = 0
         self._callbacks: "list[Callable[[dict], None]]" = []
 
     # -- hooks ---------------------------------------------------------
@@ -98,13 +109,77 @@ class SweepTelemetry:
             "instructions": instructions,
             "completed_runs": len(self.records),
         }
-        for callback in self._callbacks:
-            callback(event)
+        self._fire(event)
+
+    def _fire(self, event: dict) -> None:
+        """Invoke progress callbacks; a raising callback is counted and
+        skipped so user code can never abort a sweep mid-run."""
+        for callback in list(self._callbacks):
+            try:
+                callback(event)
+            except Exception:
+                self.callback_errors += 1
+                self._scope.counter("progress_callback_errors").inc()
+
+    # -- resilience accounting -----------------------------------------
+    def record_retry(self, kind: str, failure_kind: str = "crash") -> None:
+        """Account one retry of a guarded run (before its backoff sleep)."""
+        if kind not in self._retries:
+            raise ValueError(f"unknown run kind {kind!r} (expected {KINDS})")
+        self._retries[kind] += 1
+        self._scope.counter(f"{kind}.retries").inc()
+        self._fire({"kind": kind, "event": "retry", "failure_kind": failure_kind})
+
+    def record_failure(self, failure) -> None:
+        """Account one cell that exhausted its guard budget
+        (``failure`` is a :class:`repro.resilience.errors.RunFailure`)."""
+        if failure.run_kind not in self._failures:
+            raise ValueError(
+                f"unknown run kind {failure.run_kind!r} (expected {KINDS})"
+            )
+        self._failures[failure.run_kind] += 1
+        self._failure_kinds[failure.kind] = (
+            self._failure_kinds.get(failure.kind, 0) + 1
+        )
+        self._scope.counter(f"{failure.run_kind}.failures").inc()
+        self._scope.counter(f"failures.{failure.kind}").inc()
+        self._fire(
+            {
+                "kind": failure.run_kind,
+                "event": "failure",
+                "config": failure.config,
+                "workload": failure.workload,
+                "failure_kind": failure.kind,
+                "attempts": failure.attempts,
+            }
+        )
+
+    def record_checkpoint(self, event: str, count: int = 1) -> None:
+        """Account checkpoint activity (``load``/``save``/``invalid``/
+        ``entries_loaded``/``entries_saved``)."""
+        self._checkpoint[event] = self._checkpoint.get(event, 0) + count
+        self._scope.counter(f"checkpoint.{event}").inc(count)
 
     # -- aggregate views ----------------------------------------------
     def cache_counts(self) -> "dict[str, tuple[int, int]]":
         """Per kind: (cache_hits, cache_misses)."""
         return {k: (self._hits[k], self._misses[k]) for k in KINDS}
+
+    def retry_counts(self) -> "dict[str, int]":
+        """Per run kind: retries performed."""
+        return dict(self._retries)
+
+    def failure_counts(self) -> "dict[str, int]":
+        """Per run kind: cells that exhausted their guard budget."""
+        return dict(self._failures)
+
+    def failure_kind_counts(self) -> "dict[str, int]":
+        """Per taxonomy kind (timeout/config/workload/crash/corrupt)."""
+        return dict(self._failure_kinds)
+
+    def checkpoint_counts(self) -> "dict[str, int]":
+        """Checkpoint events (load/save/invalid/entries_*) so far."""
+        return dict(self._checkpoint)
 
     @property
     def total_wall_s(self) -> float:
@@ -130,6 +205,11 @@ class SweepTelemetry:
                 kind: {"hits": h, "misses": m}
                 for kind, (h, m) in self.cache_counts().items()
             },
+            "retries": dict(self._retries),
+            "failures": dict(self._failures),
+            "failure_kinds": dict(self._failure_kinds),
+            "checkpoint": dict(self._checkpoint),
+            "callback_errors": self.callback_errors,
         }
 
     def cache_summary(self) -> str:
@@ -140,7 +220,12 @@ class SweepTelemetry:
             if self._hits[kind] or self._misses[kind]
         ]
         cache = " ".join(parts) if parts else "empty"
-        return (
+        line = (
             f"sweep cache: {cache} | {len(self.records)} runs, "
             f"{self.total_wall_s:.1f}s wall, {self.mean_ips / 1e3:.1f}k instr/s"
         )
+        retries = sum(self._retries.values())
+        failures = sum(self._failures.values())
+        if retries or failures:
+            line += f" | {retries} retries, {failures} failed cells"
+        return line

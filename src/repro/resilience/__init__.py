@@ -1,0 +1,67 @@
+"""Resilient sweep execution: guards, checkpoints, and fault injection.
+
+The paper's headline figures come from large (configuration x workload)
+sweeps whose cells are independent -- a failed cell should cost one data
+point, not the sweep.  This package hardens
+:class:`repro.experiments.runner.SweepRunner` end to end:
+
+* :mod:`repro.resilience.errors` -- the structured failure taxonomy
+  (:class:`RunFailure` records with kind timeout / config / workload /
+  crash / corrupt);
+* :mod:`repro.resilience.guard` -- per-run wall-clock timeouts and retry
+  with exponential backoff + deterministic jitter (:class:`GuardPolicy`,
+  :func:`run_guarded`);
+* :mod:`repro.resilience.checkpoint` -- versioned, integrity-hashed JSON
+  persistence of the runner caches keyed on a settings fingerprint, so
+  interrupted sweeps resume with only the missing cells re-executed;
+* :mod:`repro.resilience.faults` -- a seeded, env-gated fault-injection
+  harness (``REPRO_FAULTS``) that makes simulations crash, hang, or
+  return corrupted results at configurable probabilities, used to test
+  this layer itself and exercised from CI.
+
+Guards live in the *runner*, not in ``simulate_cpu``/``simulate_gpu``:
+the simulators stay deterministic pure functions (the property the whole
+reproduction leans on), while the runner -- the only place that already
+knows about cells, caches, and telemetry -- owns everything about
+executing them unreliably-but-recoverably.
+"""
+
+from repro.resilience.errors import (
+    FAILURE_KINDS,
+    CorruptResult,
+    RunFailure,
+    SweepError,
+)
+from repro.resilience.guard import (
+    GuardOutcome,
+    GuardPolicy,
+    GuardTimeout,
+    call_with_timeout,
+    run_guarded,
+    stable_seed,
+)
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointData,
+    SweepCheckpoint,
+)
+from repro.resilience.faults import FaultInjector, FaultPlan, InjectedFault
+
+__all__ = [
+    "FAILURE_KINDS",
+    "CorruptResult",
+    "RunFailure",
+    "SweepError",
+    "GuardOutcome",
+    "GuardPolicy",
+    "GuardTimeout",
+    "call_with_timeout",
+    "run_guarded",
+    "stable_seed",
+    "CHECKPOINT_VERSION",
+    "CheckpointData",
+    "SweepCheckpoint",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+]

@@ -1,0 +1,171 @@
+"""On-disk checkpointing of SweepRunner result caches.
+
+A checkpoint is a single versioned JSON document::
+
+    {"integrity": "<sha256 of canonical payload>",
+     "payload": {"version": 1,
+                 "fingerprint": "<SweepSettings fingerprint>",
+                 "entries": {"cpu": [...], "gpu": [...], "dvfs": [...]},
+                 "failures": [...]}}
+
+Loading is strictly *fail-soft*: a missing, truncated, corrupted, or
+tampered file, an unknown version, or a fingerprint minted under different
+:class:`~repro.experiments.runner.SweepSettings` all load as a cache miss
+(``None``) -- a bad checkpoint can cost re-execution, never correctness.
+Writes are atomic (temp file + ``os.replace``), so a sweep killed mid-save
+leaves the previous checkpoint intact.
+
+Results are encoded losslessly: every dataclass in the
+``CpuRunResult`` / ``GpuRunResult`` trees is plain scalars, dicts, and
+lists, so ``dataclasses.asdict`` round-trips through the explicit decoders
+below with exact float equality.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.core.simulate import CpuRunResult, GpuRunResult
+from repro.cpu.core import ActivityCounts, CoreResult
+from repro.cpu.multicore import MulticoreResult
+from repro.gpu.cu import CUResult
+from repro.gpu.gpu import GpuResult
+from repro.power.model import EnergyBreakdown
+from repro.resilience.errors import RunFailure
+
+#: Bump when the on-disk layout changes; older files load as misses.
+CHECKPOINT_VERSION = 1
+
+
+def _canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _digest(payload: dict) -> str:
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------
+# Result codecs
+# ---------------------------------------------------------------------
+
+def encode_cpu_result(result: CpuRunResult) -> dict:
+    return dataclasses.asdict(result)
+
+
+def decode_cpu_result(data: dict) -> CpuRunResult:
+    mc = data["multicore"]
+    per_core = [
+        CoreResult(**{**core, "activity": ActivityCounts(**core["activity"])})
+        for core in mc["per_core"]
+    ]
+    return CpuRunResult(
+        config=data["config"],
+        app=data["app"],
+        time_s=data["time_s"],
+        energy=EnergyBreakdown(**data["energy"]),
+        multicore=MulticoreResult(**{**mc, "per_core": per_core}),
+    )
+
+
+def encode_gpu_result(result: GpuRunResult) -> dict:
+    return dataclasses.asdict(result)
+
+
+def decode_gpu_result(data: dict) -> GpuRunResult:
+    gpu = data["gpu"]
+    return GpuRunResult(
+        config=data["config"],
+        kernel=data["kernel"],
+        time_s=data["time_s"],
+        energy=EnergyBreakdown(**data["energy"]),
+        gpu=GpuResult(**{**gpu, "cu_result": CUResult(**gpu["cu_result"])}),
+    )
+
+
+_CODECS = {
+    "cpu": (encode_cpu_result, decode_cpu_result),
+    "gpu": (encode_gpu_result, decode_gpu_result),
+    "dvfs": (encode_cpu_result, decode_cpu_result),
+}
+
+
+@dataclasses.dataclass
+class CheckpointData:
+    """Decoded checkpoint contents, keyed exactly like the runner caches."""
+
+    cpu: dict
+    gpu: dict
+    dvfs: dict
+    failures: "list[RunFailure]"
+
+    @property
+    def entries(self) -> int:
+        return len(self.cpu) + len(self.gpu) + len(self.dvfs)
+
+
+class SweepCheckpoint:
+    """Versioned, integrity-checked persistence for one checkpoint path."""
+
+    def __init__(self, path: "str | os.PathLike"):
+        self.path = Path(path)
+
+    def save(
+        self,
+        fingerprint: str,
+        caches: "dict[str, dict]",
+        failures: "list[RunFailure]",
+    ) -> int:
+        """Atomically write the caches; returns the entry count written."""
+        entries = {}
+        count = 0
+        for kind, (encode, _) in _CODECS.items():
+            cache = caches.get(kind, {})
+            entries[kind] = [
+                {"key": list(key), "result": encode(result)}
+                for key, result in cache.items()
+            ]
+            count += len(cache)
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": fingerprint,
+            "entries": entries,
+            "failures": [f.to_dict() for f in failures],
+        }
+        doc = {"integrity": _digest(payload), "payload": payload}
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(json.dumps(doc, indent=1, sort_keys=True))
+        os.replace(tmp, self.path)
+        return count
+
+    def load(self, fingerprint: str) -> "CheckpointData | None":
+        """Decode the checkpoint, or None for any invalid/mismatched file."""
+        try:
+            doc = json.loads(self.path.read_text())
+            payload = doc["payload"]
+            if doc["integrity"] != _digest(payload):
+                return None
+            if payload["version"] != CHECKPOINT_VERSION:
+                return None
+            if payload["fingerprint"] != fingerprint:
+                return None
+            caches: "dict[str, dict]" = {}
+            for kind, (_, decode) in _CODECS.items():
+                caches[kind] = {
+                    tuple(entry["key"]): decode(entry["result"])
+                    for entry in payload["entries"][kind]
+                }
+            failures = [RunFailure.from_dict(f) for f in payload["failures"]]
+        except Exception:
+            return None
+        return CheckpointData(
+            cpu=caches["cpu"],
+            gpu=caches["gpu"],
+            dvfs=caches["dvfs"],
+            failures=failures,
+        )

@@ -1,0 +1,110 @@
+"""Structured error taxonomy for sweep execution.
+
+Every failed (configuration, workload) cell collapses into a
+:class:`RunFailure` record instead of an unwound stack: what failed
+(``run_kind``/``config``/``workload``), *how* it failed (``kind``, one of
+:data:`FAILURE_KINDS`), how hard the guard tried (``attempts``), and the
+evidence (``message``, ``traceback``, ``wall_s``).  The records are plain
+data -- JSON-serialisable via :meth:`RunFailure.to_dict` -- so they travel
+through checkpoints, telemetry, and reports unchanged.
+
+Kinds
+-----
+``timeout``
+    The run exceeded the guard's wall-clock budget.
+``config``
+    The configuration name failed validation (unknown Table IV name).
+``workload``
+    The app/kernel name failed validation (unknown profile).
+``crash``
+    The simulation raised (including injected faults).
+``corrupt``
+    The simulation returned, but the result failed the sanity check
+    (non-finite or non-positive time/energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Every failure kind a :class:`RunFailure` may carry.
+FAILURE_KINDS = ("timeout", "config", "workload", "crash", "corrupt")
+
+
+class CorruptResult(RuntimeError):
+    """A simulation returned a result that fails the sanity check."""
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """One sweep cell that degraded to a recorded gap."""
+
+    run_kind: str  # "cpu" | "gpu" | "dvfs"
+    config: str
+    workload: str
+    kind: str  # one of FAILURE_KINDS
+    attempts: int
+    message: str
+    traceback: str = ""
+    wall_s: float = 0.0
+    #: Extra cell coordinates beyond (config, workload) -- the DVFS runs
+    #: add (freq_ghz, variation).
+    extra: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_KINDS:
+            raise ValueError(
+                f"unknown failure kind {self.kind!r} (expected {FAILURE_KINDS})"
+            )
+
+    @property
+    def cell(self) -> tuple:
+        """The unique sweep-cell coordinate this failure occupies."""
+        return (self.run_kind, self.config, self.workload, *self.extra)
+
+    def summary(self) -> str:
+        """One human-readable line for tables and logs."""
+        extra = "".join(f" @{e}" for e in self.extra)
+        return (
+            f"{self.run_kind} {self.config}/{self.workload}{extra}: "
+            f"{self.kind} after {self.attempts} attempt(s) -- {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "run_kind": self.run_kind,
+            "config": self.config,
+            "workload": self.workload,
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "message": self.message,
+            "traceback": self.traceback,
+            "wall_s": self.wall_s,
+            "extra": list(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunFailure":
+        return cls(
+            run_kind=data["run_kind"],
+            config=data["config"],
+            workload=data["workload"],
+            kind=data["kind"],
+            attempts=data["attempts"],
+            message=data["message"],
+            traceback=data.get("traceback", ""),
+            wall_s=data.get("wall_s", 0.0),
+            extra=tuple(data.get("extra", ())),
+        )
+
+
+class SweepError(RuntimeError):
+    """Raised when a guarded run exhausts its retry budget.
+
+    Carries the :class:`RunFailure` so strict callers (direct ``cpu_run``
+    calls, ``--fail-fast`` sweeps) still see the full taxonomy record.
+    """
+
+    def __init__(self, failure: RunFailure):
+        super().__init__(failure.summary())
+        self.failure = failure

@@ -1,0 +1,152 @@
+"""Deterministic fault injection for exercising the resilience layer.
+
+The injector sits between the :class:`~repro.experiments.runner.SweepRunner`
+guard path and ``simulate_cpu`` / ``simulate_gpu``: for every execution
+attempt it draws once from a seeded RNG keyed on (seed, site, cell key,
+attempt number) and either
+
+* raises :class:`InjectedFault` (a ``crash`` in the taxonomy),
+* *hangs* -- sleeps ``hang_s`` before running, so a guard timeout fires
+  (or, with no timeout, the run is merely slow), or
+* runs the simulation and **corrupts** the result (``time_s`` becomes
+  NaN), which the runner's sanity check rejects as ``corrupt``.
+
+Because the draw is keyed on the attempt number, retries re-roll: a cell
+that crashed on attempt 1 can succeed on attempt 2, exactly the transient
+behaviour the retry path exists for.  The same seed always produces the
+same fault schedule, so CI failures reproduce locally.
+
+Env gating (mirrors ``REPRO_OBS``)
+----------------------------------
+``REPRO_FAULTS=1`` enables injection with probabilities read from
+``REPRO_FAULTS_FAIL_P`` / ``REPRO_FAULTS_HANG_P`` /
+``REPRO_FAULTS_CORRUPT_P`` (defaults 0), seed from ``REPRO_FAULTS_SEED``
+(default 0), and hang duration from ``REPRO_FAULTS_HANG_S`` (default 30s).
+Tests install an injector programmatically via :func:`install` instead.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.resilience.guard import stable_seed
+
+
+class InjectedFault(RuntimeError):
+    """A crash injected by the fault harness (classified as ``crash``)."""
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in {"1", "true", "yes", "on"}
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    return float(raw) if raw else default
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-attempt fault probabilities (disjoint: fail, then hang, then
+    corrupt, drawn from one uniform sample)."""
+
+    fail_p: float = 0.0
+    hang_p: float = 0.0
+    corrupt_p: float = 0.0
+    seed: int = 0
+    hang_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        for name in ("fail_p", "hang_p", "corrupt_p"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.fail_p + self.hang_p + self.corrupt_p > 1.0:
+            raise ValueError("fault probabilities must sum to <= 1")
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan":
+        return cls(
+            fail_p=_env_float("REPRO_FAULTS_FAIL_P", 0.0),
+            hang_p=_env_float("REPRO_FAULTS_HANG_P", 0.0),
+            corrupt_p=_env_float("REPRO_FAULTS_CORRUPT_P", 0.0),
+            seed=int(_env_float("REPRO_FAULTS_SEED", 0)),
+            hang_s=_env_float("REPRO_FAULTS_HANG_S", 30.0),
+        )
+
+
+class FaultInjector:
+    """Seeded, per-attempt fault decisions for sweep executions."""
+
+    def __init__(self, plan: FaultPlan, sleep: "Callable[[float], None]" = time.sleep):
+        self.plan = plan
+        self._sleep = sleep
+        self._attempt_counts: "dict[tuple, int]" = {}
+        #: How many of each fault kind were actually injected.
+        self.injected = {"fail": 0, "hang": 0, "corrupt": 0}
+
+    def _draw(self, site: str, key: tuple) -> float:
+        """One uniform [0, 1) sample, unique per (site, key, attempt)."""
+        cell = (site, key)
+        attempt = self._attempt_counts.get(cell, 0) + 1
+        self._attempt_counts[cell] = attempt
+        return stable_seed(self.plan.seed, site, key, attempt) / float(1 << 64)
+
+    def call(self, site: str, key: tuple, fn: Callable[[], object]):
+        """Run one execution attempt through the fault schedule."""
+        plan = self.plan
+        u = self._draw(site, key)
+        if u < plan.fail_p:
+            self.injected["fail"] += 1
+            raise InjectedFault(f"injected crash at {site} cell {key!r}")
+        if u < plan.fail_p + plan.hang_p:
+            self.injected["hang"] += 1
+            self._sleep(plan.hang_s)
+        result = fn()
+        if u >= plan.fail_p + plan.hang_p and (
+            u < plan.fail_p + plan.hang_p + plan.corrupt_p
+        ):
+            self.injected["corrupt"] += 1
+            result.time_s = float("nan")
+        return result
+
+
+#: Programmatically installed injector (takes precedence over the env one).
+_INSTALLED: "FaultInjector | None" = None
+#: Lazily built env-configured injector (kept so attempt counts persist).
+_FROM_ENV: "FaultInjector | None" = None
+
+
+def install(injector: FaultInjector) -> FaultInjector:
+    """Install an injector for this process (tests; returns it back)."""
+    global _INSTALLED
+    _INSTALLED = injector
+    return injector
+
+
+def uninstall() -> None:
+    """Remove the programmatically installed injector."""
+    global _INSTALLED
+    _INSTALLED = None
+
+
+def reset() -> None:
+    """Forget both the installed and the env-built injector (test hygiene)."""
+    global _INSTALLED, _FROM_ENV
+    _INSTALLED = None
+    _FROM_ENV = None
+
+
+def active() -> "FaultInjector | None":
+    """The injector to route executions through, or None when disabled."""
+    global _FROM_ENV
+    if _INSTALLED is not None:
+        return _INSTALLED
+    if not _env_flag("REPRO_FAULTS"):
+        return None
+    if _FROM_ENV is None:
+        _FROM_ENV = FaultInjector(FaultPlan.from_env())
+    return _FROM_ENV

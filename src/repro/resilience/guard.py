@@ -1,0 +1,195 @@
+"""Per-run execution guards: wall-clock timeout, retry with backoff.
+
+:func:`run_guarded` wraps one simulation call in the full guard path:
+
+* **timeout** -- the call runs in a daemon worker thread and is abandoned
+  (recorded as a ``timeout`` failure) if it exceeds ``policy.timeout_s``;
+* **retry** -- transient failures (crash, timeout, corrupt result) are
+  retried up to ``policy.max_retries`` times with exponential backoff and
+  deterministic, seeded jitter, so two processes replaying the same sweep
+  sleep the same schedule;
+* **taxonomy** -- when the budget is exhausted the outcome carries a
+  :class:`repro.resilience.errors.RunFailure` instead of raising, so the
+  caller decides whether a failed cell aborts the sweep or degrades to a
+  recorded gap.
+
+The guard is deliberately synchronous and dependency-free: sweeps are
+CPU-bound pure-Python loops, so one worker thread per *attempt* (not per
+cell) adds nothing measurable, and an abandoned hung thread is a daemon
+that dies with the process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+import traceback as tb_module
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.resilience.errors import CorruptResult, RunFailure
+
+
+def stable_seed(*parts) -> int:
+    """A process-independent 64-bit seed from arbitrary repr()-able parts.
+
+    ``hash()`` is salted per process (PYTHONHASHSEED), so backoff jitter
+    and fault-injection draws key off a SHA-256 of the parts instead --
+    the same (seed, site, key, attempt) always yields the same draw.
+    """
+    digest = hashlib.sha256(repr(parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class GuardTimeout(TimeoutError):
+    """A guarded call exceeded its wall-clock budget."""
+
+    def __init__(self, timeout_s: float):
+        super().__init__(f"run exceeded wall-clock timeout of {timeout_s:g}s")
+        self.timeout_s = timeout_s
+
+
+@dataclass
+class GuardPolicy:
+    """How hard to try before a cell becomes a recorded gap."""
+
+    #: Wall-clock budget per attempt (None = unbounded).
+    timeout_s: "float | None" = None
+    #: Re-executions after the first attempt (0 = no retries).
+    max_retries: int = 0
+    #: Exponential backoff: base * 2^(attempt-1), capped, plus jitter.
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    #: Jitter fraction of the backoff (0 = none, 0.5 = up to +50%).
+    jitter: float = 0.5
+    #: Seed for the deterministic jitter (and anything keyed off it).
+    seed: int = 0
+    #: Abort the whole sweep on the first failed cell.
+    fail_fast: bool = False
+    #: Injectable sleeper so tests assert the schedule without waiting.
+    sleep: "Callable[[float], None]" = field(default=time.sleep, repr=False)
+
+    def backoff_s(self, attempt: int, key: tuple = ()) -> float:
+        """Deterministic backoff before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        base = min(self.backoff_cap_s, self.backoff_base_s * 2 ** (attempt - 1))
+        if self.jitter <= 0:
+            return base
+        unit = stable_seed(self.seed, key, attempt) / float(1 << 64)
+        return base * (1.0 + self.jitter * unit)
+
+
+@dataclass
+class GuardOutcome:
+    """What one guarded call produced: a result or a failure, never both."""
+
+    result: object
+    failure: "RunFailure | None"
+    attempts: int
+    #: Wall time of the successful attempt (0.0 when the call failed).
+    wall_s: float = 0.0
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def call_with_timeout(fn: Callable[[], object], timeout_s: "float | None"):
+    """Run ``fn()`` with a wall-clock budget; raise :class:`GuardTimeout`.
+
+    With ``timeout_s=None`` the call runs inline.  Otherwise it runs in a
+    daemon thread; on timeout the thread is abandoned (it cannot be
+    killed from Python, but as a daemon it never blocks process exit).
+    """
+    if timeout_s is None:
+        return fn()
+    box: dict = {}
+
+    def target() -> None:
+        try:
+            box["result"] = fn()
+        except BaseException as exc:  # propagate into the caller below
+            box["error"] = exc
+
+    worker = threading.Thread(target=target, daemon=True, name="repro-guard")
+    worker.start()
+    worker.join(timeout_s)
+    if worker.is_alive():
+        raise GuardTimeout(timeout_s)
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
+
+
+def classify(exc: BaseException) -> str:
+    """Map an in-flight exception onto the failure taxonomy."""
+    if isinstance(exc, GuardTimeout):
+        return "timeout"
+    if isinstance(exc, CorruptResult):
+        return "corrupt"
+    return "crash"
+
+
+def run_guarded(
+    fn: Callable[[], object],
+    *,
+    policy: GuardPolicy,
+    run_kind: str,
+    config: str,
+    workload: str,
+    extra: tuple = (),
+    validate: "Callable[[object], None] | None" = None,
+    on_retry: "Callable[[int, str], None] | None" = None,
+) -> GuardOutcome:
+    """Execute one sweep cell under the full guard path.
+
+    ``validate(result)`` may raise :class:`CorruptResult` to reject a
+    returned-but-bogus measurement (it is retried like a crash).
+    ``on_retry(attempt, kind)`` fires before each backoff sleep so the
+    telemetry layer can count retries as they happen.
+    """
+    key = (run_kind, config, workload, *extra)
+    last_exc: "BaseException | None" = None
+    last_kind = "crash"
+    last_tb = ""
+    last_wall = 0.0
+    attempts = policy.max_retries + 1
+    for attempt in range(1, attempts + 1):
+        start = time.perf_counter()
+        try:
+            result = call_with_timeout(fn, policy.timeout_s)
+            if validate is not None:
+                validate(result)
+            return GuardOutcome(
+                result=result,
+                failure=None,
+                attempts=attempt,
+                wall_s=time.perf_counter() - start,
+            )
+        except Exception as exc:
+            last_exc = exc
+            last_kind = classify(exc)
+            last_tb = tb_module.format_exc()
+            last_wall = time.perf_counter() - start
+            if attempt <= policy.max_retries:
+                if on_retry is not None:
+                    on_retry(attempt, last_kind)
+                policy.sleep(policy.backoff_s(attempt, key))
+    failure = RunFailure(
+        run_kind=run_kind,
+        config=config,
+        workload=workload,
+        kind=last_kind,
+        attempts=attempts,
+        message=f"{type(last_exc).__name__}: {last_exc}",
+        traceback=last_tb,
+        wall_s=last_wall,
+        extra=tuple(extra),
+    )
+    return GuardOutcome(result=None, failure=failure, attempts=attempts)

@@ -6,13 +6,29 @@ import pytest
 
 from repro.core.simulate import simulate_cpu, simulate_gpu
 from repro.core.configs import cpu_config, gpu_config
-from repro.experiments.runner import SweepRunner, SweepSettings
+from repro.experiments.runner import SweepRunner, SweepSettings, reset_shared_runner
+from repro.resilience import faults
 
 #: Small-but-converged sizes for integration tests.
 TEST_INSTRUCTIONS = 24_000
 TEST_WARMUP = 9_000
 TEST_APPS = ["barnes", "lu", "radix"]
 TEST_KERNELS = ["DCT", "Reduction", "MatrixTranspose"]
+
+
+@pytest.fixture(autouse=True)
+def _isolate_process_state():
+    """Per-test hygiene for process-wide singletons.
+
+    The shared runner re-keys itself on the settings fingerprint, so a
+    test that monkeypatches ``REPRO_APPS``/``REPRO_INSTRUCTIONS`` already
+    gets a fresh one; dropping it afterwards keeps the next test from
+    inheriting caches sized under this test's env.  Fault-injection state
+    is likewise forgotten.
+    """
+    yield
+    reset_shared_runner()
+    faults.reset()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,173 @@
+"""Checkpoint round-trips, invalidation, and fail-soft loading."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.runner import SweepRunner, SweepSettings
+from repro.resilience import (
+    CHECKPOINT_VERSION,
+    FaultInjector,
+    FaultPlan,
+    SweepCheckpoint,
+)
+from repro.resilience import faults
+from repro.resilience.checkpoint import (
+    _digest,
+    decode_cpu_result,
+    decode_gpu_result,
+    encode_cpu_result,
+    encode_gpu_result,
+)
+
+SMALL = dict(instructions=2_000, apps=["lu"], kernels=["DCT"])
+
+
+def make_runner(path, **kwargs) -> SweepRunner:
+    return SweepRunner(SweepSettings(**SMALL), checkpoint=path, **kwargs)
+
+
+@pytest.fixture
+def ck_path(tmp_path):
+    return tmp_path / "sweep.ckpt.json"
+
+
+def test_codec_round_trip_is_lossless(ck_path):
+    runner = make_runner(None)
+    cpu = runner.cpu_run("AdvHet", "lu")
+    gpu = runner.gpu_run("AdvHet", "DCT")
+    assert decode_cpu_result(json.loads(json.dumps(encode_cpu_result(cpu)))) == cpu
+    assert decode_gpu_result(json.loads(json.dumps(encode_gpu_result(gpu)))) == gpu
+
+
+def test_checkpoint_round_trip_serves_cache_hits(ck_path):
+    first = make_runner(ck_path)
+    cpu = first.cpu_run("BaseCMOS", "lu")
+    gpu = first.gpu_run("BaseCMOS", "DCT")
+    dvfs = first.dvfs_run("BaseCMOS", "lu", 2.0, False)
+    assert ck_path.exists()
+
+    resumed = make_runner(ck_path, resume=True)
+    assert resumed.telemetry.checkpoint_counts() == {
+        "load": 1, "entries_loaded": 3,
+    }
+    assert resumed.cpu_run("BaseCMOS", "lu") == cpu
+    assert resumed.gpu_run("BaseCMOS", "DCT") == gpu
+    assert resumed.dvfs_run("BaseCMOS", "lu", 2.0, False) == dvfs
+    counts = resumed.telemetry.cache_counts()
+    for kind in ("cpu", "gpu", "dvfs"):
+        assert counts[kind] == (1, 0), f"{kind} should be all hits"
+
+
+def test_resume_requires_checkpoint():
+    with pytest.raises(ValueError, match="resume=True requires a checkpoint"):
+        SweepRunner(SweepSettings(**SMALL), resume=True)
+
+
+def test_missing_and_corrupted_files_load_as_misses(ck_path):
+    fingerprint = SweepSettings(**SMALL).fingerprint()
+    assert SweepCheckpoint(ck_path).load(fingerprint) is None  # missing
+
+    ck_path.write_text("this is not json{{{")
+    assert SweepCheckpoint(ck_path).load(fingerprint) is None
+
+    runner = make_runner(ck_path, resume=True)  # must not crash
+    assert runner.telemetry.checkpoint_counts() == {"invalid": 1}
+    assert runner.cpu_run("BaseCMOS", "lu") is not None  # re-executes fine
+
+
+def test_truncated_file_loads_as_miss(ck_path):
+    make_runner(ck_path).cpu_run("BaseCMOS", "lu")
+    text = ck_path.read_text()
+    ck_path.write_text(text[: len(text) // 2])
+    assert SweepCheckpoint(ck_path).load(SweepSettings(**SMALL).fingerprint()) is None
+
+
+def test_tampered_payload_fails_integrity_check(ck_path):
+    make_runner(ck_path).cpu_run("BaseCMOS", "lu")
+    doc = json.loads(ck_path.read_text())
+    entry = doc["payload"]["entries"]["cpu"][0]
+    entry["result"]["time_s"] = 123.456  # bit-flip the measurement
+    ck_path.write_text(json.dumps(doc))
+    assert SweepCheckpoint(ck_path).load(SweepSettings(**SMALL).fingerprint()) is None
+
+
+def test_version_mismatch_invalidates(ck_path):
+    make_runner(ck_path).cpu_run("BaseCMOS", "lu")
+    doc = json.loads(ck_path.read_text())
+    doc["payload"]["version"] = CHECKPOINT_VERSION + 1
+    doc["integrity"] = _digest(doc["payload"])  # re-sign, still wrong version
+    ck_path.write_text(json.dumps(doc))
+    assert SweepCheckpoint(ck_path).load(SweepSettings(**SMALL).fingerprint()) is None
+
+
+def test_settings_fingerprint_mismatch_invalidates(ck_path):
+    make_runner(ck_path).cpu_run("BaseCMOS", "lu")
+    other = SweepRunner(
+        SweepSettings(instructions=4_000, apps=["lu"], kernels=["DCT"]),
+        checkpoint=ck_path,
+        resume=True,
+    )
+    assert other.telemetry.checkpoint_counts() == {"invalid": 1}
+    other.cpu_run("BaseCMOS", "lu")
+    assert other.telemetry.cache_counts()["cpu"] == (0, 1)  # re-executed
+
+
+def test_fingerprint_tracks_every_settings_field():
+    base = SweepSettings(**SMALL)
+    assert base.fingerprint() == SweepSettings(**SMALL).fingerprint()
+    variants = [
+        SweepSettings(instructions=3_000, apps=["lu"], kernels=["DCT"]),
+        SweepSettings(instructions=2_000, apps=["fft"], kernels=["DCT"]),
+        SweepSettings(instructions=2_000, apps=["lu"], kernels=["Reduction"]),
+    ]
+    for variant in variants:
+        assert variant.fingerprint() != base.fingerprint()
+
+
+def test_failures_are_persisted_in_checkpoint(ck_path):
+    faults.install(FaultInjector(FaultPlan(fail_p=1.0)))
+    runner = make_runner(ck_path)
+    assert runner.cpu_cell("BaseCMOS", "lu") is None
+    runner.save_checkpoint()
+    data = SweepCheckpoint(ck_path).load(SweepSettings(**SMALL).fingerprint())
+    assert data is not None and data.entries == 0
+    (failure,) = data.failures
+    assert failure.kind == "crash" and failure.config == "BaseCMOS"
+
+
+def test_resume_executes_only_missing_cells(ck_path):
+    class KillCell:
+        """Deterministically fail exactly one (config, app) cell."""
+
+        def call(self, site, key, fn):
+            if key == ("AdvHet", "lu"):
+                raise RuntimeError("poisoned cell")
+            return fn()
+
+    faults.install(KillCell())
+    first = make_runner(ck_path)
+    results = first.cpu_sweep(["BaseCMOS", "AdvHet"])
+    assert results["BaseCMOS"]["lu"] is not None
+    assert results["AdvHet"]["lu"] is None
+
+    faults.reset()
+    resumed = make_runner(ck_path, resume=True)
+    results = resumed.cpu_sweep(["BaseCMOS", "AdvHet"])
+    assert all(run is not None for run in (r["lu"] for r in results.values()))
+    # Exactly the one gap was executed; the rest came from the checkpoint.
+    assert resumed.telemetry.cache_counts()["cpu"] == (1, 1)
+    assert resumed.failures == {}
+
+
+def test_checkpoint_saves_are_atomic_after_each_run(ck_path):
+    runner = make_runner(ck_path)
+    runner.cpu_run("BaseCMOS", "lu")
+    first = json.loads(ck_path.read_text())
+    assert len(first["payload"]["entries"]["cpu"]) == 1
+    runner.gpu_run("BaseCMOS", "DCT")
+    second = json.loads(ck_path.read_text())
+    assert len(second["payload"]["entries"]["gpu"]) == 1
+    assert not ck_path.with_name(ck_path.name + ".tmp").exists()
