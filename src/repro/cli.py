@@ -19,13 +19,18 @@ Commands
     Run one pair with pipeline tracing enabled and write a Chrome
     trace-event JSON file (open in ``chrome://tracing`` or Perfetto).
 ``sweep CONFIGS... [--gpu] [--checkpoint PATH] [--resume] [--timeout S]
-[--max-retries N] [--fail-fast] [--json]``
+[--max-retries N] [--fail-fast] [--workers N] [--isolation
+{thread,process}] [--json]``
     Run a resilient (configuration x workload) sweep: failed cells
     degrade to recorded gaps (retried up to ``--max-retries`` times with
     backoff, killed after ``--timeout`` seconds each), the result caches
     persist to ``--checkpoint`` after every executed run, and
     ``--resume`` preloads a matching checkpoint so only missing cells
-    execute.  Exit status: 0 = complete, 3 = completed with gaps.
+    execute.  ``--workers N`` with ``--isolation process`` (implied for
+    N > 1) runs cells in parallel supervised worker processes: hung
+    attempts are SIGKILLed at the timeout and a crashing worker costs
+    one cell, not the sweep; the report is byte-identical to a serial
+    run.  Exit status: 0 = complete, 3 = completed with gaps.
 
 Sweep sizing obeys ``REPRO_INSTRUCTIONS`` / ``REPRO_APPS`` /
 ``REPRO_KERNELS``, as everywhere else; fault injection (for exercising
@@ -253,6 +258,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         print("--resume requires --checkpoint PATH", file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers > 1 and args.isolation == "thread":
+        print(
+            "--workers > 1 requires --isolation process "
+            "(threads cannot parallelise CPU-bound sweeps)",
+            file=sys.stderr,
+        )
+        return 2
     policy = GuardPolicy(
         timeout_s=args.timeout,
         max_retries=args.max_retries,
@@ -265,9 +280,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     interrupted = False
     try:
         if args.gpu:
-            results = runner.gpu_sweep(args.configs)
+            results = runner.gpu_sweep(
+                args.configs, workers=args.workers, isolation=args.isolation
+            )
         else:
-            results = runner.cpu_sweep(args.configs)
+            results = runner.cpu_sweep(
+                args.configs, workers=args.workers, isolation=args.isolation
+            )
     except SweepError as exc:
         runner.save_checkpoint()
         print(f"sweep aborted (--fail-fast): {exc}", file=sys.stderr)
@@ -393,6 +412,15 @@ def main(argv: "list[str] | None" = None) -> int:
     p_sweep.add_argument(
         "--fail-fast", action="store_true",
         help="abort the sweep on the first failed cell",
+    )
+    p_sweep.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="parallel worker processes (N > 1 implies --isolation process)",
+    )
+    p_sweep.add_argument(
+        "--isolation", choices=("thread", "process"), default=None,
+        help="run attempts in-process under the thread guard (default for "
+        "--workers 1) or in SIGKILL-supervised worker processes",
     )
     p_sweep.add_argument(
         "--json", action="store_true",

@@ -163,6 +163,11 @@ class CoreResult:
     rob_peak: int
     iq_peak: int
     alu_fast_fraction: float
+    #: Entries left in the ROB / issue queue / LSQ / rename register files
+    #: when the run finished.  A correct run always drains to 0; anything
+    #: else is caught by the end-of-run self-check
+    #: (:mod:`repro.resilience.selfcheck`) as a corrupt result.
+    undrained: int = 0
 
     @property
     def ipc(self) -> float:
@@ -519,8 +524,22 @@ class OutOfOrderCore:
 
         if snapshot is None:
             raise RuntimeError("warmup never completed")
+        undrained = (
+            len(rob)
+            + len(iq)
+            + len(fetch_q)
+            + resources.rob_used
+            + resources.iq_used
+            + resources.lsq_used
+            + resources.int_regs_used
+            + resources.fp_regs_used
+        )
         return self._finalize(
-            metrics.delta(snapshot), cycle - measure_start_cycle, n - warmup, act
+            metrics.delta(snapshot),
+            cycle - measure_start_cycle,
+            n - warmup,
+            act,
+            undrained,
         )
 
     # ------------------------------------------------------------------
@@ -530,6 +549,7 @@ class OutOfOrderCore:
         cycles: int,
         committed: int,
         act: ActivityCounts,
+        undrained: int = 0,
     ) -> CoreResult:
         """Turn a registry delta (measured window) into a CoreResult."""
         d = delta.get
@@ -588,4 +608,5 @@ class OutOfOrderCore:
             rob_peak=self.resources.rob_peak,
             iq_peak=self.resources.iq_peak,
             alu_fast_fraction=(act.alu_fast_ops / total_alu) if total_alu else 0.0,
+            undrained=undrained,
         )

@@ -33,14 +33,27 @@ Attach a checkpoint path to persist the caches across interruptions:
 results are saved (versioned JSON, integrity-hashed, keyed on the
 settings fingerprint) after every executed run, and ``resume=True``
 preloads them so a rerun executes only the missing cells.
+
+Isolation and parallelism
+-------------------------
+``cpu_sweep`` / ``gpu_sweep`` / ``dvfs_sweep`` accept ``workers=`` and
+``isolation=``.  The default (``workers=1``, ``isolation="thread"``) is
+the in-process guard path above.  ``isolation="process"`` routes the
+missing cells through the supervised multiprocessing executor
+(:mod:`repro.resilience.pool`): each attempt runs in its own worker
+process, hung attempts are SIGKILLed at the policy timeout (no zombie
+CPU burners), and a hard worker crash costs one cell attempt instead of
+the sweep.  Results stream back and merge into the caches/checkpoint as
+they complete, but the returned mapping is always in deterministic cell
+order, so serial and parallel sweeps produce byte-identical reports.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import math
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -49,8 +62,9 @@ from repro.core.simulate import CpuRunResult, GpuRunResult, simulate_cpu, simula
 from repro.obs.telemetry import SweepTelemetry
 from repro.resilience import faults
 from repro.resilience.checkpoint import SweepCheckpoint
-from repro.resilience.errors import CorruptResult, RunFailure, SweepError
-from repro.resilience.guard import GuardPolicy, run_guarded
+from repro.resilience.errors import RunFailure, SweepError
+from repro.resilience.guard import GuardPolicy, run_guarded, zombie_thread_count
+from repro.resilience.selfcheck import validate_result
 from repro.workloads.gpu_profiles import GPU_KERNELS, gpu_kernel
 from repro.workloads.profiles import CPU_APPS, cpu_app
 
@@ -103,14 +117,22 @@ class SweepSettings:
         return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
 
 
-def _validate_result(result) -> None:
-    """Reject returned-but-bogus measurements (fed to the guard path)."""
-    time_s = result.time_s
-    energy = result.energy_j
-    if not (math.isfinite(time_s) and time_s > 0):
-        raise CorruptResult(f"non-finite or non-positive time_s ({time_s!r})")
-    if not (math.isfinite(energy) and energy > 0):
-        raise CorruptResult(f"non-finite or non-positive energy_j ({energy!r})")
+def _resolve_isolation(workers: int, isolation: "str | None") -> str:
+    """Default ``isolation`` from ``workers`` and reject bad combinations."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if isolation is None:
+        isolation = "process" if workers > 1 else "thread"
+    if isolation not in ("thread", "process"):
+        raise ValueError(
+            f"unknown isolation {isolation!r} (expected 'thread' or 'process')"
+        )
+    if isolation == "thread" and workers > 1:
+        raise ValueError(
+            "workers > 1 requires isolation='process': thread isolation "
+            "cannot parallelise CPU-bound sweeps, nor kill hung attempts"
+        )
+    return isolation
 
 
 class SweepRunner:
@@ -144,6 +166,7 @@ class SweepRunner:
         self._dvfs_cache: dict[tuple[str, str, float, bool], CpuRunResult] = {}
         #: Recorded gaps, keyed by failure cell coordinate.
         self.failures: "dict[tuple, RunFailure]" = {}
+        self._zombie_warned = False
         if checkpoint is None:
             self.checkpoint = None
         elif isinstance(checkpoint, SweepCheckpoint):
@@ -229,6 +252,29 @@ class SweepRunner:
             return fn()
         return injector.call(run_kind, key, fn)
 
+    def _note_zombies(self) -> None:
+        """Surface abandoned (unkillable) guard threads after a timeout.
+
+        Thread isolation cannot reclaim a hung attempt: the daemon thread
+        keeps burning CPU alongside its retries.  Record the leak in
+        telemetry and warn once per sweep so users know process isolation
+        (``isolation="process"``) actually kills overrunners.
+        """
+        zombies = zombie_thread_count()
+        if not zombies:
+            return
+        self.telemetry.record_zombie_threads(zombies)
+        if not self._zombie_warned:
+            self._zombie_warned = True
+            warnings.warn(
+                f"{zombies} timed-out attempt(s) left running as zombie "
+                f"thread(s) under isolation='thread'; they burn CPU until "
+                f"the process exits. Use isolation='process' (sweep "
+                f"--isolation process) to SIGKILL hung attempts instead.",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
     def _guarded(
         self,
         run_kind: str,
@@ -250,11 +296,12 @@ class SweepRunner:
                 config=config_name,
                 workload=workload,
                 extra=extra,
-                validate=_validate_result,
+                validate=lambda result: validate_result(run_kind, result),
                 on_retry=lambda _attempt, kind: self.telemetry.record_retry(
                     run_kind, kind
                 ),
             )
+            self._note_zombies()
             if outcome.failure is not None:
                 self.failures[outcome.failure.cell] = outcome.failure
                 self.telemetry.record_failure(outcome.failure)
@@ -374,22 +421,168 @@ class SweepRunner:
             lambda: self.dvfs_run(config_name, app, freq_ghz, variation)
         )
 
-    def cpu_sweep(
-        self, config_names: list[str]
-    ) -> "dict[str, dict[str, CpuRunResult | None]]":
-        """All (config, app) results as {config: {app: result-or-None}}."""
+    # -- process-isolated parallel execution ---------------------------
+    def _cache_for(self, run_kind: str) -> dict:
         return {
-            name: {app: self.cpu_cell(name, app) for app in self.settings.apps}
+            "cpu": self._cpu_cache,
+            "gpu": self._gpu_cache,
+            "dvfs": self._dvfs_cache,
+        }[run_kind]
+
+    @staticmethod
+    def _instructions_of(run_kind: str, result) -> int:
+        if run_kind == "gpu":
+            return result.gpu.cu_result.instructions
+        return result.core.committed
+
+    def _pool_event(self, event: str, info: dict) -> None:
+        """Map pool lifecycle events onto the telemetry counters."""
+        if event == "utilization":
+            self.telemetry.record_pool_utilization(info["value"])
+            return
+        self.telemetry.record_pool(event)
+        if event == "requeued":
+            # Mirror the serial guard's retry accounting so dashboards
+            # and CI assertions see one consistent counter.
+            self.telemetry.record_retry(info["run_kind"], info["failure_kind"])
+
+    def _pool_cells(
+        self, run_kind: str, cells: "list[tuple]", workers: int
+    ) -> None:
+        """Execute the non-cached cells of a sweep in worker processes.
+
+        ``cells`` is a list of (config, workload, extra) coordinates.
+        Completed results stream back and merge into the cache (with an
+        incremental checkpoint flush each), failures into
+        :attr:`failures` -- callers then assemble the returned mapping
+        from the caches in deterministic cell order.
+        """
+        from repro.resilience.pool import CellTask, SweepPool
+
+        cache = self._cache_for(run_kind)
+        tasks: "list[CellTask]" = []
+        for config_name, workload, extra in cells:
+            key = (config_name, workload, *extra)
+            if key in cache:
+                self.telemetry.record_run(
+                    run_kind,
+                    config_name,
+                    workload,
+                    0.0,
+                    self._instructions_of(run_kind, cache[key]),
+                    cached=True,
+                )
+                continue
+            try:
+                self._validated(run_kind, config_name, workload)
+            except KeyError:
+                if self.policy.fail_fast:
+                    raise
+                continue  # recorded as a config/workload gap
+            tasks.append(CellTask(run_kind, config_name, workload, tuple(extra)))
+        if not tasks:
+            return
+
+        def on_result(task, outcome) -> None:
+            if outcome.ok:
+                cache[task.key] = outcome.result
+                self.failures.pop(task.cell, None)
+                self.telemetry.record_run(
+                    run_kind,
+                    task.config,
+                    task.workload,
+                    outcome.wall_s,
+                    self._instructions_of(run_kind, outcome.result),
+                    cached=False,
+                )
+                if self.checkpoint is not None:
+                    self.save_checkpoint()
+            else:
+                self.failures[outcome.failure.cell] = outcome.failure
+                self.telemetry.record_failure(outcome.failure)
+                if self.policy.fail_fast:
+                    raise SweepError(outcome.failure)
+
+        pool = SweepPool(
+            policy=self.policy,
+            instructions=self.settings.instructions,
+            warmup=self.settings.warmup,
+            workers=workers,
+            on_event=self._pool_event,
+        )
+        pool.run(tasks, on_result=on_result)
+
+    def cpu_sweep(
+        self,
+        config_names: list[str],
+        *,
+        workers: int = 1,
+        isolation: "str | None" = None,
+    ) -> "dict[str, dict[str, CpuRunResult | None]]":
+        """All (config, app) results as {config: {app: result-or-None}}.
+
+        ``workers``/``isolation`` select the execution backend: the
+        default is the in-process thread-guard path; ``"process"``
+        dispatches missing cells to SIGKILL-supervised worker processes
+        (``workers`` of them in parallel).
+        """
+        apps = self.settings.apps
+        if _resolve_isolation(workers, isolation) == "process":
+            self._pool_cells(
+                "cpu",
+                [(name, app, ()) for name in config_names for app in apps],
+                workers,
+            )
+            return {
+                name: {app: self._cpu_cache.get((name, app)) for app in apps}
+                for name in config_names
+            }
+        return {
+            name: {app: self.cpu_cell(name, app) for app in apps}
             for name in config_names
         }
 
     def gpu_sweep(
-        self, config_names: list[str]
+        self,
+        config_names: list[str],
+        *,
+        workers: int = 1,
+        isolation: "str | None" = None,
     ) -> "dict[str, dict[str, GpuRunResult | None]]":
+        kernels = self.settings.kernels
+        if _resolve_isolation(workers, isolation) == "process":
+            self._pool_cells(
+                "gpu",
+                [(name, k, ()) for name in config_names for k in kernels],
+                workers,
+            )
+            return {
+                name: {k: self._gpu_cache.get((name, k)) for k in kernels}
+                for name in config_names
+            }
         return {
-            name: {k: self.gpu_cell(name, k) for k in self.settings.kernels}
+            name: {k: self.gpu_cell(name, k) for k in kernels}
             for name in config_names
         }
+
+    def dvfs_sweep(
+        self,
+        points: "list[tuple[str, str, float, bool]]",
+        *,
+        workers: int = 1,
+        isolation: "str | None" = None,
+    ) -> "dict[tuple, CpuRunResult | None]":
+        """DVFS/guardband points (config, app, freq_ghz, variation) as a
+        {point: result-or-None} mapping, in the given point order."""
+        points = [tuple(p) for p in points]
+        if _resolve_isolation(workers, isolation) == "process":
+            self._pool_cells(
+                "dvfs",
+                [(config, app, (freq, var)) for config, app, freq, var in points],
+                workers,
+            )
+            return {p: self._dvfs_cache.get(p) for p in points}
+        return {p: self.dvfs_cell(*p) for p in points}
 
 
 #: Process-wide default runner so independent figure calls share runs.

@@ -17,7 +17,13 @@ the runs behind it a visible shape:
 * the resilience layer reports into the same object: retries
   (``sweep.<kind>.retries``), failed cells (``sweep.<kind>.failures`` plus
   a per-taxonomy-kind breakdown), and checkpoint activity
-  (``sweep.checkpoint.<event>``).
+  (``sweep.checkpoint.<event>``);
+* the process-isolated executor (:mod:`repro.resilience.pool`) reports
+  its worker lifecycle here too: ``sweep.pool.spawned`` / ``killed`` /
+  ``crashed`` / ``heartbeat_lost`` / ``requeued`` / ``completed``
+  counters plus a ``sweep.pool.utilization`` gauge (busy worker-seconds
+  over ``workers x elapsed``), and the thread guard's abandoned-thread
+  leak is surfaced as the ``sweep.guard.zombie_threads`` gauge.
 """
 
 from __future__ import annotations
@@ -67,6 +73,9 @@ class SweepTelemetry:
         self._failures = dict.fromkeys(KINDS, 0)
         self._failure_kinds: "dict[str, int]" = {}
         self._checkpoint: "dict[str, int]" = {}
+        self._pool: "dict[str, int]" = {}
+        self.pool_utilization = 0.0
+        self.zombie_threads = 0
         self.callback_errors = 0
         self._callbacks: "list[Callable[[dict], None]]" = []
 
@@ -154,6 +163,23 @@ class SweepTelemetry:
             }
         )
 
+    def record_pool(self, event: str, count: int = 1) -> None:
+        """Account one worker-lifecycle event from the process pool
+        (``spawned``/``completed``/``killed``/``crashed``/
+        ``heartbeat_lost``/``requeued``)."""
+        self._pool[event] = self._pool.get(event, 0) + count
+        self._scope.counter(f"pool.{event}").inc(count)
+
+    def record_pool_utilization(self, value: float) -> None:
+        """Record the pool's aggregate worker utilization (0..1)."""
+        self.pool_utilization = value
+        self._scope.gauge("pool.utilization").set(value)
+
+    def record_zombie_threads(self, count: int) -> None:
+        """Record abandoned (unkillable) guard threads still running."""
+        self.zombie_threads = count
+        self._scope.gauge("guard.zombie_threads").set(count)
+
     def record_checkpoint(self, event: str, count: int = 1) -> None:
         """Account checkpoint activity (``load``/``save``/``invalid``/
         ``entries_loaded``/``entries_saved``)."""
@@ -180,6 +206,10 @@ class SweepTelemetry:
     def checkpoint_counts(self) -> "dict[str, int]":
         """Checkpoint events (load/save/invalid/entries_*) so far."""
         return dict(self._checkpoint)
+
+    def pool_counts(self) -> "dict[str, int]":
+        """Worker-lifecycle events (spawned/killed/crashed/...) so far."""
+        return dict(self._pool)
 
     @property
     def total_wall_s(self) -> float:
@@ -209,6 +239,9 @@ class SweepTelemetry:
             "failures": dict(self._failures),
             "failure_kinds": dict(self._failure_kinds),
             "checkpoint": dict(self._checkpoint),
+            "pool": dict(self._pool),
+            "pool_utilization": round(self.pool_utilization, 4),
+            "zombie_threads": self.zombie_threads,
             "callback_errors": self.callback_errors,
         }
 

@@ -14,10 +14,20 @@ point, not the sweep.  This package hardens
 * :mod:`repro.resilience.checkpoint` -- versioned, integrity-hashed JSON
   persistence of the runner caches keyed on a settings fingerprint, so
   interrupted sweeps resume with only the missing cells re-executed;
+* :mod:`repro.resilience.pool` / :mod:`repro.resilience.worker` -- the
+  process-isolated parallel executor: each cell attempt runs in a
+  supervised worker process from a bounded pool, overrunning workers are
+  SIGKILLed at the policy timeout, and worker death (crash, signal, lost
+  heartbeat) is contained to one attempt and requeued under the same
+  retry/backoff budget;
+* :mod:`repro.resilience.selfcheck` -- end-of-run result invariants
+  (ROB/RF drained, positive cycle counts, retired-instruction
+  conservation) that reject corrupted measurements as ``corrupt``
+  failures instead of silently wrong report rows;
 * :mod:`repro.resilience.faults` -- a seeded, env-gated fault-injection
-  harness (``REPRO_FAULTS``) that makes simulations crash, hang, or
-  return corrupted results at configurable probabilities, used to test
-  this layer itself and exercised from CI.
+  harness (``REPRO_FAULTS``) that makes simulations crash, hang, return
+  corrupted results, or hard-kill their own process at configurable
+  probabilities, used to test this layer itself and exercised from CI.
 
 Guards live in the *runner*, not in ``simulate_cpu``/``simulate_gpu``:
 the simulators stay deterministic pure functions (the property the whole
@@ -39,6 +49,7 @@ from repro.resilience.guard import (
     call_with_timeout,
     run_guarded,
     stable_seed,
+    zombie_thread_count,
 )
 from repro.resilience.checkpoint import (
     CHECKPOINT_VERSION,
@@ -46,6 +57,12 @@ from repro.resilience.checkpoint import (
     SweepCheckpoint,
 )
 from repro.resilience.faults import FaultInjector, FaultPlan, InjectedFault
+from repro.resilience.pool import CellTask, SweepPool
+from repro.resilience.selfcheck import (
+    check_cpu_result,
+    check_gpu_result,
+    validate_result,
+)
 
 __all__ = [
     "FAILURE_KINDS",
@@ -58,10 +75,16 @@ __all__ = [
     "call_with_timeout",
     "run_guarded",
     "stable_seed",
+    "zombie_thread_count",
     "CHECKPOINT_VERSION",
     "CheckpointData",
     "SweepCheckpoint",
     "FaultInjector",
     "FaultPlan",
     "InjectedFault",
+    "CellTask",
+    "SweepPool",
+    "check_cpu_result",
+    "check_gpu_result",
+    "validate_result",
 ]

@@ -7,27 +7,40 @@ attempt number) and either
 
 * raises :class:`InjectedFault` (a ``crash`` in the taxonomy),
 * *hangs* -- sleeps ``hang_s`` before running, so a guard timeout fires
-  (or, with no timeout, the run is merely slow), or
+  (or, with no timeout, the run is merely slow),
 * runs the simulation and **corrupts** the result (``time_s`` becomes
-  NaN), which the runner's sanity check rejects as ``corrupt``.
+  NaN), which the runner's sanity check rejects as ``corrupt``, or
+* **dies** -- SIGKILLs its own process, the hard-crash class (segfault,
+  OOM kill) that only the process-isolated sweep executor
+  (:mod:`repro.resilience.pool`) can contain.  Under ``isolation="thread"``
+  a die fault takes down the whole sweep, which is exactly the failure
+  mode it exists to demonstrate.
 
 Because the draw is keyed on the attempt number, retries re-roll: a cell
 that crashed on attempt 1 can succeed on attempt 2, exactly the transient
 behaviour the retry path exists for.  The same seed always produces the
 same fault schedule, so CI failures reproduce locally.
 
+Draws are keyed on (seed, site, cell key, attempt) -- never on PID or
+process identity -- so a parallel sweep whose attempts run in spawned
+worker processes replays byte-identically: the supervisor tells each
+worker which attempt it is executing and the worker *primes* its local
+injector (:meth:`FaultInjector.prime`) to draw for exactly that attempt.
+
 Env gating (mirrors ``REPRO_OBS``)
 ----------------------------------
 ``REPRO_FAULTS=1`` enables injection with probabilities read from
 ``REPRO_FAULTS_FAIL_P`` / ``REPRO_FAULTS_HANG_P`` /
-``REPRO_FAULTS_CORRUPT_P`` (defaults 0), seed from ``REPRO_FAULTS_SEED``
-(default 0), and hang duration from ``REPRO_FAULTS_HANG_S`` (default 30s).
+``REPRO_FAULTS_CORRUPT_P`` / ``REPRO_FAULTS_DIE_P`` (defaults 0), seed
+from ``REPRO_FAULTS_SEED`` (default 0), and hang duration from
+``REPRO_FAULTS_HANG_S`` (default 30s).
 Tests install an injector programmatically via :func:`install` instead.
 """
 
 from __future__ import annotations
 
 import os
+import signal
 import time
 from dataclasses import dataclass
 from typing import Callable
@@ -51,20 +64,21 @@ def _env_float(name: str, default: float) -> float:
 @dataclass(frozen=True)
 class FaultPlan:
     """Per-attempt fault probabilities (disjoint: fail, then hang, then
-    corrupt, drawn from one uniform sample)."""
+    corrupt, then die, drawn from one uniform sample)."""
 
     fail_p: float = 0.0
     hang_p: float = 0.0
     corrupt_p: float = 0.0
     seed: int = 0
     hang_s: float = 30.0
+    die_p: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("fail_p", "hang_p", "corrupt_p"):
+        for name in ("fail_p", "hang_p", "corrupt_p", "die_p"):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {p}")
-        if self.fail_p + self.hang_p + self.corrupt_p > 1.0:
+        if self.fail_p + self.hang_p + self.corrupt_p + self.die_p > 1.0:
             raise ValueError("fault probabilities must sum to <= 1")
 
     @classmethod
@@ -75,7 +89,23 @@ class FaultPlan:
             corrupt_p=_env_float("REPRO_FAULTS_CORRUPT_P", 0.0),
             seed=int(_env_float("REPRO_FAULTS_SEED", 0)),
             hang_s=_env_float("REPRO_FAULTS_HANG_S", 30.0),
+            die_p=_env_float("REPRO_FAULTS_DIE_P", 0.0),
         )
+
+    def to_dict(self) -> dict:
+        """Plain-dict form, picklable into worker processes."""
+        return {
+            "fail_p": self.fail_p,
+            "hang_p": self.hang_p,
+            "corrupt_p": self.corrupt_p,
+            "seed": self.seed,
+            "hang_s": self.hang_s,
+            "die_p": self.die_p,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(**data)
 
 
 class FaultInjector:
@@ -86,7 +116,7 @@ class FaultInjector:
         self._sleep = sleep
         self._attempt_counts: "dict[tuple, int]" = {}
         #: How many of each fault kind were actually injected.
-        self.injected = {"fail": 0, "hang": 0, "corrupt": 0}
+        self.injected = {"fail": 0, "hang": 0, "corrupt": 0, "die": 0}
 
     def _draw(self, site: str, key: tuple) -> float:
         """One uniform [0, 1) sample, unique per (site, key, attempt)."""
@@ -94,6 +124,19 @@ class FaultInjector:
         attempt = self._attempt_counts.get(cell, 0) + 1
         self._attempt_counts[cell] = attempt
         return stable_seed(self.plan.seed, site, key, attempt) / float(1 << 64)
+
+    def prime(self, site: str, key: tuple, attempt: int) -> None:
+        """Make the next draw for (site, key) use ``attempt`` (1-based).
+
+        A worker process executing a requeued attempt starts with a fresh
+        injector whose counters would otherwise restart at 1, replaying
+        attempt 1's fault forever.  The supervisor tells the worker which
+        attempt it is running; priming re-keys the draw on (cell, attempt)
+        -- never on PID -- so parallel sweeps replay deterministically.
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        self._attempt_counts[(site, tuple(key))] = attempt - 1
 
     def call(self, site: str, key: tuple, fn: Callable[[], object]):
         """Run one execution attempt through the fault schedule."""
@@ -105,6 +148,12 @@ class FaultInjector:
         if u < plan.fail_p + plan.hang_p:
             self.injected["hang"] += 1
             self._sleep(plan.hang_s)
+        band = plan.fail_p + plan.hang_p + plan.corrupt_p
+        if band <= u < band + plan.die_p:
+            # Hard process death: the supervisor must see a vanished
+            # worker, not an exception.  SIGKILL cannot be caught.
+            self.injected["die"] += 1
+            os.kill(os.getpid(), getattr(signal, "SIGKILL", signal.SIGTERM))
         result = fn()
         if u >= plan.fail_p + plan.hang_p and (
             u < plan.fail_p + plan.hang_p + plan.corrupt_p
@@ -138,6 +187,17 @@ def reset() -> None:
     global _INSTALLED, _FROM_ENV
     _INSTALLED = None
     _FROM_ENV = None
+
+
+def installed_plan() -> "FaultPlan | None":
+    """The programmatically installed plan, if any.
+
+    The process-isolated sweep executor serialises this into worker specs
+    so an injector installed in the parent (tests, harnesses) drives the
+    same fault schedule inside spawned workers -- env-gated injection
+    needs no help, since ``REPRO_FAULTS*`` is propagated as environment.
+    """
+    return _INSTALLED.plan if _INSTALLED is not None else None
 
 
 def active() -> "FaultInjector | None":

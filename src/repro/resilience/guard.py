@@ -15,8 +15,13 @@
 
 The guard is deliberately synchronous and dependency-free: sweeps are
 CPU-bound pure-Python loops, so one worker thread per *attempt* (not per
-cell) adds nothing measurable, and an abandoned hung thread is a daemon
-that dies with the process.
+cell) adds nothing measurable.  The known limit is that an abandoned hung
+thread is a *zombie*: a daemon that dies with the process but keeps
+burning CPU until then.  Abandoned threads are tracked
+(:func:`zombie_thread_count`) so the runner can surface the leak; when
+hung attempts must actually be reclaimed, use the process-isolated
+executor (:mod:`repro.resilience.pool`), which SIGKILLs overrunning
+workers instead.
 """
 
 from __future__ import annotations
@@ -48,6 +53,30 @@ class GuardTimeout(TimeoutError):
     def __init__(self, timeout_s: float):
         super().__init__(f"run exceeded wall-clock timeout of {timeout_s:g}s")
         self.timeout_s = timeout_s
+
+
+# -- zombie-thread accounting ------------------------------------------
+#
+# A timed-out attempt under thread isolation cannot be killed: the daemon
+# worker thread keeps burning CPU until its simulation finishes (or the
+# process exits).  We track every abandoned thread so the runner can
+# surface the leak (``guard.zombie_threads`` gauge, a once-per-sweep
+# warning) and point users at ``isolation="process"``, which reclaims the
+# CPU with a real SIGKILL (:mod:`repro.resilience.pool`).
+_ZOMBIE_LOCK = threading.Lock()
+_ZOMBIES: "list[threading.Thread]" = []
+
+
+def _note_zombie(worker: threading.Thread) -> None:
+    with _ZOMBIE_LOCK:
+        _ZOMBIES.append(worker)
+
+
+def zombie_thread_count() -> int:
+    """Abandoned guard threads still running (pruned of finished ones)."""
+    with _ZOMBIE_LOCK:
+        _ZOMBIES[:] = [t for t in _ZOMBIES if t.is_alive()]
+        return len(_ZOMBIES)
 
 
 @dataclass
@@ -121,6 +150,7 @@ def call_with_timeout(fn: Callable[[], object], timeout_s: "float | None"):
     worker.start()
     worker.join(timeout_s)
     if worker.is_alive():
+        _note_zombie(worker)
         raise GuardTimeout(timeout_s)
     if "error" in box:
         raise box["error"]

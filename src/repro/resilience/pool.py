@@ -1,0 +1,438 @@
+"""Process-isolated parallel sweep executor with worker supervision.
+
+The thread-based guard (:mod:`repro.resilience.guard`) has a structural
+limit: a hung attempt cannot be killed from Python, and a hard crash
+(segfault, OOM kill, interpreter abort) in any cell takes down the whole
+sweep.  :class:`SweepPool` removes both failure classes by running each
+(configuration, workload) cell attempt in its own worker process
+(:mod:`repro.resilience.worker`) under a supervisor loop in the parent:
+
+* **hard timeouts** -- an attempt that exceeds ``policy.timeout_s`` is
+  SIGKILLed and reaped; no abandoned zombies keep burning CPU;
+* **crash containment** -- a worker that dies (nonzero exit, signal,
+  ``kill -9``, lost heartbeat) costs one attempt of one cell, mapped onto
+  the existing :class:`~repro.resilience.errors.RunFailure` taxonomy
+  (``timeout`` / ``crash``);
+* **bounded requeue** -- failed attempts re-enter the queue until
+  ``policy.max_retries`` is exhausted, honouring the same deterministic
+  seeded backoff schedule as the serial guard (the cell becomes eligible
+  again after the backoff delay instead of blocking the supervisor);
+* **streamed results** -- each finished cell is reported through
+  ``on_result`` the moment it completes, so the caller can merge it into
+  the versioned checkpoint incrementally (a parent crash mid-sweep
+  resumes with only the gaps re-run);
+* **deterministic order** -- :meth:`SweepPool.run` returns outcomes in
+  task-submission order regardless of completion order, so serial and
+  parallel sweeps produce byte-identical reports.
+
+Isolation mechanics: every worker gets a dedicated pipe (a killed worker
+can never poison a queue lock shared with siblings) and runs exactly one
+attempt, so the supervisor's SIGKILL is always safe.  Worker processes
+are spawned from a bounded pool of ``workers`` slots; cells queue until
+a slot frees.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Callable
+
+from repro.resilience import faults
+from repro.resilience.errors import RunFailure
+from repro.resilience.guard import GuardOutcome, GuardPolicy
+from repro.resilience.worker import worker_main
+
+#: Supervisor loop responsiveness bounds (seconds).
+_MIN_WAIT_S = 0.01
+_MAX_WAIT_S = 0.25
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One sweep cell to execute: coordinates plus cache-key shape."""
+
+    run_kind: str  # "cpu" | "gpu" | "dvfs"
+    config: str
+    workload: str
+    extra: tuple = ()
+
+    @property
+    def key(self) -> tuple:
+        """The runner's cache key (also the fault-injection draw key)."""
+        return (self.config, self.workload, *self.extra)
+
+    @property
+    def cell(self) -> tuple:
+        """The failure-taxonomy cell coordinate."""
+        return (self.run_kind, self.config, self.workload, *self.extra)
+
+
+@dataclass
+class _Pending:
+    """A queued attempt, eligible to start at ``not_before`` (monotonic)."""
+
+    idx: int
+    attempt: int
+    not_before: float = 0.0
+
+
+@dataclass
+class _Live:
+    """One running worker process under supervision."""
+
+    idx: int
+    attempt: int
+    proc: object
+    conn: object
+    started: float
+    deadline: "float | None"
+    last_beat: float = field(default=0.0)
+
+
+def _describe_exit(exitcode: "int | None") -> str:
+    if exitcode is None:
+        return "still running"
+    if exitcode < 0:
+        try:
+            name = signal.Signals(-exitcode).name
+        except ValueError:
+            name = f"signal {-exitcode}"
+        return f"killed by {name}"
+    return f"exit code {exitcode}"
+
+
+def default_mp_context():
+    """Fork where available (fast, Linux), else the platform default."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class SweepPool:
+    """Supervised bounded pool executing sweep cells in worker processes.
+
+    ``on_event(event, info)`` observes the worker lifecycle
+    (``spawned`` / ``completed`` / ``killed`` / ``crashed`` /
+    ``heartbeat_lost`` / ``requeued`` / ``utilization``) so the telemetry
+    layer can count it; ``on_result(task, outcome)`` streams each
+    finalised cell (success or exhausted failure) in completion order.
+    An ``on_result`` that raises aborts the pool: every live worker is
+    killed and the exception propagates (this is how ``fail_fast``
+    sweeps stop early without leaking children).
+    """
+
+    def __init__(
+        self,
+        *,
+        policy: "GuardPolicy | None" = None,
+        instructions: int,
+        warmup: int,
+        workers: int = 2,
+        mp_context=None,
+        heartbeat_s: float = 0.5,
+        heartbeat_timeout_s: float = 30.0,
+        on_event: "Callable[[str, dict], None] | None" = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.policy = policy or GuardPolicy()
+        self.instructions = instructions
+        self.warmup = warmup
+        self.workers = workers
+        self.ctx = mp_context or default_mp_context()
+        self.heartbeat_s = heartbeat_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self._on_event = on_event
+
+    # -- events --------------------------------------------------------
+    def _event(self, event: str, **info) -> None:
+        if self._on_event is not None:
+            self._on_event(event, info)
+
+    # -- spawning ------------------------------------------------------
+    def _spec(self, task: CellTask, attempt: int, env: dict) -> dict:
+        plan = faults.installed_plan()
+        return {
+            "run_kind": task.run_kind,
+            "config": task.config,
+            "workload": task.workload,
+            "extra": tuple(task.extra),
+            "key": task.key,
+            "attempt": attempt,
+            "instructions": self.instructions,
+            "warmup": self.warmup,
+            "env": env,
+            "fault_plan": plan.to_dict() if plan is not None else None,
+            "heartbeat_s": self.heartbeat_s,
+        }
+
+    def _spawn(self, task: CellTask, item: _Pending, env: dict) -> _Live:
+        recv_conn, send_conn = self.ctx.Pipe(duplex=False)
+        proc = self.ctx.Process(
+            target=worker_main,
+            args=(send_conn, self._spec(task, item.attempt, env)),
+            daemon=True,
+            name=f"repro-sweep-{item.idx}-a{item.attempt}",
+        )
+        proc.start()
+        send_conn.close()  # parent's copy; worker holds the only writer
+        now = time.monotonic()
+        timeout_s = self.policy.timeout_s
+        live = _Live(
+            idx=item.idx,
+            attempt=item.attempt,
+            proc=proc,
+            conn=recv_conn,
+            started=now,
+            deadline=(now + timeout_s) if timeout_s is not None else None,
+            last_beat=now,
+        )
+        self._event(
+            "spawned",
+            pid=proc.pid,
+            cell=task.cell,
+            attempt=item.attempt,
+            run_kind=task.run_kind,
+        )
+        return live
+
+    def _reap(self, live: _Live) -> None:
+        """Close the pipe and join the process; SIGKILL stragglers."""
+        try:
+            live.conn.close()
+        except OSError:
+            pass
+        live.proc.join(timeout=5.0)
+        if live.proc.is_alive():  # pragma: no cover - defensive
+            live.proc.kill()
+            live.proc.join()
+
+    def _kill(self, live: _Live) -> None:
+        """SIGKILL a worker and reap it (no zombie PIDs)."""
+        live.proc.kill()
+        self._reap(live)
+
+    # -- the supervisor loop -------------------------------------------
+    def run(
+        self,
+        tasks: "list[CellTask]",
+        on_result: "Callable[[CellTask, GuardOutcome], None] | None" = None,
+    ) -> "list[GuardOutcome]":
+        """Execute every task; outcomes are returned in task order."""
+        env = {k: v for k, v in os.environ.items() if k.startswith("REPRO_")}
+        pending: "list[_Pending]" = [
+            _Pending(idx=i, attempt=1) for i in range(len(tasks))
+        ]
+        live: "list[_Live]" = []
+        results: "dict[int, GuardOutcome]" = {}
+        busy_s = 0.0
+        started = time.monotonic()
+
+        def finalise(idx: int, outcome: GuardOutcome) -> None:
+            results[idx] = outcome
+            if on_result is not None:
+                on_result(tasks[idx], outcome)
+
+        def retry_or_fail(
+            idx: int, attempt: int, kind: str, message: str, tb: str, wall: float
+        ) -> None:
+            task = tasks[idx]
+            if attempt <= self.policy.max_retries:
+                delay = self.policy.backoff_s(attempt, task.cell)
+                pending.append(
+                    _Pending(idx=idx, attempt=attempt + 1,
+                             not_before=time.monotonic() + delay)
+                )
+                self._event(
+                    "requeued",
+                    cell=task.cell,
+                    attempt=attempt,
+                    failure_kind=kind,
+                    run_kind=task.run_kind,
+                    backoff_s=delay,
+                )
+                return
+            failure = RunFailure(
+                run_kind=task.run_kind,
+                config=task.config,
+                workload=task.workload,
+                kind=kind,
+                attempts=attempt,
+                message=message,
+                traceback=tb,
+                wall_s=wall,
+                extra=tuple(task.extra),
+            )
+            finalise(idx, GuardOutcome(result=None, failure=failure,
+                                       attempts=attempt))
+
+        try:
+            while pending or live:
+                now = time.monotonic()
+
+                # Fill free slots with eligible queued attempts (in queue
+                # order, skipping cells still inside their backoff).
+                while len(live) < self.workers:
+                    slot = next(
+                        (p for p in pending if p.not_before <= now), None
+                    )
+                    if slot is None:
+                        break
+                    pending.remove(slot)
+                    live.append(self._spawn(tasks[slot.idx], slot, env))
+
+                if not live:
+                    # Everything queued is backing off; sleep to the
+                    # earliest eligibility.
+                    wake = min(p.not_before for p in pending)
+                    time.sleep(
+                        min(max(wake - time.monotonic(), 0.0), _MAX_WAIT_S)
+                    )
+                    continue
+
+                # Wait for worker traffic, but wake early for the nearest
+                # deadline / heartbeat check / backoff expiry.
+                horizons = [_MAX_WAIT_S]
+                for lv in live:
+                    if lv.deadline is not None:
+                        horizons.append(lv.deadline - now)
+                    horizons.append(
+                        lv.last_beat + self.heartbeat_timeout_s - now
+                    )
+                if len(live) < self.workers and pending:
+                    horizons.append(min(p.not_before for p in pending) - now)
+                timeout = max(min(horizons), _MIN_WAIT_S)
+                ready = mp_connection.wait([lv.conn for lv in live], timeout)
+
+                by_conn = {lv.conn: lv for lv in live}
+                for conn in ready:
+                    lv = by_conn[conn]
+                    done = False
+                    try:
+                        while conn.poll():
+                            msg = conn.recv()
+                            if msg[0] == "hb":
+                                lv.last_beat = time.monotonic()
+                                continue
+                            done = True
+                            live.remove(lv)
+                            busy_s += time.monotonic() - lv.started
+                            self._reap(lv)
+                            if msg[0] == "ok":
+                                _, result, wall = msg
+                                task = tasks[lv.idx]
+                                self._event(
+                                    "completed",
+                                    cell=task.cell,
+                                    attempt=lv.attempt,
+                                    run_kind=task.run_kind,
+                                    wall_s=wall,
+                                )
+                                finalise(
+                                    lv.idx,
+                                    GuardOutcome(
+                                        result=result,
+                                        failure=None,
+                                        attempts=lv.attempt,
+                                        wall_s=wall,
+                                    ),
+                                )
+                            else:  # ("fail", kind, message, tb, wall)
+                                _, kind, message, tb, wall = msg
+                                retry_or_fail(
+                                    lv.idx, lv.attempt, kind, message, tb, wall
+                                )
+                            break
+                    except (EOFError, OSError):
+                        # The worker died without a terminal message:
+                        # nonzero exit, signal, kill -9, or a pipe torn
+                        # mid-send.  Contain it as a crash of this attempt.
+                        done = True
+                        live.remove(lv)
+                        busy_s += time.monotonic() - lv.started
+                        self._reap(lv)
+                        task = tasks[lv.idx]
+                        detail = _describe_exit(lv.proc.exitcode)
+                        self._event(
+                            "crashed",
+                            cell=task.cell,
+                            attempt=lv.attempt,
+                            run_kind=task.run_kind,
+                            exit=detail,
+                        )
+                        retry_or_fail(
+                            lv.idx,
+                            lv.attempt,
+                            "crash",
+                            f"worker died before reporting ({detail})",
+                            "",
+                            time.monotonic() - lv.started,
+                        )
+                    if done:
+                        continue
+
+                # Enforce wall-clock budgets and heartbeat liveness on
+                # whatever is still running.
+                now = time.monotonic()
+                for lv in list(live):
+                    task = tasks[lv.idx]
+                    if lv.deadline is not None and now >= lv.deadline:
+                        live.remove(lv)
+                        busy_s += now - lv.started
+                        self._kill(lv)
+                        self._event(
+                            "killed",
+                            cell=task.cell,
+                            attempt=lv.attempt,
+                            run_kind=task.run_kind,
+                            pid=lv.proc.pid,
+                        )
+                        retry_or_fail(
+                            lv.idx,
+                            lv.attempt,
+                            "timeout",
+                            f"GuardTimeout: run exceeded wall-clock timeout "
+                            f"of {self.policy.timeout_s:g}s (worker SIGKILLed)",
+                            "",
+                            now - lv.started,
+                        )
+                    elif now - lv.last_beat > self.heartbeat_timeout_s:
+                        live.remove(lv)
+                        busy_s += now - lv.started
+                        self._kill(lv)
+                        self._event(
+                            "heartbeat_lost",
+                            cell=task.cell,
+                            attempt=lv.attempt,
+                            run_kind=task.run_kind,
+                            silent_s=now - lv.last_beat,
+                        )
+                        retry_or_fail(
+                            lv.idx,
+                            lv.attempt,
+                            "crash",
+                            f"worker lost heartbeat for "
+                            f"{now - lv.last_beat:.1f}s (SIGKILLed)",
+                            "",
+                            now - lv.started,
+                        )
+        finally:
+            # Abort path (fail-fast, KeyboardInterrupt, caller error):
+            # leave zero live children behind, whatever happened.
+            for lv in live:
+                self._kill(lv)
+            elapsed = max(time.monotonic() - started, 1e-9)
+            self._event(
+                "utilization",
+                value=min(busy_s / (elapsed * self.workers), 1.0),
+                busy_s=busy_s,
+                elapsed_s=elapsed,
+                workers=self.workers,
+            )
+
+        return [results[i] for i in range(len(tasks))]

@@ -1,0 +1,104 @@
+"""End-of-run result self-checks: reject corrupted measurements.
+
+A simulation that *returns* is not necessarily a simulation that ran
+correctly: a bit-flipped counter, a broken refactor, or an injected
+corruption can produce a structurally complete result whose numbers are
+silently wrong.  Every check here raises
+:class:`~repro.resilience.errors.CorruptResult`, so a bad cell flows
+through the guard path's existing ``corrupt`` failure kind -- retried,
+then recorded as a gap -- instead of landing in a report as a plausible
+row.
+
+Checked invariants (CPU / DVFS results):
+
+* **scalars** -- ``time_s`` and ``energy_j`` finite and positive;
+* **cycle count** -- every detailed core's measured window is a positive
+  cycle count that advanced no faster than the physical commit bandwidth
+  allows (committed <= cycles x 8, a generous bound on the 4-wide core);
+* **retired-instruction conservation** -- the engine's incremented commit
+  counter and the measurement-window arithmetic (``n - warmup``) must
+  agree exactly;
+* **ROB/RF drained** -- at end of run no entries may remain in the ROB,
+  issue queue, LSQ, or rename register files
+  (:attr:`~repro.cpu.core.CoreResult.undrained`).
+
+GPU results get the scalar checks plus positive cycle/instruction counts
+and the fixed-total-work cycle accounting.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.resilience.errors import CorruptResult
+
+#: Upper bound on per-cycle commits; the core is 4-wide, 8 absorbs the
+#: half-open measurement-window boundary cycles.
+_MAX_COMMIT_PER_CYCLE = 8
+
+
+def _check_scalars(result) -> None:
+    time_s = result.time_s
+    energy = result.energy_j
+    if not (math.isfinite(time_s) and time_s > 0):
+        raise CorruptResult(f"non-finite or non-positive time_s ({time_s!r})")
+    if not (math.isfinite(energy) and energy > 0):
+        raise CorruptResult(f"non-finite or non-positive energy_j ({energy!r})")
+
+
+def check_cpu_result(result) -> None:
+    """Validate a :class:`~repro.core.simulate.CpuRunResult` in depth."""
+    _check_scalars(result)
+    mc = result.multicore
+    if not (math.isfinite(mc.effective_cycles) and mc.effective_cycles > 0):
+        raise CorruptResult(
+            f"non-positive effective cycle count ({mc.effective_cycles!r})"
+        )
+    for idx, core in enumerate(mc.per_core):
+        if core.cycles <= 0:
+            raise CorruptResult(f"core {idx}: non-positive cycle count ({core.cycles})")
+        if core.committed <= 0:
+            raise CorruptResult(
+                f"core {idx}: non-positive committed count ({core.committed})"
+            )
+        if core.activity.committed != core.committed:
+            raise CorruptResult(
+                f"core {idx}: retired-instruction conservation violated "
+                f"(activity counted {core.activity.committed}, window holds "
+                f"{core.committed})"
+            )
+        if core.committed > core.cycles * _MAX_COMMIT_PER_CYCLE:
+            raise CorruptResult(
+                f"core {idx}: {core.committed} commits in {core.cycles} cycles "
+                f"exceeds physical commit bandwidth"
+            )
+        if core.undrained:
+            raise CorruptResult(
+                f"core {idx}: {core.undrained} ROB/IQ/LSQ/RF entries not "
+                f"drained at end of run"
+            )
+
+
+def check_gpu_result(result) -> None:
+    """Validate a :class:`~repro.core.simulate.GpuRunResult` in depth."""
+    _check_scalars(result)
+    gpu = result.gpu
+    cu = gpu.cu_result
+    if not (math.isfinite(gpu.effective_cycles) and gpu.effective_cycles > 0):
+        raise CorruptResult(
+            f"non-positive effective cycle count ({gpu.effective_cycles!r})"
+        )
+    if cu.cycles <= 0:
+        raise CorruptResult(f"non-positive CU cycle count ({cu.cycles})")
+    if cu.instructions <= 0:
+        raise CorruptResult(
+            f"non-positive CU instruction count ({cu.instructions})"
+        )
+
+
+def validate_result(run_kind: str, result) -> None:
+    """Dispatch to the per-kind deep check (``dvfs`` results are CPU-shaped)."""
+    if run_kind == "gpu":
+        check_gpu_result(result)
+    else:
+        check_cpu_result(result)

@@ -1,0 +1,156 @@
+"""Worker-process entrypoint for the process-isolated sweep executor.
+
+One worker process executes exactly **one attempt of one sweep cell** and
+exits.  All policy -- timeouts, retries, backoff -- lives in the parent's
+supervisor (:mod:`repro.resilience.pool`); keeping the worker
+single-attempt means a SIGKILL from the supervisor can never strand
+partial retry state, and a hard crash (segfault, OOM kill, injected
+``die`` fault) costs one attempt, not a pool.
+
+Protocol (over a dedicated :func:`multiprocessing.Pipe` connection, so a
+killed worker can never poison a lock shared with its siblings):
+
+* ``("hb",)`` -- heartbeat, sent every ``spec["heartbeat_s"]`` seconds
+  from a daemon thread; the supervisor SIGKILLs workers whose heartbeats
+  stop (a wedged-but-alive process);
+* ``("ok", result, wall_s)`` -- the attempt succeeded and passed the
+  end-of-run self-checks; ``result`` is the pickled run result;
+* ``("fail", kind, message, traceback, wall_s)`` -- the attempt raised;
+  ``kind`` is ``corrupt`` for self-check rejections, else ``crash``.
+  Timeouts never originate here: the supervisor kills overrunners.
+
+Determinism: the worker re-applies the parent's ``REPRO_*`` environment
+and fault plan from the task spec (so programmatically installed
+injectors and spawn-context workers behave identically to the parent),
+then *primes* the injector with the attempt number it was handed --
+fault draws key on (cell, attempt), never on PID, so a faulted parallel
+sweep replays the serial schedule exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback as tb_module
+
+from repro.resilience import faults
+from repro.resilience.errors import CorruptResult
+from repro.resilience.selfcheck import validate_result
+
+
+def execute_cell(
+    run_kind: str,
+    config: str,
+    workload: str,
+    extra: tuple,
+    instructions: int,
+    warmup: int,
+):
+    """Run one (config, workload) cell directly against the simulators.
+
+    Mirrors the :class:`~repro.experiments.runner.SweepRunner` execute
+    closures exactly (same call shape, same sizing), so a cell computed in
+    a worker process is bit-identical to one computed in-process.
+    """
+    from repro.core.configs import cpu_config, gpu_config
+    from repro.core.simulate import simulate_cpu, simulate_gpu
+
+    if run_kind == "cpu":
+        return simulate_cpu(
+            cpu_config(config), workload, instructions=instructions, warmup=warmup
+        )
+    if run_kind == "gpu":
+        return simulate_gpu(gpu_config(config), workload)
+    if run_kind == "dvfs":
+        from repro.core.dvfs import HetCoreDvfs
+
+        freq_ghz, variation = extra
+        return HetCoreDvfs().simulate_at(
+            cpu_config(config),
+            workload,
+            freq_ghz,
+            variation=variation,
+            instructions=instructions,
+            warmup=warmup,
+        )
+    raise ValueError(f"unknown run kind {run_kind!r}")
+
+
+def _start_heartbeat(conn, lock: threading.Lock, interval_s: float):
+    """Send ``("hb",)`` every ``interval_s`` until stopped or the pipe dies."""
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(interval_s):
+            with lock:
+                try:
+                    conn.send(("hb",))
+                except OSError:  # parent gone; nothing left to report to
+                    return
+
+    thread = threading.Thread(target=beat, daemon=True, name="repro-worker-hb")
+    thread.start()
+    return stop
+
+
+def worker_main(conn, spec: dict) -> None:
+    """Process entrypoint: run one attempt of one cell, report, exit."""
+    import os
+
+    # Propagate the parent's sweep-shaping environment (REPRO_FAULTS*,
+    # REPRO_OBS, sizing overrides).  Under a fork context this is a no-op;
+    # under spawn it makes the worker's env-gated behaviour explicit
+    # rather than dependent on inheritance.
+    os.environ.update(spec.get("env", {}))
+
+    # Reconstruct fault state from the spec, never from inherited process
+    # state, then draw for exactly the attempt the supervisor assigned.
+    faults.reset()
+    plan = spec.get("fault_plan")
+    injector = (
+        faults.install(faults.FaultInjector(faults.FaultPlan.from_dict(plan)))
+        if plan is not None
+        else faults.active()
+    )
+    key = tuple(spec["key"])
+    if injector is not None:
+        injector.prime(spec["run_kind"], key, spec["attempt"])
+
+    send_lock = threading.Lock()
+    stop_heartbeat = _start_heartbeat(
+        conn, send_lock, float(spec.get("heartbeat_s", 0.5))
+    )
+    start = time.perf_counter()
+    try:
+        def execute():
+            return execute_cell(
+                spec["run_kind"],
+                spec["config"],
+                spec["workload"],
+                tuple(spec.get("extra", ())),
+                spec["instructions"],
+                spec["warmup"],
+            )
+
+        if injector is not None:
+            result = injector.call(spec["run_kind"], key, execute)
+        else:
+            result = execute()
+        validate_result(spec["run_kind"], result)
+        message = ("ok", result, time.perf_counter() - start)
+    except BaseException as exc:
+        kind = "corrupt" if isinstance(exc, CorruptResult) else "crash"
+        message = (
+            "fail",
+            kind,
+            f"{type(exc).__name__}: {exc}",
+            tb_module.format_exc(),
+            time.perf_counter() - start,
+        )
+    stop_heartbeat.set()
+    with send_lock:
+        try:
+            conn.send(message)
+        except OSError:  # parent died first; exit quietly
+            pass
+    conn.close()

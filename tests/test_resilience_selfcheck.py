@@ -1,0 +1,137 @@
+"""End-of-run self-checks and thread-guard zombie accounting.
+
+The self-checks (:mod:`repro.resilience.selfcheck`) reject structurally
+complete but numerically corrupt results as ``corrupt`` failures; the
+zombie accounting surfaces what thread isolation cannot clean up after a
+:class:`~repro.resilience.guard.GuardTimeout`.
+"""
+
+from __future__ import annotations
+
+import copy
+import warnings
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.configs import cpu_config, gpu_config
+from repro.core.simulate import simulate_cpu, simulate_gpu
+from repro.experiments.runner import SweepRunner, SweepSettings
+from repro.resilience import (
+    CorruptResult,
+    FaultInjector,
+    FaultPlan,
+    GuardPolicy,
+    check_cpu_result,
+    check_gpu_result,
+    faults,
+    validate_result,
+)
+
+#: Tiny-but-valid sizing for tests that really simulate.
+SMALL = dict(instructions=2_000, apps=["lu"], kernels=["DCT"])
+
+
+@pytest.fixture(scope="module")
+def cpu_result():
+    return simulate_cpu(
+        cpu_config("BaseCMOS"), "lu", instructions=2_000, warmup=500
+    )
+
+
+@pytest.fixture(scope="module")
+def gpu_result():
+    return simulate_gpu(gpu_config("BaseCMOS"), "DCT")
+
+
+# ---------------------------------------------------------------------
+# the checks themselves
+# ---------------------------------------------------------------------
+
+def test_healthy_results_pass(cpu_result, gpu_result):
+    check_cpu_result(cpu_result)
+    check_gpu_result(gpu_result)
+    validate_result("cpu", cpu_result)
+    validate_result("dvfs", cpu_result)  # DVFS results are CPU-shaped
+    validate_result("gpu", gpu_result)
+
+
+def test_nan_time_rejected(cpu_result):
+    bad = copy.deepcopy(cpu_result)
+    bad.time_s = float("nan")
+    with pytest.raises(CorruptResult, match="time_s"):
+        check_cpu_result(bad)
+
+
+def test_non_finite_energy_rejected():
+    bogus = SimpleNamespace(time_s=1.0, energy_j=float("inf"))
+    with pytest.raises(CorruptResult, match="energy_j"):
+        check_gpu_result(bogus)
+
+
+def test_retired_instruction_conservation(cpu_result):
+    bad = copy.deepcopy(cpu_result)
+    bad.multicore.per_core[0].activity.committed += 1
+    with pytest.raises(CorruptResult, match="conservation"):
+        check_cpu_result(bad)
+
+
+def test_undrained_rob_rejected(cpu_result):
+    bad = copy.deepcopy(cpu_result)
+    bad.multicore.per_core[0].undrained = 3
+    with pytest.raises(CorruptResult, match="drained"):
+        check_cpu_result(bad)
+    assert cpu_result.multicore.per_core[0].undrained == 0
+
+
+def test_commit_bandwidth_bound(cpu_result):
+    bad = copy.deepcopy(cpu_result)
+    core = bad.multicore.per_core[0]
+    core.committed = core.cycles * 9
+    core.activity.committed = core.committed  # keep conservation intact
+    with pytest.raises(CorruptResult, match="bandwidth"):
+        check_cpu_result(bad)
+
+
+def test_gpu_zero_instructions_rejected(gpu_result):
+    bad = copy.deepcopy(gpu_result)
+    bad.gpu.cu_result.instructions = 0
+    with pytest.raises(CorruptResult, match="instruction count"):
+        check_gpu_result(bad)
+
+
+def test_injected_corruption_becomes_corrupt_gap():
+    faults.install(FaultInjector(FaultPlan(corrupt_p=1.0)))
+    runner = SweepRunner(
+        SweepSettings(**SMALL),
+        policy=GuardPolicy(max_retries=0, backoff_base_s=0.0, jitter=0.0),
+    )
+    results = runner.cpu_sweep(["BaseCMOS"])
+    assert results["BaseCMOS"]["lu"] is None
+    assert runner.failures[("cpu", "BaseCMOS", "lu")].kind == "corrupt"
+
+
+# ---------------------------------------------------------------------
+# thread-guard zombie accounting
+# ---------------------------------------------------------------------
+
+def test_thread_guard_zombies_recorded_and_warned_once():
+    faults.install(FaultInjector(FaultPlan(hang_p=1.0, hang_s=3.0)))
+    runner = SweepRunner(
+        SweepSettings(**SMALL),
+        policy=GuardPolicy(timeout_s=0.2, max_retries=0,
+                           backoff_base_s=0.0, jitter=0.0),
+    )
+    with pytest.warns(RuntimeWarning, match="zombie"):
+        results = runner.cpu_sweep(["BaseCMOS"])
+
+    assert results["BaseCMOS"]["lu"] is None
+    assert runner.failures[("cpu", "BaseCMOS", "lu")].kind == "timeout"
+    assert runner.telemetry.zombie_threads >= 1
+    assert runner.telemetry.summary()["zombie_threads"] >= 1
+
+    # Warned once per sweep runner: a second timed-out sweep stays quiet.
+    faults.install(FaultInjector(FaultPlan(hang_p=1.0, hang_s=3.0)))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", RuntimeWarning)
+        runner.cpu_sweep(["AdvHet"])
