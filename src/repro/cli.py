@@ -31,6 +31,26 @@ Commands
     attempts are SIGKILLed at the timeout and a crashing worker costs
     one cell, not the sweep; the report is byte-identical to a serial
     run.  Exit status: 0 = complete, 3 = completed with gaps.
+    SIGTERM (and SIGINT) flush the checkpoint before exiting: SIGTERM
+    exits 3 (gaps), matching a sweep that completed with missing cells,
+    SIGINT exits 130.
+``serve --jobs FILE [--follow] [--workers N] [--isolation {thread,process}]
+[--queue-capacity N] [--breaker-threshold N] [--breaker-recovery S]
+[--drain-deadline S] [--checkpoint PATH] [--resume] [--timeout S]
+[--max-retries N] [--health-file PATH] [--json]``
+    Run the admission-controlled simulation job service over a JSONL job
+    file (one job per line: ``{"run_kind": "cpu", "config": "AdvHet",
+    "workload": "lu", "priority": 5, "deadline_s": 30}``).  ``--follow``
+    tails the file for new jobs until SIGTERM/SIGINT; otherwise the
+    service drains the file and exits.  Saturation, per-job deadlines,
+    and open circuit breakers shed jobs with structured reasons (never
+    silent drops); SIGTERM stops admissions, drains in-flight workers
+    within ``--drain-deadline``, flushes the checkpoint, and records
+    unfinished jobs as gaps.  Exit status: 0 = everything served,
+    3 = gaps (failed or shed jobs).
+``serve --health [--health-file PATH]``
+    Dump the service's latest liveness/readiness snapshot (queue depth,
+    breaker states, served/shed counters) from its health file.
 
 Sweep sizing obeys ``REPRO_INSTRUCTIONS`` / ``REPRO_APPS`` /
 ``REPRO_KERNELS``, as everywhere else; fault injection (for exercising
@@ -42,6 +62,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 
 from repro import obs
@@ -245,6 +266,16 @@ def _sweep_status_table(results: dict, workloads: "list[str]") -> str:
     return "\n".join(lines)
 
 
+class _SweepTerminated(BaseException):
+    """SIGTERM arrived mid-sweep, converted so cleanup can run.
+
+    A ``BaseException`` (like ``KeyboardInterrupt``) on purpose: the
+    guard's retry loop catches ``Exception`` to contain simulation
+    crashes, and a termination request must cut through it, not be
+    classified as a crash and retried.
+    """
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     known = GPU_CONFIGS if args.gpu else CPU_CONFIGS
     unknown = [n for n in args.configs if n not in known]
@@ -278,23 +309,48 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     workloads = runner.settings.kernels if args.gpu else runner.settings.apps
     interrupted = False
+
+    def _on_sigterm(_signum, _frame):
+        raise _SweepTerminated()
+
     try:
-        if args.gpu:
-            results = runner.gpu_sweep(
-                args.configs, workers=args.workers, isolation=args.isolation
+        old_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # not the main thread (embedded callers)
+        old_sigterm = None
+    try:
+        try:
+            if args.gpu:
+                results = runner.gpu_sweep(
+                    args.configs, workers=args.workers, isolation=args.isolation
+                )
+            else:
+                results = runner.cpu_sweep(
+                    args.configs, workers=args.workers, isolation=args.isolation
+                )
+        except SweepError as exc:
+            runner.save_checkpoint()
+            print(f"sweep aborted (--fail-fast): {exc}", file=sys.stderr)
+            return 1
+        except _SweepTerminated:
+            # SIGTERM = an orchestrator asking for an orderly stop: flush
+            # the checkpoint and report "completed with gaps" (exit 3),
+            # so `--checkpoint ... --resume` serves exactly the rest.
+            runner.save_checkpoint()
+            hint = (
+                f"; rerun with --checkpoint {args.checkpoint} --resume "
+                f"to continue"
+                if args.checkpoint
+                else ""
             )
-        else:
-            results = runner.cpu_sweep(
-                args.configs, workers=args.workers, isolation=args.isolation
-            )
-    except SweepError as exc:
-        runner.save_checkpoint()
-        print(f"sweep aborted (--fail-fast): {exc}", file=sys.stderr)
-        return 1
-    except KeyboardInterrupt:
-        runner.save_checkpoint()
-        interrupted = True
-        results = {}
+            print(f"\nsweep terminated (SIGTERM){hint}", file=sys.stderr)
+            return 3
+        except KeyboardInterrupt:
+            runner.save_checkpoint()
+            interrupted = True
+            results = {}
+    finally:
+        if old_sigterm is not None:
+            signal.signal(signal.SIGTERM, old_sigterm)
     saved = runner.save_checkpoint()
     failures = list(runner.failures.values())
     if interrupted:
@@ -327,6 +383,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     "workloads": workloads,
                     "cells": cells,
                     "failures": [f.to_dict() for f in failures],
+                    "failure_table": failure_table(failures),
                     "telemetry": runner.telemetry.summary(),
                 },
                 indent=2,
@@ -345,6 +402,111 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.checkpoint:
             print(f"checkpoint: {args.checkpoint} ({saved} entries)")
     return 3 if failures else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import BreakerPolicy, ServiceConfig, SimService
+    from repro.serve.health import read_health
+
+    if args.health:
+        if not args.health_file:
+            print("--health requires --health-file PATH", file=sys.stderr)
+            return 2
+        snapshot = read_health(args.health_file)
+        if snapshot is None:
+            print(
+                f"no readable health snapshot at {args.health_file}",
+                file=sys.stderr,
+            )
+            return 1
+        if args.json:
+            print(json.dumps(snapshot.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(snapshot.describe())
+        return 0
+
+    if not args.jobs:
+        print("serve requires --jobs FILE (or --health)", file=sys.stderr)
+        return 2
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    policy = GuardPolicy(timeout_s=args.timeout, max_retries=args.max_retries)
+    runner = SweepRunner(
+        policy=policy, checkpoint=args.checkpoint, resume=args.resume
+    )
+    config = ServiceConfig(
+        capacity=args.queue_capacity,
+        workers=args.workers,
+        isolation=args.isolation,
+        drain_deadline_s=args.drain_deadline,
+        breaker=BreakerPolicy(
+            failure_threshold=args.breaker_threshold,
+            recovery_s=args.breaker_recovery,
+            max_recovery_s=max(args.breaker_recovery * 10.0, args.breaker_recovery),
+        ),
+        health_file=args.health_file,
+    )
+    service = SimService(runner, config)
+
+    def _on_signal(_signum, _frame):
+        service.request_shutdown()
+
+    old_handlers = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            old_handlers.append((signum, signal.signal(signum, _on_signal)))
+        except ValueError:  # not the main thread (embedded callers)
+            pass
+
+    def _narrate(line: str, admission) -> None:
+        if admission is None:
+            print(f"serve: {line}", file=sys.stderr)
+        elif not admission.admitted:
+            print(
+                f"serve: shed [{admission.reason}] {line}"
+                + (f" ({admission.detail})" if admission.detail else ""),
+                file=sys.stderr,
+            )
+
+    try:
+        service.start()
+        submitted, malformed = service.intake(
+            args.jobs, follow=args.follow, on_line=_narrate
+        )
+        if not args.follow:
+            service.wait_idle()
+        summary = service.shutdown()
+    finally:
+        for signum, handler in old_handlers:
+            signal.signal(signum, handler)
+
+    counters = summary["counters"]
+    if args.json:
+        summary["submitted_from_file"] = submitted
+        summary["malformed_lines"] = malformed
+        print(json.dumps(summary, indent=2))
+    else:
+        print(
+            f"serve: {counters['submitted']} submitted, "
+            f"{counters['served']} served, {counters['failed']} failed, "
+            f"{counters['shed']} shed, {counters['cancelled']} cancelled"
+            + (f", {malformed} malformed lines" if malformed else "")
+            + (" [DEGRADED: thread isolation]" if summary["degraded"] else "")
+        )
+        shed_reasons = runner.telemetry.shed_counts()
+        if shed_reasons:
+            print(
+                "shed reasons: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(shed_reasons.items()))
+            )
+        failures = list(runner.failures.values())
+        if failures:
+            print(failure_table(failures))
+        print(runner.telemetry.cache_summary())
+        if args.checkpoint:
+            print(f"checkpoint: {args.checkpoint}")
+    return 3 if service.gap_count() else 0
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -427,6 +589,74 @@ def main(argv: "list[str] | None" = None) -> int:
         help="emit cells, failures, and telemetry as JSON",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the admission-controlled simulation job service",
+    )
+    p_serve.add_argument(
+        "--jobs", metavar="FILE",
+        help="JSONL job file (one job spec per line)",
+    )
+    p_serve.add_argument(
+        "--follow", action="store_true",
+        help="tail the job file for new jobs until SIGTERM/SIGINT",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="concurrent dispatcher slots (default 1)",
+    )
+    p_serve.add_argument(
+        "--isolation", choices=("thread", "process"), default="thread",
+        help="execute jobs in-process (thread) or in SIGKILL-supervised "
+        "worker processes (process); spawn failures degrade to thread",
+    )
+    p_serve.add_argument(
+        "--queue-capacity", type=int, default=64, metavar="N",
+        help="bounded queue size; admissions beyond it shed queue_full",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive crash/timeout failures of one (run_kind, "
+        "config) that open its circuit breaker (default 3)",
+    )
+    p_serve.add_argument(
+        "--breaker-recovery", type=float, default=30.0, metavar="S",
+        help="seconds an open breaker waits before a half-open probe "
+        "(default 30; escalates exponentially under repeated trips)",
+    )
+    p_serve.add_argument(
+        "--drain-deadline", type=float, default=10.0, metavar="S",
+        help="graceful-shutdown budget for in-flight jobs (default 10)",
+    )
+    p_serve.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="persist result caches here after every served job",
+    )
+    p_serve.add_argument(
+        "--resume", action="store_true",
+        help="preload a matching checkpoint; cached cells serve instantly",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="wall-clock budget per run attempt (seconds)",
+    )
+    p_serve.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retries per job with exponential backoff (default 2)",
+    )
+    p_serve.add_argument(
+        "--health-file", metavar="PATH",
+        help="write liveness/readiness snapshots here (read by --health)",
+    )
+    p_serve.add_argument(
+        "--health", action="store_true",
+        help="dump the latest health snapshot from --health-file and exit",
+    )
+    p_serve.add_argument(
+        "--json", action="store_true",
+        help="emit the final job records, counters, and telemetry as JSON",
+    )
+
     args = parser.parse_args(argv)
     handlers = {
         "list": _cmd_list,
@@ -435,5 +665,6 @@ def main(argv: "list[str] | None" = None) -> int:
         "stats": _cmd_stats,
         "trace": _cmd_trace,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)

@@ -53,6 +53,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import warnings
 from dataclasses import dataclass, field
 from typing import Callable
@@ -166,6 +167,12 @@ class SweepRunner:
         self._dvfs_cache: dict[tuple[str, str, float, bool], CpuRunResult] = {}
         #: Recorded gaps, keyed by failure cell coordinate.
         self.failures: "dict[tuple, RunFailure]" = {}
+        #: Serialises cache/failure/telemetry/checkpoint mutations so the
+        #: job service can run concurrent dispatcher threads against one
+        #: runner.  Reentrant: merge paths flush the checkpoint inline.
+        self._lock = threading.RLock()
+        #: In-flight process pools, abortable via :meth:`abort_active_pools`.
+        self._active_pools: set = set()
         self._zombie_warned = False
         if checkpoint is None:
             self.checkpoint = None
@@ -196,12 +203,17 @@ class SweepRunner:
         """Persist the caches now; returns entries written (0 = no path)."""
         if self.checkpoint is None:
             return 0
-        count = self.checkpoint.save(
-            self.settings.fingerprint(),
-            {"cpu": self._cpu_cache, "gpu": self._gpu_cache, "dvfs": self._dvfs_cache},
-            list(self.failures.values()),
-        )
-        self.telemetry.record_checkpoint("save")
+        with self._lock:
+            count = self.checkpoint.save(
+                self.settings.fingerprint(),
+                {
+                    "cpu": self._cpu_cache,
+                    "gpu": self._gpu_cache,
+                    "dvfs": self._dvfs_cache,
+                },
+                list(self.failures.values()),
+            )
+            self.telemetry.record_checkpoint("save")
         return count
 
     # -- guarded execution ---------------------------------------------
@@ -242,8 +254,9 @@ class SweepRunner:
             attempts=0,
             message=str(exc).strip('"'),
         )
-        self.failures[failure.cell] = failure
-        self.telemetry.record_failure(failure)
+        with self._lock:
+            self.failures[failure.cell] = failure
+            self.telemetry.record_failure(failure)
 
     def _execute(self, run_kind: str, key: tuple, fn: Callable[[], object]):
         """One execution attempt, routed through the fault injector."""
@@ -303,27 +316,33 @@ class SweepRunner:
             )
             self._note_zombies()
             if outcome.failure is not None:
-                self.failures[outcome.failure.cell] = outcome.failure
-                self.telemetry.record_failure(outcome.failure)
+                with self._lock:
+                    self.failures[outcome.failure.cell] = outcome.failure
+                    self.telemetry.record_failure(outcome.failure)
                 raise SweepError(outcome.failure)
-            cache[key] = outcome.result
-            # A fresh success supersedes any gap recorded for this cell.
-            self.failures.pop((run_kind, config_name, workload, *extra), None)
-            self.telemetry.record_run(
-                run_kind,
-                config_name,
-                workload,
-                outcome.wall_s,
-                instructions_of(outcome.result),
-                cached=False,
-            )
-            if self.checkpoint is not None:
-                self.save_checkpoint()
+            with self._lock:
+                cache[key] = outcome.result
+                # A fresh success supersedes any gap recorded for this cell.
+                self.failures.pop(
+                    (run_kind, config_name, workload, *extra), None
+                )
+                self.telemetry.record_run(
+                    run_kind,
+                    config_name,
+                    workload,
+                    outcome.wall_s,
+                    instructions_of(outcome.result),
+                    cached=False,
+                )
+                if self.checkpoint is not None:
+                    self.save_checkpoint()
             return outcome.result
         result = cache[key]
-        self.telemetry.record_run(
-            run_kind, config_name, workload, 0.0, instructions_of(result), cached=True
-        )
+        with self._lock:
+            self.telemetry.record_run(
+                run_kind, config_name, workload, 0.0,
+                instructions_of(result), cached=True,
+            )
         return result
 
     # -- strict per-cell API -------------------------------------------
@@ -421,6 +440,46 @@ class SweepRunner:
             lambda: self.dvfs_run(config_name, app, freq_ghz, variation)
         )
 
+    def run_cell(
+        self,
+        run_kind: str,
+        config_name: str,
+        workload: str,
+        extra: tuple = (),
+        *,
+        isolation: str = "thread",
+    ):
+        """Execute one cell of any kind; gap-tolerant, isolation-selectable.
+
+        The job service's per-job execution entrypoint: ``"thread"``
+        routes through the in-process guard path
+        (:meth:`cpu_cell`/:meth:`gpu_cell`/:meth:`dvfs_cell`),
+        ``"process"`` through a single-slot supervised worker pool.
+        Returns the result or ``None`` with the gap recorded in
+        :attr:`failures` -- identical semantics to a one-cell sweep.
+        """
+        if isolation == "process":
+            self._pool_cells(
+                run_kind, [(config_name, workload, tuple(extra))], workers=1
+            )
+            return self._cache_for(run_kind).get(
+                (config_name, workload, *extra)
+            )
+        if run_kind == "cpu":
+            return self.cpu_cell(config_name, workload)
+        if run_kind == "gpu":
+            return self.gpu_cell(config_name, workload)
+        if run_kind == "dvfs":
+            return self.dvfs_cell(config_name, workload, *extra)
+        raise ValueError(f"unknown run kind {run_kind!r}")
+
+    def record_gap(self, failure: RunFailure) -> None:
+        """Record an externally decided gap (e.g. a shed or drained job)
+        in the failure taxonomy, telemetry, and the next checkpoint flush."""
+        with self._lock:
+            self.failures[failure.cell] = failure
+            self.telemetry.record_failure(failure)
+
     # -- process-isolated parallel execution ---------------------------
     def _cache_for(self, run_kind: str) -> dict:
         return {
@@ -464,14 +523,15 @@ class SweepRunner:
         for config_name, workload, extra in cells:
             key = (config_name, workload, *extra)
             if key in cache:
-                self.telemetry.record_run(
-                    run_kind,
-                    config_name,
-                    workload,
-                    0.0,
-                    self._instructions_of(run_kind, cache[key]),
-                    cached=True,
-                )
+                with self._lock:
+                    self.telemetry.record_run(
+                        run_kind,
+                        config_name,
+                        workload,
+                        0.0,
+                        self._instructions_of(run_kind, cache[key]),
+                        cached=True,
+                    )
                 continue
             try:
                 self._validated(run_kind, config_name, workload)
@@ -483,7 +543,37 @@ class SweepRunner:
         if not tasks:
             return
 
-        def on_result(task, outcome) -> None:
+        pool = SweepPool(
+            policy=self.policy,
+            instructions=self.settings.instructions,
+            warmup=self.settings.warmup,
+            workers=workers,
+            on_event=self._pool_event,
+        )
+        with self._lock:
+            self._active_pools.add(pool)
+        try:
+            pool.run(
+                tasks,
+                on_result=lambda task, outcome: self.merge_pool_outcome(
+                    run_kind, task, outcome
+                ),
+            )
+        finally:
+            with self._lock:
+                self._active_pools.discard(pool)
+
+    def merge_pool_outcome(self, run_kind: str, task, outcome) -> None:
+        """Merge one pool-executed cell (success or exhausted failure)
+        into the caches, failure taxonomy, telemetry, and checkpoint.
+
+        Public so the job service can drive its own :class:`SweepPool`
+        instances while sharing this runner's state; raises
+        :class:`SweepError` under a ``fail_fast`` policy (which aborts
+        the emitting pool).
+        """
+        cache = self._cache_for(run_kind)
+        with self._lock:
             if outcome.ok:
                 cache[task.key] = outcome.result
                 self.failures.pop(task.cell, None)
@@ -503,14 +593,14 @@ class SweepRunner:
                 if self.policy.fail_fast:
                     raise SweepError(outcome.failure)
 
-        pool = SweepPool(
-            policy=self.policy,
-            instructions=self.settings.instructions,
-            warmup=self.settings.warmup,
-            workers=workers,
-            on_event=self._pool_event,
-        )
-        pool.run(tasks, on_result=on_result)
+    def abort_active_pools(self) -> int:
+        """Abort every in-flight :class:`SweepPool` (drain-deadline path);
+        returns how many pools were signalled."""
+        with self._lock:
+            pools = list(self._active_pools)
+        for pool in pools:
+            pool.abort()
+        return len(pools)
 
     def cpu_sweep(
         self,

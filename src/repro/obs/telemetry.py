@@ -23,7 +23,14 @@ the runs behind it a visible shape:
   ``crashed`` / ``heartbeat_lost`` / ``requeued`` / ``completed``
   counters plus a ``sweep.pool.utilization`` gauge (busy worker-seconds
   over ``workers x elapsed``), and the thread guard's abandoned-thread
-  leak is surfaced as the ``sweep.guard.zombie_threads`` gauge.
+  leak is surfaced as the ``sweep.guard.zombie_threads`` gauge;
+* the job service (:mod:`repro.serve`) reports its admission and
+  lifecycle decisions: ``sweep.serve.submitted`` / ``admitted`` /
+  ``served`` / ``failed`` / ``cancelled`` / ``drained`` / ``degraded``
+  counters, structured load shedding per reason
+  (``sweep.serve.shed.<reason>`` plus the ``sweep.serve.shed``
+  aggregate), breaker transitions (``sweep.serve.breaker.<state>``),
+  and a ``sweep.serve.queue_depth`` gauge.
 """
 
 from __future__ import annotations
@@ -74,6 +81,8 @@ class SweepTelemetry:
         self._failure_kinds: "dict[str, int]" = {}
         self._checkpoint: "dict[str, int]" = {}
         self._pool: "dict[str, int]" = {}
+        self._serve: "dict[str, int]" = {}
+        self._shed: "dict[str, int]" = {}
         self.pool_utilization = 0.0
         self.zombie_threads = 0
         self.callback_errors = 0
@@ -180,6 +189,27 @@ class SweepTelemetry:
         self.zombie_threads = count
         self._scope.gauge("guard.zombie_threads").set(count)
 
+    def record_serve(self, event: str, count: int = 1) -> None:
+        """Account one job-service lifecycle event (``submitted`` /
+        ``admitted`` / ``served`` / ``failed`` / ``cancelled`` /
+        ``drained`` / ``degraded`` / ``intake_malformed`` /
+        ``breaker.opened`` / ``breaker.half_open`` / ``breaker.closed``)."""
+        self._serve[event] = self._serve.get(event, 0) + count
+        self._scope.counter(f"serve.{event}").inc(count)
+
+    def record_shed(self, reason: str, count: int = 1) -> None:
+        """Account one structurally shed job by its admission-control
+        reason (``queue_full`` / ``past_deadline`` / ``breaker_open`` /
+        ``draining`` / ``duplicate_id`` / ``cancelled``)."""
+        self._shed[reason] = self._shed.get(reason, 0) + count
+        self._serve["shed"] = self._serve.get("shed", 0) + count
+        self._scope.counter("serve.shed").inc(count)
+        self._scope.counter(f"serve.shed.{reason}").inc(count)
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Record the service's current admitted-but-unstarted backlog."""
+        self._scope.gauge("serve.queue_depth").set(depth)
+
     def record_checkpoint(self, event: str, count: int = 1) -> None:
         """Account checkpoint activity (``load``/``save``/``invalid``/
         ``entries_loaded``/``entries_saved``)."""
@@ -211,6 +241,14 @@ class SweepTelemetry:
         """Worker-lifecycle events (spawned/killed/crashed/...) so far."""
         return dict(self._pool)
 
+    def serve_counts(self) -> "dict[str, int]":
+        """Job-service lifecycle events (submitted/served/shed/...) so far."""
+        return dict(self._serve)
+
+    def shed_counts(self) -> "dict[str, int]":
+        """Shed jobs per structured admission-control reason."""
+        return dict(self._shed)
+
     @property
     def total_wall_s(self) -> float:
         return sum(r.wall_s for r in self.records)
@@ -240,6 +278,8 @@ class SweepTelemetry:
             "failure_kinds": dict(self._failure_kinds),
             "checkpoint": dict(self._checkpoint),
             "pool": dict(self._pool),
+            "serve": dict(self._serve),
+            "shed_reasons": dict(self._shed),
             "pool_utilization": round(self.pool_utilization, 4),
             "zombie_threads": self.zombie_threads,
             "callback_errors": self.callback_errors,

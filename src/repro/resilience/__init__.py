@@ -54,10 +54,12 @@ from repro.resilience.guard import (
 from repro.resilience.checkpoint import (
     CHECKPOINT_VERSION,
     CheckpointData,
+    CheckpointLock,
+    CheckpointLockTimeout,
     SweepCheckpoint,
 )
 from repro.resilience.faults import FaultInjector, FaultPlan, InjectedFault
-from repro.resilience.pool import CellTask, SweepPool
+from repro.resilience.pool import CellTask, PoolAborted, SweepPool
 from repro.resilience.selfcheck import (
     check_cpu_result,
     check_gpu_result,
@@ -78,11 +80,14 @@ __all__ = [
     "zombie_thread_count",
     "CHECKPOINT_VERSION",
     "CheckpointData",
+    "CheckpointLock",
+    "CheckpointLockTimeout",
     "SweepCheckpoint",
     "FaultInjector",
     "FaultPlan",
     "InjectedFault",
     "CellTask",
+    "PoolAborted",
     "SweepPool",
     "check_cpu_result",
     "check_gpu_result",

@@ -15,6 +15,14 @@ tampered file, an unknown version, or a fingerprint minted under different
 Writes are atomic (temp file + ``os.replace``), so a sweep killed mid-save
 leaves the previous checkpoint intact.
 
+Writes are additionally serialised through an advisory lock file
+(:class:`CheckpointLock`, ``<path>.lock``): two processes sharing a
+checkpoint directory (a sweep plus a job service, or two service
+replicas) take turns instead of interleaving temp files.  The lock is
+crash-safe via *stale takeover* -- a lock whose owning PID is dead, or
+older than ``stale_s``, is broken and re-acquired -- so a SIGKILLed
+writer can never wedge the directory.
+
 Results are encoded losslessly: every dataclass in the
 ``CpuRunResult`` / ``GpuRunResult`` trees is plain scalars, dicts, and
 lists, so ``dataclasses.asdict`` round-trips through the explicit decoders
@@ -27,6 +35,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
 
 from repro.core.simulate import CpuRunResult, GpuRunResult
@@ -39,6 +48,125 @@ from repro.resilience.errors import RunFailure
 
 #: Bump when the on-disk layout changes; older files load as misses.
 CHECKPOINT_VERSION = 1
+
+
+class CheckpointLockTimeout(TimeoutError):
+    """The advisory checkpoint lock stayed held past the acquire budget."""
+
+
+class CheckpointLock:
+    """Advisory cross-process lock file with stale-lock takeover.
+
+    ``O_CREAT | O_EXCL`` creation is the atomic primitive (portable, no
+    ``fcntl`` dependence); the lock file body records the owner's PID and
+    acquisition wall-clock time so contenders can detect abandonment.  A
+    lock is *stale* -- and broken by the next contender -- when its owner
+    PID is provably dead on this host, or the lock is older than
+    ``stale_s`` (covers unreadable/foreign owners).  Advisory means
+    cooperative: only writers that take the lock are serialised.
+
+    Usable as a context manager; re-entrant acquisition within one
+    process is an error (the owner check is PID-based, not thread-based
+    -- callers serialise their own threads, as ``SweepRunner`` does by
+    construction of its single-threaded checkpoint flush path).
+    """
+
+    def __init__(
+        self,
+        path: "str | os.PathLike",
+        *,
+        stale_s: float = 30.0,
+        timeout_s: float = 10.0,
+        poll_s: float = 0.05,
+    ):
+        self.path = Path(path)
+        self.stale_s = stale_s
+        self.timeout_s = timeout_s
+        self.poll_s = poll_s
+        self._held = False
+        #: Takeovers performed by this lock instance (observable in tests
+        #: and surfaced through checkpoint telemetry).
+        self.takeovers = 0
+
+    # -- helpers -------------------------------------------------------
+    def _try_create(self) -> bool:
+        body = json.dumps(
+            {"pid": os.getpid(), "acquired_at": time.time()}
+        ).encode("utf-8")
+        try:
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, body)
+        finally:
+            os.close(fd)
+        return True
+
+    def _is_stale(self) -> bool:
+        try:
+            info = json.loads(self.path.read_text())
+            pid = int(info["pid"])
+            acquired_at = float(info["acquired_at"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Unreadable or torn lock body: age it via mtime, not content.
+            try:
+                acquired_at = self.path.stat().st_mtime
+            except OSError:
+                return False  # vanished -- next create attempt decides
+            return time.time() - acquired_at > self.stale_s
+        if time.time() - acquired_at > self.stale_s:
+            return True
+        if pid == os.getpid():
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True  # owner died without unlinking
+        except PermissionError:
+            return False  # alive, owned by someone else
+        return False
+
+    def _break_stale(self) -> None:
+        try:
+            self.path.unlink()
+        except OSError:
+            pass  # a contender beat us to it; retry the create
+        self.takeovers += 1
+
+    # -- API -----------------------------------------------------------
+    def acquire(self) -> "CheckpointLock":
+        if self._held:
+            raise RuntimeError(f"lock {self.path} already held by this process")
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            if self._try_create():
+                self._held = True
+                return self
+            if self._is_stale():
+                self._break_stale()
+                continue
+            if time.monotonic() >= deadline:
+                raise CheckpointLockTimeout(
+                    f"could not acquire {self.path} within "
+                    f"{self.timeout_s:g}s (held by a live writer)"
+                )
+            time.sleep(self.poll_s)
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            self.path.unlink()
+        except OSError:
+            pass  # broken by a (mistaken) takeover; nothing left to free
+
+    def __enter__(self) -> "CheckpointLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
 
 
 def _canonical(payload: dict) -> str:
@@ -109,10 +237,26 @@ class CheckpointData:
 
 
 class SweepCheckpoint:
-    """Versioned, integrity-checked persistence for one checkpoint path."""
+    """Versioned, integrity-checked persistence for one checkpoint path.
 
-    def __init__(self, path: "str | os.PathLike"):
+    ``lock_stale_s`` / ``lock_timeout_s`` shape the advisory write lock
+    (see :class:`CheckpointLock`); reads need no lock because writes are
+    atomic replaces of a single file.
+    """
+
+    def __init__(
+        self,
+        path: "str | os.PathLike",
+        *,
+        lock_stale_s: float = 30.0,
+        lock_timeout_s: float = 10.0,
+    ):
         self.path = Path(path)
+        self.lock = CheckpointLock(
+            self.path.with_name(self.path.name + ".lock"),
+            stale_s=lock_stale_s,
+            timeout_s=lock_timeout_s,
+        )
 
     def save(
         self,
@@ -137,10 +281,11 @@ class SweepCheckpoint:
             "failures": [f.to_dict() for f in failures],
         }
         doc = {"integrity": _digest(payload), "payload": payload}
-        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp = self.path.with_name(self.path.name + f".tmp.{os.getpid()}")
         tmp.parent.mkdir(parents=True, exist_ok=True)
-        tmp.write_text(json.dumps(doc, indent=1, sort_keys=True))
-        os.replace(tmp, self.path)
+        with self.lock:
+            tmp.write_text(json.dumps(doc, indent=1, sort_keys=True))
+            os.replace(tmp, self.path)
         return count
 
     def load(self, fingerprint: str) -> "CheckpointData | None":

@@ -21,6 +21,13 @@ Kinds
 ``corrupt``
     The simulation returned, but the result failed the sanity check
     (non-finite or non-positive time/energy).
+``shed``
+    The job service refused to execute the cell: load shedding (queue
+    full, past its deadline), an open circuit breaker for the
+    (run_kind, config), or a graceful drain that ran out of deadline.
+    Shed cells were never attempted (``attempts == 0``) -- they are
+    admission-control decisions, not execution failures, but they are
+    still recorded gaps so nothing is ever dropped silently.
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 #: Every failure kind a :class:`RunFailure` may carry.
-FAILURE_KINDS = ("timeout", "config", "workload", "crash", "corrupt")
+FAILURE_KINDS = ("timeout", "config", "workload", "crash", "corrupt", "shed")
 
 
 class CorruptResult(RuntimeError):

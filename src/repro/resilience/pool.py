@@ -37,6 +37,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
@@ -50,6 +51,16 @@ from repro.resilience.worker import worker_main
 #: Supervisor loop responsiveness bounds (seconds).
 _MIN_WAIT_S = 0.01
 _MAX_WAIT_S = 0.25
+
+
+class PoolAborted(RuntimeError):
+    """:meth:`SweepPool.run` was stopped early via :meth:`SweepPool.abort`.
+
+    Raised *from the supervisor loop* after every live worker has been
+    SIGKILLed and reaped, so the caller (e.g. a draining
+    :class:`repro.serve.service.SimService`) inherits a clean process
+    table and can record the unfinished tasks as gaps.
+    """
 
 
 @dataclass(frozen=True)
@@ -148,6 +159,17 @@ class SweepPool:
         self.heartbeat_s = heartbeat_s
         self.heartbeat_timeout_s = heartbeat_timeout_s
         self._on_event = on_event
+        self._abort = threading.Event()
+
+    def abort(self) -> None:
+        """Request an early stop (thread-safe, idempotent).
+
+        The supervisor loop notices within one wait quantum
+        (``_MAX_WAIT_S``), SIGKILLs and reaps every live worker, and
+        raises :class:`PoolAborted` out of :meth:`run`.  Used by the job
+        service's graceful-drain deadline.
+        """
+        self._abort.set()
 
     # -- events --------------------------------------------------------
     def _event(self, event: str, **info) -> None:
@@ -179,7 +201,14 @@ class SweepPool:
             daemon=True,
             name=f"repro-sweep-{item.idx}-a{item.attempt}",
         )
-        proc.start()
+        try:
+            proc.start()
+        except BaseException:
+            # Spawn failure (fork EAGAIN, fd exhaustion): leak no pipe
+            # ends; the caller decides whether to degrade isolation.
+            recv_conn.close()
+            send_conn.close()
+            raise
         send_conn.close()  # parent's copy; worker holds the only writer
         now = time.monotonic()
         timeout_s = self.policy.timeout_s
@@ -273,6 +302,11 @@ class SweepPool:
 
         try:
             while pending or live:
+                if self._abort.is_set():
+                    raise PoolAborted(
+                        f"pool aborted with {len(live)} live worker(s) and "
+                        f"{len(pending)} queued attempt(s)"
+                    )
                 now = time.monotonic()
 
                 # Fill free slots with eligible queued attempts (in queue

@@ -1,0 +1,65 @@
+"""Admission-controlled simulation job service.
+
+The sweep stack (PRs 1-3) made one *batch* invocation survive bad cells:
+guards, checkpoints, fault injection, process isolation.  This package
+adds the missing shape for a long-lived fleet: a service that accepts a
+*stream* of simulation jobs and stays predictable under overload,
+repeated faults, and termination:
+
+* :mod:`repro.serve.queue` -- a bounded priority queue with per-job
+  deadlines and structured load shedding: a job that cannot be admitted
+  (queue full, past its deadline, duplicate id, service draining) is
+  rejected with a machine-readable reason, never dropped silently;
+* :mod:`repro.serve.breaker` -- per-(run_kind, config) circuit breakers
+  (closed / open / half-open with a single probe) that stop hammering a
+  configuration whose runs keep crashing or timing out; rejected jobs
+  are shed onto the existing failure taxonomy (kind ``shed``);
+* :mod:`repro.serve.service` -- :class:`~repro.serve.service.SimService`:
+  submit / poll / cancel, batch intake from a JSONL job file (with a
+  ``follow`` tail mode -- no network required), degraded-mode fallback
+  from process to thread isolation when worker spawn keeps failing, and
+  graceful shutdown: SIGTERM/SIGINT stops admissions, drains in-flight
+  workers within a deadline, flushes the checkpoint, and reports
+  unfinished jobs as gaps;
+* :mod:`repro.serve.health` -- liveness/readiness snapshots (queue
+  depth, breaker states, shed/served counters) written atomically to a
+  health file and dumped by ``repro serve --health``.
+
+Everything executes through the existing
+:class:`~repro.experiments.runner.SweepRunner`, so served jobs share the
+result caches, checkpoint persistence, telemetry counters, and failure
+taxonomy with batch sweeps -- a job service restart resumes from the
+same checkpoint a sweep would.
+"""
+
+from repro.serve.breaker import (
+    BreakerOpen,
+    BreakerPolicy,
+    BreakerRegistry,
+    CircuitBreaker,
+)
+from repro.serve.health import HealthSnapshot, read_health, write_health
+from repro.serve.queue import (
+    SHED_REASONS,
+    Admission,
+    Job,
+    JobQueue,
+)
+from repro.serve.service import JobRecord, ServiceConfig, SimService
+
+__all__ = [
+    "Admission",
+    "BreakerOpen",
+    "BreakerPolicy",
+    "BreakerRegistry",
+    "CircuitBreaker",
+    "HealthSnapshot",
+    "Job",
+    "JobQueue",
+    "JobRecord",
+    "SHED_REASONS",
+    "ServiceConfig",
+    "SimService",
+    "read_health",
+    "write_health",
+]

@@ -1,0 +1,248 @@
+"""Per-(run_kind, config) circuit breakers for the simulation job service.
+
+A configuration whose runs keep crashing or timing out burns a full
+guard budget (timeout x retries x backoff) on *every* job that touches
+it.  Retries handle transient faults; they are exactly wrong for
+persistent ones.  The breaker adds the missing memory across jobs:
+
+* **closed** -- normal operation; consecutive trip-kind failures
+  (``crash`` / ``timeout`` by default) are counted, any success resets
+  the count.  Reaching ``policy.failure_threshold`` trips the breaker.
+* **open** -- jobs for the keyed cell are shed immediately (reason
+  ``breaker_open``) without executing, until ``recovery_s`` has passed.
+  Repeated trips escalate the recovery window exponentially, capped at
+  ``max_recovery_s``, so a permanently broken config converges to one
+  probe per cap interval instead of a retry storm.
+* **half-open** -- after recovery, exactly one *probe* job is allowed
+  through; concurrent jobs keep shedding while the probe is in flight.
+  ``probe_successes`` consecutive probe successes close the breaker
+  (and clear the escalation); a probe failure reopens it.
+
+The breaker keys on (run_kind, config) -- not the full cell -- because
+the observed persistent-failure modes (broken device model, bad power
+table, miscompiled config) poison every workload under that
+configuration equally; keying narrower would pay one full trip budget
+per workload before converging.  See DESIGN.md.
+
+Time is an injected monotonic ``clock``; the state machine is fully
+deterministic under a fake clock (tested without sleeping).  All state
+transitions are serialised under an internal lock and reported through
+``on_transition`` so the service can count them in telemetry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+#: Breaker states.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+class BreakerOpen(RuntimeError):
+    """A job was refused because its (run_kind, config) breaker is open."""
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When to trip, how long to back off, and what counts as a trip."""
+
+    #: Consecutive trip-kind failures that open the breaker.
+    failure_threshold: int = 3
+    #: Base open interval before the first probe is allowed.
+    recovery_s: float = 30.0
+    #: Open-interval cap under repeated trips (exponential escalation).
+    max_recovery_s: float = 300.0
+    #: Consecutive half-open probe successes required to close.
+    probe_successes: int = 1
+    #: Failure kinds that count toward tripping.  Validation failures
+    #: (``config``/``workload``) are deterministic rejections -- they
+    #: never reach execution, so they must not poison the breaker.
+    trip_kinds: tuple = ("crash", "timeout")
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.recovery_s < 0 or self.max_recovery_s < self.recovery_s:
+            raise ValueError("need 0 <= recovery_s <= max_recovery_s")
+        if self.probe_successes < 1:
+            raise ValueError("probe_successes must be >= 1")
+
+
+class CircuitBreaker:
+    """One breaker instance for one (run_kind, config) key."""
+
+    def __init__(
+        self,
+        key: tuple,
+        policy: "BreakerPolicy | None" = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: "Callable[[tuple, str, str], None] | None" = None,
+    ):
+        self.key = tuple(key)
+        self.policy = policy or BreakerPolicy()
+        self._clock = clock
+        self._on_transition = on_transition
+        # Re-entrant: ``on_transition`` fires with this lock held, and the
+        # service's transition handler snapshots breaker state for the
+        # health file -- which re-enters :meth:`snapshot` on this same
+        # breaker from the same thread.
+        self._lock = threading.RLock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._probe_streak = 0
+        self._probe_in_flight = False
+        self._opened_at = 0.0
+        self._trips = 0  # lifetime trip count (drives escalation)
+
+    # -- internals (lock held) -----------------------------------------
+    def _transition(self, new_state: str) -> None:
+        old, self._state = self._state, new_state
+        if old != new_state and self._on_transition is not None:
+            self._on_transition(self.key, old, new_state)
+
+    def _open_interval_s(self) -> float:
+        scale = 2 ** max(0, self._trips - 1)
+        return min(self.policy.recovery_s * scale, self.policy.max_recovery_s)
+
+    def _trip(self) -> None:
+        self._trips += 1
+        self._opened_at = self._clock()
+        self._probe_in_flight = False
+        self._probe_streak = 0
+        self._transition(OPEN)
+
+    # -- the dispatch-side API -----------------------------------------
+    def allow(self) -> bool:
+        """May a job for this key execute right now?
+
+        In ``half_open`` this *claims* the single probe slot: a ``True``
+        return obliges the caller to report the attempt's outcome via
+        :meth:`record_success` / :meth:`record_failure` (the service's
+        dispatch loop always does).
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at < self._open_interval_s():
+                    return False
+                self._transition(HALF_OPEN)
+                # fall through to claim the probe
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            return True
+
+    def reject_detail(self) -> str:
+        """Human-readable detail for a shed (state + probe ETA)."""
+        with self._lock:
+            if self._state == OPEN:
+                remaining = self._open_interval_s() - (
+                    self._clock() - self._opened_at
+                )
+                return (
+                    f"breaker open for {self.key} "
+                    f"(probe in {max(remaining, 0.0):.1f}s)"
+                )
+            if self._state == HALF_OPEN:
+                return f"breaker half-open for {self.key} (probe in flight)"
+            return f"breaker closed for {self.key}"
+
+    # -- the outcome-side API ------------------------------------------
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                self._probe_in_flight = False
+                self._probe_streak += 1
+                if self._probe_streak >= self.policy.probe_successes:
+                    self._trips = 0  # recovered: clear the escalation
+                    self._probe_streak = 0
+                    self._transition(CLOSED)
+            elif self._state == OPEN:  # late success from a pre-trip job
+                pass
+
+    def record_failure(self, kind: str) -> None:
+        """Account one finished-but-failed execution of this key."""
+        with self._lock:
+            if kind not in self.policy.trip_kinds:
+                # Non-trip outcome: releases a probe slot but neither
+                # advances nor resets the trip counter.
+                if self._state == HALF_OPEN:
+                    self._probe_in_flight = False
+                return
+            if self._state == HALF_OPEN:
+                self._trip()
+                return
+            if self._state == OPEN:
+                return
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.policy.failure_threshold:
+                self._trip()
+
+    # -- introspection -------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "trips": self._trips,
+                "open_interval_s": (
+                    self._open_interval_s() if self._trips else 0.0
+                ),
+                "probe_in_flight": self._probe_in_flight,
+            }
+
+
+class BreakerRegistry:
+    """Lazily built breakers, one per (run_kind, config) key."""
+
+    def __init__(
+        self,
+        policy: "BreakerPolicy | None" = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: "Callable[[tuple, str, str], None] | None" = None,
+    ):
+        self.policy = policy or BreakerPolicy()
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._breakers: "dict[tuple, CircuitBreaker]" = {}
+
+    def breaker_for(self, run_kind: str, config: str) -> CircuitBreaker:
+        key = (run_kind, config)
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    key,
+                    self.policy,
+                    clock=self._clock,
+                    on_transition=self._on_transition,
+                )
+                self._breakers[key] = breaker
+            return breaker
+
+    def states(self) -> "dict[str, dict]":
+        """Per-key snapshots for the health endpoint (stable string keys)."""
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {
+            f"{kind}/{config}": breaker.snapshot()
+            for (kind, config), breaker in sorted(breakers.items())
+        }
+
+    def open_count(self) -> int:
+        with self._lock:
+            breakers = list(self._breakers.values())
+        return sum(1 for b in breakers if b.state != CLOSED)

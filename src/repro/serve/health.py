@@ -1,0 +1,129 @@
+"""Liveness/readiness snapshots for the simulation job service.
+
+No network is required (or wanted) in this environment, so health is a
+*file* contract: the running service atomically rewrites a small JSON
+document (``<checkpoint>.health.json`` by default, or ``--health-file``)
+on every state change plus a periodic heartbeat, and ``repro serve
+--health`` dumps it.  An orchestrator gets the two standard probes:
+
+* **liveness** -- the writer stamps ``updated_at`` (wall clock) on every
+  write; a reader treats a snapshot older than ``stale_after_s`` as a
+  dead service (the PID is included so a supervisor can double-check);
+* **readiness** -- ``ready`` is true only while the service is accepting
+  admissions: started, not draining, and the queue below capacity.
+
+The body carries the numbers the ISSUE's robustness story turns on:
+queue depth vs capacity, per-key breaker states, pool utilisation
+(in-flight workers over dispatcher slots), and the served / failed /
+shed-by-reason counters, so "is it shedding and why" is one file read.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+
+#: A snapshot older than this is reported as not alive by readers.
+DEFAULT_STALE_AFTER_S = 30.0
+
+
+@dataclasses.dataclass
+class HealthSnapshot:
+    """One point-in-time health document for a running service."""
+
+    alive: bool
+    ready: bool
+    draining: bool
+    queue_depth: int
+    queue_capacity: int
+    workers: int
+    in_flight: int
+    isolation: str
+    degraded: bool
+    breakers: dict
+    breakers_open: int
+    counters: dict
+    shed_reasons: dict
+    pid: int = dataclasses.field(default_factory=os.getpid)
+    updated_at: float = dataclasses.field(default_factory=time.time)
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HealthSnapshot":
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+    def utilization(self) -> float:
+        """In-flight dispatcher slots as a 0..1 fraction."""
+        return self.in_flight / self.workers if self.workers else 0.0
+
+    def describe(self) -> str:
+        """Human-readable multi-line dump (the ``--health`` text mode)."""
+        state = "draining" if self.draining else (
+            "ready" if self.ready else "not-ready"
+        )
+        lines = [
+            f"service: {'alive' if self.alive else 'DOWN'} ({state}), "
+            f"pid {self.pid}, updated {time.time() - self.updated_at:.1f}s ago",
+            f"queue:   {self.queue_depth}/{self.queue_capacity} queued, "
+            f"{self.in_flight}/{self.workers} in flight "
+            f"({self.isolation} isolation"
+            f"{', DEGRADED' if self.degraded else ''})",
+            f"jobs:    " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.counters.items())
+            ),
+        ]
+        if self.shed_reasons:
+            lines.append(
+                "shed:    " + ", ".join(
+                    f"{k}={v}" for k, v in sorted(self.shed_reasons.items())
+                )
+            )
+        if self.breakers:
+            lines.append(f"breakers ({self.breakers_open} not closed):")
+            for key, snap in sorted(self.breakers.items()):
+                extra = (
+                    f", {snap['consecutive_failures']} consecutive failures"
+                    if snap["consecutive_failures"]
+                    else ""
+                )
+                lines.append(
+                    f"  {key}: {snap['state']} "
+                    f"(trips {snap['trips']}{extra})"
+                )
+        return "\n".join(lines)
+
+
+def write_health(path: "str | os.PathLike", snapshot: HealthSnapshot) -> None:
+    """Atomically replace the health file (readers never see a torn doc)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(target.name + f".tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(snapshot.to_dict(), indent=1, sort_keys=True))
+    os.replace(tmp, target)
+
+
+def read_health(
+    path: "str | os.PathLike",
+    *,
+    stale_after_s: float = DEFAULT_STALE_AFTER_S,
+) -> "HealthSnapshot | None":
+    """Load and staleness-check a health file; ``None`` if missing/bad.
+
+    A stale snapshot (writer stopped heartbeating without a clean
+    shutdown) is returned with ``alive``/``ready`` forced false rather
+    than hidden -- the counters are still the best available evidence.
+    """
+    try:
+        snapshot = HealthSnapshot.from_dict(json.loads(Path(path).read_text()))
+    except (OSError, ValueError, TypeError, KeyError):
+        return None
+    if time.time() - snapshot.updated_at > stale_after_s:
+        snapshot.alive = False
+        snapshot.ready = False
+    return snapshot

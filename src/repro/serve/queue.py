@@ -1,0 +1,250 @@
+"""Bounded priority job queue with deadlines and structured load shedding.
+
+Admission control happens at :meth:`JobQueue.offer` time, against a fixed
+capacity: a service that is saturated says *no* immediately (reason
+``queue_full``) instead of buffering unbounded work it will never finish.
+Every rejection is an :class:`Admission` record with a machine-readable
+reason from :data:`SHED_REASONS` -- the queue never drops a job silently,
+which is the property the whole service's accounting rests on
+(``submitted == served + failed + shed + cancelled + pending``).
+
+Per-job deadlines are *latest useful start* times: a job whose deadline
+passes while queued is shed (reason ``past_deadline``) at the moment it
+would have been popped, via the ``on_shed`` callback, so a stale
+simulation request never occupies a worker.  Deadlines are measured on
+the injected monotonic ``clock`` -- tests drive the queue with a fake
+clock and assert shedding without sleeping.
+
+Ordering is strict priority (lower number = more urgent), FIFO within a
+priority class (a submission sequence number breaks ties), which keeps
+the pop order deterministic for identical submission sequences.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+#: Every structured reason an :class:`Admission` may be shed with.
+SHED_REASONS = (
+    "queue_full",      # admission: the bounded queue is at capacity
+    "past_deadline",   # admission or pop: the job's deadline has passed
+    "breaker_open",    # dispatch: the (run_kind, config) breaker is open
+    "draining",        # admission/drain: the service is shutting down
+    "duplicate_id",    # admission: a live job already carries this id
+    "cancelled",       # explicit cancel before the job started
+)
+
+
+@dataclass(frozen=True)
+class Admission:
+    """The outcome of one admission-control decision."""
+
+    admitted: bool
+    reason: "str | None" = None
+    detail: str = ""
+
+    @classmethod
+    def ok(cls) -> "Admission":
+        return cls(admitted=True)
+
+    @classmethod
+    def shed(cls, reason: str, detail: str = "") -> "Admission":
+        if reason not in SHED_REASONS:
+            raise ValueError(
+                f"unknown shed reason {reason!r} (expected {SHED_REASONS})"
+            )
+        return cls(admitted=False, reason=reason, detail=detail)
+
+
+@dataclass
+class Job:
+    """One simulation request: a sweep cell plus service metadata.
+
+    ``priority`` orders the queue (lower = more urgent, default 10);
+    ``deadline_s`` is an optional *latest useful start* budget relative
+    to submission.  ``extra`` carries the cell coordinates beyond
+    (config, workload) -- the DVFS runs add (freq_ghz, variation).
+    """
+
+    job_id: str
+    run_kind: str  # "cpu" | "gpu" | "dvfs"
+    config: str
+    workload: str
+    extra: tuple = ()
+    priority: int = 10
+    deadline_s: "float | None" = None
+    #: Absolute monotonic deadline, stamped by the queue at admission.
+    deadline: "float | None" = field(default=None, compare=False)
+    #: Monotonic admission timestamp, stamped by the queue.
+    submitted_at: float = field(default=0.0, compare=False)
+
+    @property
+    def cell(self) -> tuple:
+        """The failure-taxonomy cell coordinate this job occupies."""
+        return (self.run_kind, self.config, self.workload, *self.extra)
+
+    def describe(self) -> str:
+        extra = "".join(f" @{e}" for e in self.extra)
+        return f"{self.job_id}: {self.run_kind} {self.config}/{self.workload}{extra}"
+
+
+class JobQueue:
+    """Bounded, deadline-aware priority queue (thread-safe).
+
+    ``on_shed(job, reason, detail)`` observes every job the queue sheds
+    *after* admission (deadline expiry at pop time, cancellation, drain
+    leftovers); admission-time rejections are returned to the submitter
+    as :class:`Admission` records instead, since the job never entered.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        on_shed: "Callable[[Job, str, str], None] | None" = None,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._clock = clock
+        self._on_shed = on_shed
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._heap: "list[tuple[int, int, Job]]" = []
+        self._seq = 0
+        #: Ids admitted and not yet popped/shed (duplicate detection).
+        self._queued_ids: "set[str]" = set()
+        self._cancelled: "set[str]" = set()
+        self._closed = False
+
+    # -- internals -----------------------------------------------------
+    def _shed(self, job: Job, reason: str, detail: str) -> None:
+        if self._on_shed is not None:
+            self._on_shed(job, reason, detail)
+
+    # -- admission -----------------------------------------------------
+    def offer(self, job: Job) -> Admission:
+        """Admit ``job`` or reject it with a structured reason."""
+        now = self._clock()
+        with self._lock:
+            if self._closed:
+                return Admission.shed(
+                    "draining", "service is shutting down; admissions stopped"
+                )
+            if job.job_id in self._queued_ids:
+                return Admission.shed(
+                    "duplicate_id", f"job id {job.job_id!r} is already queued"
+                )
+            if job.deadline_s is not None and job.deadline_s <= 0:
+                return Admission.shed(
+                    "past_deadline",
+                    f"deadline_s={job.deadline_s:g} expired before admission",
+                )
+            if len(self._heap) >= self.capacity:
+                return Admission.shed(
+                    "queue_full",
+                    f"queue at capacity ({self.capacity}); retry later "
+                    f"or raise --queue-capacity",
+                )
+            job.submitted_at = now
+            job.deadline = (
+                now + job.deadline_s if job.deadline_s is not None else None
+            )
+            self._seq += 1
+            heapq.heappush(self._heap, (job.priority, self._seq, job))
+            self._queued_ids.add(job.job_id)
+            self._not_empty.notify()
+        return Admission.ok()
+
+    # -- consumption ---------------------------------------------------
+    def pop(self, timeout: "float | None" = 0.0) -> "Optional[Job]":
+        """The most urgent admitted job, or ``None`` after ``timeout``.
+
+        Cancelled jobs are discarded (shed with reason ``cancelled``),
+        jobs whose deadline passed while queued are shed with reason
+        ``past_deadline`` -- both through ``on_shed``, never silently.
+
+        A closed queue returns ``None`` immediately even while jobs
+        remain queued: drain semantics start no new work after shutdown
+        -- the leftovers are collected by :meth:`drain_remaining` and
+        reported as gaps instead.
+        """
+        deadline = self._clock() + timeout if timeout else None
+        with self._not_empty:
+            while True:
+                if self._closed:
+                    return None
+                while self._heap:
+                    _, _, job = heapq.heappop(self._heap)
+                    self._queued_ids.discard(job.job_id)
+                    if job.job_id in self._cancelled:
+                        self._cancelled.discard(job.job_id)
+                        self._shed(job, "cancelled", "cancelled while queued")
+                        continue
+                    now = self._clock()
+                    if job.deadline is not None and now > job.deadline:
+                        self._shed(
+                            job,
+                            "past_deadline",
+                            f"deadline exceeded by {now - job.deadline:.3f}s "
+                            f"while queued",
+                        )
+                        continue
+                    return job
+                if self._closed:
+                    return None
+                if timeout is None:
+                    self._not_empty.wait()
+                else:
+                    remaining = deadline - self._clock() if deadline else 0.0
+                    if remaining <= 0 or not self._not_empty.wait(remaining):
+                        return None
+
+    def cancel(self, job_id: str) -> bool:
+        """Mark a queued job cancelled; True if it was still queued."""
+        with self._lock:
+            if job_id in self._queued_ids and job_id not in self._cancelled:
+                self._cancelled.add(job_id)
+                return True
+        return False
+
+    # -- shutdown ------------------------------------------------------
+    def close(self) -> None:
+        """Stop admissions (subsequent offers shed with ``draining``)."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def drain_remaining(self) -> "list[Job]":
+        """Remove and return every still-queued job (drain accounting).
+
+        Cancelled leftovers are shed via ``on_shed``; live leftovers are
+        returned for the service to record as gaps.
+        """
+        leftovers: "list[Job]" = []
+        with self._lock:
+            heap, self._heap = self._heap, []
+            self._queued_ids.clear()
+        for _, _, job in sorted(heap):
+            if job.job_id in self._cancelled:
+                self._cancelled.discard(job.job_id)
+                self._shed(job, "cancelled", "cancelled while queued")
+                continue
+            leftovers.append(job)
+        return leftovers
+
+    # -- introspection -------------------------------------------------
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed

@@ -171,3 +171,100 @@ def test_checkpoint_saves_are_atomic_after_each_run(ck_path):
     second = json.loads(ck_path.read_text())
     assert len(second["payload"]["entries"]["gpu"]) == 1
     assert not ck_path.with_name(ck_path.name + ".tmp").exists()
+
+
+# ---------------------------------------------------------------------
+# advisory write lock: stale takeover, contention, clean release
+# ---------------------------------------------------------------------
+
+def _write_lock(path, pid, age_s=0.0):
+    import os as _os
+    import time as _time
+    path.write_text(json.dumps({"pid": pid, "acquired_at": _time.time() - age_s}))
+    _os.utime(path, (_time.time() - age_s,) * 2)
+
+
+def test_lock_acquire_release_round_trip(tmp_path):
+    from repro.resilience import CheckpointLock
+
+    lock = CheckpointLock(tmp_path / "ck.lock", timeout_s=1.0)
+    with lock:
+        body = json.loads((tmp_path / "ck.lock").read_text())
+        assert body["pid"] == __import__("os").getpid()
+        with pytest.raises(RuntimeError, match="already held"):
+            lock.acquire()
+    assert not (tmp_path / "ck.lock").exists()
+    assert lock.takeovers == 0
+
+
+def test_lock_takes_over_dead_owner(tmp_path):
+    import subprocess
+    import sys
+
+    from repro.resilience import CheckpointLock
+
+    # A PID that provably existed and is now dead (spawned and reaped).
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    lock_path = tmp_path / "ck.lock"
+    _write_lock(lock_path, proc.pid)  # fresh timestamp, dead owner
+
+    lock = CheckpointLock(lock_path, stale_s=3600.0, timeout_s=1.0)
+    lock.acquire()
+    assert lock.takeovers == 1
+    assert json.loads(lock_path.read_text())["pid"] != proc.pid
+    lock.release()
+
+
+def test_lock_takes_over_aged_lock_even_with_live_owner(tmp_path):
+    from repro.resilience import CheckpointLock
+
+    lock_path = tmp_path / "ck.lock"
+    _write_lock(lock_path, __import__("os").getpid(), age_s=120.0)
+    lock = CheckpointLock(lock_path, stale_s=30.0, timeout_s=1.0, poll_s=0.01)
+    with lock:
+        assert lock.takeovers == 1
+
+
+def test_lock_takes_over_torn_body_via_mtime(tmp_path):
+    import os as _os
+    import time as _time
+
+    from repro.resilience import CheckpointLock
+
+    lock_path = tmp_path / "ck.lock"
+    lock_path.write_text("not json{{{")
+    _os.utime(lock_path, (_time.time() - 120.0,) * 2)
+    lock = CheckpointLock(lock_path, stale_s=30.0, timeout_s=1.0, poll_s=0.01)
+    with lock:
+        assert lock.takeovers == 1
+
+
+def test_lock_contention_times_out_against_live_owner(tmp_path):
+    import subprocess
+    import sys
+    import time as _time
+
+    from repro.resilience import CheckpointLock, CheckpointLockTimeout
+
+    holder = subprocess.Popen([sys.executable, "-c", "import time; time.sleep(60)"])
+    try:
+        lock_path = tmp_path / "ck.lock"
+        _write_lock(lock_path, holder.pid)
+        lock = CheckpointLock(
+            lock_path, stale_s=3600.0, timeout_s=0.3, poll_s=0.02
+        )
+        start = _time.monotonic()
+        with pytest.raises(CheckpointLockTimeout, match="live writer"):
+            lock.acquire()
+        assert _time.monotonic() - start < 5.0
+        assert lock.takeovers == 0
+    finally:
+        holder.kill()
+        holder.wait()
+
+
+def test_checkpoint_save_leaves_no_lock_behind(ck_path):
+    make_runner(ck_path).cpu_run("BaseCMOS", "lu")
+    assert ck_path.exists()
+    assert not ck_path.with_name(ck_path.name + ".lock").exists()

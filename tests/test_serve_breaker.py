@@ -1,0 +1,190 @@
+"""Circuit-breaker state machine: trip, probe, recovery, escalation.
+
+The breaker runs on an injected fake clock, so every transition in the
+closed -> open -> half-open -> closed cycle is asserted deterministically
+and without sleeping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerPolicy,
+    BreakerRegistry,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def make_breaker(**policy_kwargs):
+    clock = FakeClock()
+    transitions = []
+    policy = BreakerPolicy(
+        failure_threshold=policy_kwargs.pop("failure_threshold", 3),
+        recovery_s=policy_kwargs.pop("recovery_s", 10.0),
+        max_recovery_s=policy_kwargs.pop("max_recovery_s", 40.0),
+        **policy_kwargs,
+    )
+    breaker = CircuitBreaker(
+        ("cpu", "AdvHet"),
+        policy,
+        clock=clock,
+        on_transition=lambda key, old, new: transitions.append((old, new)),
+    )
+    return breaker, clock, transitions
+
+
+def trip(breaker, n=3, kind="crash"):
+    for _ in range(n):
+        breaker.record_failure(kind)
+
+
+# ---------------------------------------------------------------------
+# policy validation
+# ---------------------------------------------------------------------
+
+def test_policy_rejects_bad_shapes():
+    with pytest.raises(ValueError, match="failure_threshold"):
+        BreakerPolicy(failure_threshold=0)
+    with pytest.raises(ValueError, match="recovery_s"):
+        BreakerPolicy(recovery_s=60.0, max_recovery_s=30.0)
+    with pytest.raises(ValueError, match="probe_successes"):
+        BreakerPolicy(probe_successes=0)
+
+
+# ---------------------------------------------------------------------
+# closed-state counting
+# ---------------------------------------------------------------------
+
+def test_trips_after_threshold_consecutive_failures():
+    breaker, _, transitions = make_breaker()
+    trip(breaker, 2)
+    assert breaker.state == CLOSED and breaker.allow()
+    breaker.record_failure("timeout")  # third consecutive trip-kind
+    assert breaker.state == OPEN
+    assert not breaker.allow()
+    assert transitions == [(CLOSED, OPEN)]
+    assert "probe in" in breaker.reject_detail()
+
+
+def test_success_resets_the_consecutive_count():
+    breaker, _, _ = make_breaker()
+    trip(breaker, 2)
+    breaker.record_success()
+    trip(breaker, 2)
+    assert breaker.state == CLOSED  # never reached 3 in a row
+
+
+def test_validation_failures_never_trip():
+    breaker, _, _ = make_breaker()
+    for _ in range(10):
+        breaker.record_failure("config")
+        breaker.record_failure("workload")
+    assert breaker.state == CLOSED
+    assert breaker.snapshot()["consecutive_failures"] == 0
+
+
+# ---------------------------------------------------------------------
+# open -> half-open probe
+# ---------------------------------------------------------------------
+
+def test_open_sheds_until_recovery_then_single_probe():
+    breaker, clock, _ = make_breaker()
+    trip(breaker)
+    clock.advance(9.9)
+    assert not breaker.allow()  # still inside recovery_s
+    clock.advance(0.2)
+    assert breaker.allow()       # the probe slot
+    assert breaker.state == HALF_OPEN
+    assert not breaker.allow()   # concurrent jobs keep shedding
+    assert "probe in flight" in breaker.reject_detail()
+
+
+def test_probe_success_closes_and_clears_escalation():
+    breaker, clock, transitions = make_breaker()
+    trip(breaker)
+    clock.advance(10.1)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.snapshot()["trips"] == 0  # escalation forgiven
+    assert transitions == [
+        (CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED),
+    ]
+    # A later trip starts from the base interval again.
+    trip(breaker)
+    clock.advance(10.1)
+    assert breaker.allow()
+
+
+def test_probe_failure_reopens_with_escalated_interval():
+    breaker, clock, _ = make_breaker()
+    trip(breaker)                       # trip 1: interval 10s
+    clock.advance(10.1)
+    assert breaker.allow()
+    breaker.record_failure("crash")     # probe fails -> trip 2: 20s
+    assert breaker.state == OPEN
+    clock.advance(10.1)
+    assert not breaker.allow()          # 10s is no longer enough
+    clock.advance(10.0)
+    assert breaker.allow()
+    breaker.record_failure("timeout")   # trip 3: 40s (the cap)
+    clock.advance(40.1)
+    assert breaker.allow()
+    breaker.record_failure("crash")     # trip 4: would be 80s, capped at 40
+    assert breaker.snapshot()["open_interval_s"] == pytest.approx(40.0)
+
+
+def test_non_trip_failure_in_half_open_releases_probe_without_retrip():
+    breaker, clock, _ = make_breaker()
+    trip(breaker)
+    clock.advance(10.1)
+    assert breaker.allow()
+    breaker.record_failure("shed")      # e.g. aborted at drain deadline
+    assert breaker.state == HALF_OPEN   # not re-tripped...
+    assert breaker.allow()              # ...and the probe slot is free
+
+
+def test_multi_probe_policy_requires_streak():
+    breaker, clock, _ = make_breaker(probe_successes=2)
+    trip(breaker)
+    clock.advance(10.1)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == HALF_OPEN   # one success is not enough
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == CLOSED
+
+
+# ---------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------
+
+def test_registry_keys_on_run_kind_and_config():
+    clock = FakeClock()
+    registry = BreakerRegistry(
+        BreakerPolicy(failure_threshold=1, recovery_s=10.0), clock=clock
+    )
+    cpu = registry.breaker_for("cpu", "AdvHet")
+    assert registry.breaker_for("cpu", "AdvHet") is cpu     # memoised
+    assert registry.breaker_for("gpu", "AdvHet") is not cpu  # kind-scoped
+    cpu.record_failure("crash")
+    assert registry.open_count() == 1
+    states = registry.states()
+    assert states["cpu/AdvHet"]["state"] == OPEN
+    assert states["gpu/AdvHet"]["state"] == CLOSED

@@ -1,0 +1,156 @@
+"""Admission control and load shedding in the bounded job queue.
+
+Everything runs on an injected fake clock -- deadline expiry and drain
+behaviour are asserted without sleeping.  The invariant under test:
+every admitted job either pops, sheds through ``on_shed`` with a
+structured reason, or comes back from ``drain_remaining`` -- never a
+silent drop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.queue import Admission, Job, JobQueue, SHED_REASONS
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def make_job(job_id: str, priority: int = 10, deadline_s=None) -> Job:
+    return Job(
+        job_id=job_id,
+        run_kind="cpu",
+        config="BaseCMOS",
+        workload="lu",
+        priority=priority,
+        deadline_s=deadline_s,
+    )
+
+
+@pytest.fixture
+def shed_log():
+    return []
+
+
+@pytest.fixture
+def queue(shed_log):
+    clock = FakeClock()
+    q = JobQueue(
+        4,
+        clock=clock,
+        on_shed=lambda job, reason, detail: shed_log.append(
+            (job.job_id, reason)
+        ),
+    )
+    q.clock = clock  # test-side handle
+    return q
+
+
+# ---------------------------------------------------------------------
+# admission decisions
+# ---------------------------------------------------------------------
+
+def test_admission_shed_rejects_unknown_reason():
+    with pytest.raises(ValueError, match="unknown shed reason"):
+        Admission.shed("because")
+    for reason in SHED_REASONS:
+        assert Admission.shed(reason).reason == reason
+
+
+def test_capacity_zero_rejected():
+    with pytest.raises(ValueError, match="capacity"):
+        JobQueue(0)
+
+
+def test_offer_beyond_capacity_sheds_queue_full(queue):
+    for i in range(queue.capacity):
+        assert queue.offer(make_job(f"j{i}")).admitted
+    rejected = queue.offer(make_job("overflow"))
+    assert not rejected.admitted
+    assert rejected.reason == "queue_full"
+    assert "--queue-capacity" in rejected.detail
+    assert queue.depth == queue.capacity
+
+
+def test_duplicate_queued_id_sheds(queue):
+    assert queue.offer(make_job("twin")).admitted
+    dup = queue.offer(make_job("twin"))
+    assert (dup.admitted, dup.reason) == (False, "duplicate_id")
+    # Once popped, the id is free again.
+    assert queue.pop().job_id == "twin"
+    assert queue.offer(make_job("twin")).admitted
+
+
+def test_expired_deadline_rejected_at_admission(queue):
+    dead = queue.offer(make_job("late", deadline_s=0.0))
+    assert (dead.admitted, dead.reason) == (False, "past_deadline")
+
+
+# ---------------------------------------------------------------------
+# pop ordering and pop-time shedding
+# ---------------------------------------------------------------------
+
+def test_pop_orders_by_priority_then_fifo(queue):
+    queue.offer(make_job("low-a", priority=20))
+    queue.offer(make_job("hi-a", priority=1))
+    queue.offer(make_job("low-b", priority=20))
+    queue.offer(make_job("hi-b", priority=1))
+    order = [queue.pop().job_id for _ in range(4)]
+    assert order == ["hi-a", "hi-b", "low-a", "low-b"]
+    assert queue.pop() is None  # empty, zero timeout
+
+
+def test_deadline_expiry_while_queued_sheds_at_pop(queue, shed_log):
+    queue.offer(make_job("stale", priority=1, deadline_s=5.0))
+    queue.offer(make_job("fresh", priority=10))
+    queue.clock.advance(6.0)
+    assert queue.pop().job_id == "fresh"  # stale shed, never returned
+    assert shed_log == [("stale", "past_deadline")]
+
+
+def test_cancel_sheds_at_pop_not_silently(queue, shed_log):
+    queue.offer(make_job("doomed"))
+    queue.offer(make_job("keeper"))
+    assert queue.cancel("doomed") is True
+    assert queue.cancel("doomed") is False  # already cancelled
+    assert queue.cancel("ghost") is False   # never queued
+    assert queue.pop().job_id == "keeper"
+    assert shed_log == [("doomed", "cancelled")]
+
+
+# ---------------------------------------------------------------------
+# drain semantics
+# ---------------------------------------------------------------------
+
+def test_closed_queue_sheds_offers_and_stops_pops(queue):
+    queue.offer(make_job("started-too-late"))
+    queue.close()
+    assert queue.closed
+    refused = queue.offer(make_job("after-close"))
+    assert (refused.admitted, refused.reason) == (False, "draining")
+    # Drain semantics: no new work starts after close, even while jobs
+    # remain queued -- they are leftovers, not dispatches.
+    assert queue.pop() is None
+    assert queue.depth == 1
+
+
+def test_drain_remaining_returns_leftovers_sheds_cancelled(queue, shed_log):
+    queue.offer(make_job("b", priority=2))
+    queue.offer(make_job("a", priority=1))
+    queue.offer(make_job("x", priority=3))
+    queue.cancel("x")
+    queue.close()
+    leftovers = queue.drain_remaining()
+    assert [j.job_id for j in leftovers] == ["a", "b"]  # priority order
+    assert shed_log == [("x", "cancelled")]
+    assert queue.depth == 0
+    assert queue.drain_remaining() == []  # idempotent
