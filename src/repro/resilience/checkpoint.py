@@ -58,12 +58,19 @@ class CheckpointLock:
     """Advisory cross-process lock file with stale-lock takeover.
 
     ``O_CREAT | O_EXCL`` creation is the atomic primitive (portable, no
-    ``fcntl`` dependence); the lock file body records the owner's PID and
-    acquisition wall-clock time so contenders can detect abandonment.  A
-    lock is *stale* -- and broken by the next contender -- when its owner
-    PID is provably dead on this host, or the lock is older than
-    ``stale_s`` (covers unreadable/foreign owners).  Advisory means
-    cooperative: only writers that take the lock are serialised.
+    ``fcntl`` dependence); the lock file body records the owner's PID,
+    acquisition wall-clock time, and a unique per-acquisition token so
+    contenders can detect abandonment.  A lock is *stale* -- and broken
+    by the next contender -- when its owner PID is provably dead on this
+    host, or the lock is older than ``stale_s`` (covers unreadable/
+    foreign owners).  Unlinks are read-check-unlink: :meth:`release`
+    only removes a lock file that still carries this holder's token (a
+    holder whose lock was stale-broken must not delete the usurper's
+    live lock), and :meth:`_break_stale` only removes the exact body it
+    judged stale (not a contender's freshly created lock).  A narrow
+    check-to-unlink race remains by construction -- acceptable for an
+    advisory lock whose failure mode is one extra takeover.  Advisory
+    means cooperative: only writers that take the lock are serialised.
 
     Usable as a context manager; re-entrant acquisition within one
     process is an error (the owner check is PID-based, not thread-based
@@ -84,14 +91,21 @@ class CheckpointLock:
         self.timeout_s = timeout_s
         self.poll_s = poll_s
         self._held = False
+        #: Token written into the lock body at acquisition; release()
+        #: refuses to unlink a body carrying someone else's token.
+        self._token: "str | None" = None
+        #: The exact body _is_stale judged stale; _break_stale only
+        #: unlinks while the on-disk body is still that body.
+        self._stale_body: "str | None" = None
         #: Takeovers performed by this lock instance (observable in tests
         #: and surfaced through checkpoint telemetry).
         self.takeovers = 0
 
     # -- helpers -------------------------------------------------------
     def _try_create(self) -> bool:
+        token = f"{os.getpid()}-{os.urandom(8).hex()}"
         body = json.dumps(
-            {"pid": os.getpid(), "acquired_at": time.time()}
+            {"pid": os.getpid(), "acquired_at": time.time(), "token": token}
         ).encode("utf-8")
         try:
             fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
@@ -101,37 +115,57 @@ class CheckpointLock:
             os.write(fd, body)
         finally:
             os.close(fd)
+        self._token = token
         return True
 
     def _is_stale(self) -> bool:
+        self._stale_body = None
         try:
-            info = json.loads(self.path.read_text())
+            raw = self.path.read_text()
+        except OSError:
+            return False  # vanished -- next create attempt decides
+        try:
+            info = json.loads(raw)
             pid = int(info["pid"])
             acquired_at = float(info["acquired_at"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
             # Unreadable or torn lock body: age it via mtime, not content.
             try:
                 acquired_at = self.path.stat().st_mtime
             except OSError:
-                return False  # vanished -- next create attempt decides
-            return time.time() - acquired_at > self.stale_s
-        if time.time() - acquired_at > self.stale_s:
-            return True
-        if pid == os.getpid():
+                return False
+            if time.time() - acquired_at > self.stale_s:
+                self._stale_body = raw
+                return True
             return False
-        try:
-            os.kill(pid, 0)
-        except ProcessLookupError:
-            return True  # owner died without unlinking
-        except PermissionError:
-            return False  # alive, owned by someone else
-        return False
+        stale = False
+        if time.time() - acquired_at > self.stale_s:
+            stale = True
+        elif pid != os.getpid():
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                stale = True  # owner died without unlinking
+            except PermissionError:
+                pass  # alive, owned by someone else
+        if stale:
+            self._stale_body = raw
+        return stale
 
     def _break_stale(self) -> None:
+        # Read-check-unlink: only break the exact body we judged stale.
+        # A contender may have broken it first and re-created the lock;
+        # unlinking blindly here would delete their live lock.
+        try:
+            current = self.path.read_text()
+        except OSError:
+            return  # already gone; retry the create
+        if self._stale_body is None or current != self._stale_body:
+            return  # the lock changed hands since the staleness check
         try:
             self.path.unlink()
         except OSError:
-            pass  # a contender beat us to it; retry the create
+            return  # a contender beat us to it; retry the create
         self.takeovers += 1
 
     # -- API -----------------------------------------------------------
@@ -157,10 +191,22 @@ class CheckpointLock:
         if not self._held:
             return
         self._held = False
+        token, self._token = self._token, None
+        # Read-check-unlink: if our lock was stale-broken (e.g. this
+        # process was suspended past stale_s) and a contender now holds
+        # the path, the body carries *their* token -- leave it alone.
+        try:
+            info = json.loads(self.path.read_text())
+        except OSError:
+            return  # broken by a takeover and not re-taken; nothing to free
+        except ValueError:
+            return  # torn body we did not write; not ours to unlink
+        if info.get("token") != token:
+            return  # a contender re-acquired after breaking our stale lock
         try:
             self.path.unlink()
         except OSError:
-            pass  # broken by a (mistaken) takeover; nothing left to free
+            pass
 
     def __enter__(self) -> "CheckpointLock":
         return self.acquire()

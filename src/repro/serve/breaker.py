@@ -27,7 +27,10 @@ per workload before converging.  See DESIGN.md.
 Time is an injected monotonic ``clock``; the state machine is fully
 deterministic under a fake clock (tested without sleeping).  All state
 transitions are serialised under an internal lock and reported through
-``on_transition`` so the service can count them in telemetry.
+``on_transition`` so the service can count them in telemetry; the
+callback itself is delivered *after* the lock is released, so handlers
+may snapshot any breaker (the health file snapshots all of them)
+without lock-ordering deadlocks.
 """
 
 from __future__ import annotations
@@ -86,11 +89,14 @@ class CircuitBreaker:
         self.policy = policy or BreakerPolicy()
         self._clock = clock
         self._on_transition = on_transition
-        # Re-entrant: ``on_transition`` fires with this lock held, and the
-        # service's transition handler snapshots breaker state for the
-        # health file -- which re-enters :meth:`snapshot` on this same
-        # breaker from the same thread.
+        # ``on_transition`` is never fired with this lock held: transitions
+        # are queued under the lock and delivered after release, so a
+        # handler may snapshot this breaker -- or every breaker in the
+        # registry -- without self-deadlock or cross-breaker lock-ordering
+        # deadlocks (two breakers transitioning concurrently while the
+        # handler acquires all breaker locks for a health snapshot).
         self._lock = threading.RLock()
+        self._pending_transitions: "list[tuple[tuple, str, str]]" = []
         self._state = CLOSED
         self._consecutive_failures = 0
         self._probe_streak = 0
@@ -102,7 +108,18 @@ class CircuitBreaker:
     def _transition(self, new_state: str) -> None:
         old, self._state = self._state, new_state
         if old != new_state and self._on_transition is not None:
-            self._on_transition(self.key, old, new_state)
+            self._pending_transitions.append((self.key, old, new_state))
+
+    def _deliver_transitions(self) -> None:
+        """Fire queued ``on_transition`` callbacks (lock NOT held)."""
+        while True:
+            with self._lock:
+                if not self._pending_transitions:
+                    return
+                pending = self._pending_transitions
+                self._pending_transitions = []
+            for args in pending:
+                self._on_transition(*args)
 
     def _open_interval_s(self) -> float:
         scale = 2 ** max(0, self._trips - 1)
@@ -124,18 +141,24 @@ class CircuitBreaker:
         :meth:`record_success` / :meth:`record_failure` (the service's
         dispatch loop always does).
         """
-        with self._lock:
-            if self._state == CLOSED:
-                return True
-            if self._state == OPEN:
-                if self._clock() - self._opened_at < self._open_interval_s():
+        try:
+            with self._lock:
+                if self._state == CLOSED:
+                    return True
+                if self._state == OPEN:
+                    if (
+                        self._clock() - self._opened_at
+                        < self._open_interval_s()
+                    ):
+                        return False
+                    self._transition(HALF_OPEN)
+                    # fall through to claim the probe
+                if self._probe_in_flight:
                     return False
-                self._transition(HALF_OPEN)
-                # fall through to claim the probe
-            if self._probe_in_flight:
-                return False
-            self._probe_in_flight = True
-            return True
+                self._probe_in_flight = True
+                return True
+        finally:
+            self._deliver_transitions()
 
     def reject_detail(self) -> str:
         """Human-readable detail for a shed (state + probe ETA)."""
@@ -165,6 +188,7 @@ class CircuitBreaker:
                     self._transition(CLOSED)
             elif self._state == OPEN:  # late success from a pre-trip job
                 pass
+        self._deliver_transitions()
 
     def record_failure(self, kind: str) -> None:
         """Account one finished-but-failed execution of this key."""
@@ -174,15 +198,18 @@ class CircuitBreaker:
                 # advances nor resets the trip counter.
                 if self._state == HALF_OPEN:
                     self._probe_in_flight = False
-                return
-            if self._state == HALF_OPEN:
+            elif self._state == HALF_OPEN:
                 self._trip()
-                return
-            if self._state == OPEN:
-                return
-            self._consecutive_failures += 1
-            if self._consecutive_failures >= self.policy.failure_threshold:
-                self._trip()
+            elif self._state == OPEN:
+                pass
+            else:
+                self._consecutive_failures += 1
+                if (
+                    self._consecutive_failures
+                    >= self.policy.failure_threshold
+                ):
+                    self._trip()
+        self._deliver_transitions()
 
     # -- introspection -------------------------------------------------
     @property

@@ -173,37 +173,67 @@ class JobQueue:
         remain queued: drain semantics start no new work after shutdown
         -- the leftovers are collected by :meth:`drain_remaining` and
         reported as gaps instead.
+
+        ``on_shed`` fires with the queue lock *released*: callbacks may
+        freely call back into the queue (``depth``, ``offer``, ...)
+        without deadlocking, matching :meth:`drain_remaining`.
         """
         deadline = self._clock() + timeout if timeout else None
-        with self._not_empty:
-            while True:
-                if self._closed:
-                    return None
-                while self._heap:
-                    _, _, job = heapq.heappop(self._heap)
-                    self._queued_ids.discard(job.job_id)
-                    if job.job_id in self._cancelled:
-                        self._cancelled.discard(job.job_id)
-                        self._shed(job, "cancelled", "cancelled while queued")
-                        continue
-                    now = self._clock()
-                    if job.deadline is not None and now > job.deadline:
-                        self._shed(
-                            job,
-                            "past_deadline",
-                            f"deadline exceeded by {now - job.deadline:.3f}s "
-                            f"while queued",
+        while True:
+            shed: "list[tuple[Job, str, str]]" = []
+            job: "Optional[Job]" = None
+            done = False
+            with self._not_empty:
+                while True:
+                    if self._closed:
+                        done = True
+                        break
+                    while self._heap:
+                        _, _, candidate = heapq.heappop(self._heap)
+                        self._queued_ids.discard(candidate.job_id)
+                        if candidate.job_id in self._cancelled:
+                            self._cancelled.discard(candidate.job_id)
+                            shed.append(
+                                (candidate, "cancelled",
+                                 "cancelled while queued")
+                            )
+                            continue
+                        now = self._clock()
+                        if (
+                            candidate.deadline is not None
+                            and now > candidate.deadline
+                        ):
+                            shed.append((
+                                candidate,
+                                "past_deadline",
+                                f"deadline exceeded by "
+                                f"{now - candidate.deadline:.3f}s while queued",
+                            ))
+                            continue
+                        job = candidate
+                        break
+                    if job is not None or self._closed:
+                        done = done or self._closed
+                        break
+                    if shed:
+                        # Release the lock to fire the callbacks before
+                        # blocking; the outer loop resumes the wait.
+                        break
+                    if timeout is None:
+                        self._not_empty.wait()
+                    else:
+                        remaining = (
+                            deadline - self._clock() if deadline else 0.0
                         )
-                        continue
-                    return job
-                if self._closed:
-                    return None
-                if timeout is None:
-                    self._not_empty.wait()
-                else:
-                    remaining = deadline - self._clock() if deadline else 0.0
-                    if remaining <= 0 or not self._not_empty.wait(remaining):
-                        return None
+                        if remaining <= 0 or not self._not_empty.wait(
+                            remaining
+                        ):
+                            done = True
+                            break
+            for shed_job, reason, detail in shed:
+                self._shed(shed_job, reason, detail)
+            if job is not None or done:
+                return job
 
     def cancel(self, job_id: str) -> bool:
         """Mark a queued job cancelled; True if it was still queued."""

@@ -212,18 +212,30 @@ class SimService:
 
     def _mark_shed(
         self, job: Job, reason: str, detail: str, *, gap: bool = True
-    ) -> None:
-        failure = self._shed_gap(job, reason, detail) if gap else None
+    ) -> bool:
+        """Move a job's record to ``shed``; False if already terminal.
+
+        The claim check keeps the accounting invariant under races:
+        shutdown closing out an abandoned in-flight job and its
+        dispatcher finishing late must settle on exactly one terminal
+        state and one counter increment.
+        """
         with self._lock:
             record = self._records.get(job.job_id)
+            if record is not None and record.status in TERMINAL_STATES:
+                return False
             if record is not None:
                 record.status = "shed"
                 record.shed_reason = reason
                 record.detail = detail
+        failure = self._shed_gap(job, reason, detail) if gap else None
+        if record is not None and failure is not None:
+            with self._lock:
                 record.failure = failure
         self._count("shed")
         self.telemetry.record_shed(reason)
         self._write_health()
+        return True
 
     def _on_queue_shed(self, job: Job, reason: str, detail: str) -> None:
         """Jobs the queue discarded after admission (pop-time decisions)."""
@@ -431,7 +443,8 @@ class SimService:
                     job.run_kind, job.config, job.workload, job.extra,
                     isolation="process",
                 )
-                self._spawn_failures = 0
+                with self._lock:
+                    self._spawn_failures = 0
                 return result
             except PoolAborted:
                 raise
@@ -439,14 +452,19 @@ class SimService:
                 # Worker spawn (or its pipe plumbing) failed -- the host
                 # is refusing processes, not the simulation refusing to
                 # run.  Fall back to thread isolation for this job, and
-                # permanently once it keeps happening.
-                self._spawn_failures += 1
-                if (
-                    not self._degraded
-                    and self._spawn_failures
-                    >= self.config.spawn_failure_threshold
-                ):
-                    self._degraded = True
+                # permanently once it keeps happening.  The counter and
+                # the degradation flip are read-modify-write from every
+                # dispatcher thread, so they stay under the service lock.
+                with self._lock:
+                    self._spawn_failures += 1
+                    degrade = (
+                        not self._degraded
+                        and self._spawn_failures
+                        >= self.config.spawn_failure_threshold
+                    )
+                    if degrade:
+                        self._degraded = True
+                if degrade:
                     self.telemetry.record_serve("degraded")
                     self._write_health(force=True)
                 self.telemetry.record_serve("spawn_failure")
@@ -475,12 +493,12 @@ class SimService:
         except PoolAborted:
             # Drain deadline: the supervisor killed this job's workers.
             breaker.record_failure("shed")  # releases a claimed probe
-            self._mark_shed(
+            if self._mark_shed(
                 job, "draining",
                 "in-flight workers aborted at the drain deadline",
-            )
-            self._count("drained")
-            self.telemetry.record_serve("drained")
+            ):
+                self._count("drained")
+                self.telemetry.record_serve("drained")
             return
         except Exception as exc:
             # The gap-tolerant runner path should never raise; contain a
@@ -497,6 +515,8 @@ class SimService:
                 extra=tuple(job.extra),
             )
             with self._lock:
+                if record.status in TERMINAL_STATES:
+                    return  # shutdown already closed this job out
                 record.status = "failed"
                 record.failure = failure
                 record.detail = failure.summary()
@@ -506,6 +526,11 @@ class SimService:
         if result is not None:
             breaker.record_success()
             with self._lock:
+                if record.status in TERMINAL_STATES:
+                    # Shutdown reported this abandoned thread-isolation
+                    # job as a drained gap; a late finish must not count
+                    # the same job in a second terminal state.
+                    return
                 record.status = "served"
                 record.result = self._result_summary(result)
             self._count("served")
@@ -515,6 +540,8 @@ class SimService:
         kind = failure.kind if failure is not None else "crash"
         breaker.record_failure(kind)
         with self._lock:
+            if record.status in TERMINAL_STATES:
+                return  # shutdown already closed this job out
             record.status = "failed"
             record.failure = failure
             record.detail = failure.summary() if failure else "unrecorded gap"
@@ -575,11 +602,11 @@ class SimService:
                 thread.join(2.0)
         # Queued leftovers (never started) are gaps too.
         for job in self.queue.drain_remaining():
-            self._mark_shed(
+            if self._mark_shed(
                 job, "draining", "queued but never started before shutdown"
-            )
-            self._count("drained")
-            self.telemetry.record_serve("drained")
+            ):
+                self._count("drained")
+                self.telemetry.record_serve("drained")
         # Thread-isolation stragglers cannot be killed from Python; their
         # records stay "running" -- report them as drained gaps so the
         # accounting closes (the daemon threads die with the process).
@@ -589,13 +616,13 @@ class SimService:
                 if r.status not in TERMINAL_STATES
             ]
         for job in stuck:
-            self._mark_shed(
+            if self._mark_shed(
                 job, "draining",
                 "in-flight past the drain deadline (thread isolation "
                 "cannot be killed; worker abandoned)",
-            )
-            self._count("drained")
-            self.telemetry.record_serve("drained")
+            ):
+                self._count("drained")
+                self.telemetry.record_serve("drained")
         self.runner.save_checkpoint()
         self._finished = True
         self._write_health(force=True)

@@ -268,3 +268,50 @@ def test_checkpoint_save_leaves_no_lock_behind(ck_path):
     make_runner(ck_path).cpu_run("BaseCMOS", "lu")
     assert ck_path.exists()
     assert not ck_path.with_name(ck_path.name + ".lock").exists()
+
+
+def test_release_leaves_a_usurpers_lock_alone(tmp_path):
+    """Regression: a holder whose lock was stale-broken (e.g. suspended
+    past stale_s) must not unlink the contender's live lock on release."""
+    import os as _os
+    import time as _time
+
+    from repro.resilience import CheckpointLock
+
+    lock_path = tmp_path / "ck.lock"
+    lock = CheckpointLock(lock_path, timeout_s=1.0)
+    lock.acquire()
+    # Simulate a takeover while we were suspended: a contender broke our
+    # stale lock and wrote its own body (different token).
+    usurper = json.dumps(
+        {"pid": _os.getpid(), "acquired_at": _time.time(), "token": "theirs"}
+    )
+    lock_path.write_text(usurper)
+    lock.release()
+    assert lock_path.exists()
+    assert json.loads(lock_path.read_text())["token"] == "theirs"
+    # Idempotent: a second release stays a no-op.
+    lock.release()
+    assert lock_path.exists()
+
+
+def test_break_stale_skips_a_lock_that_changed_hands(tmp_path):
+    """Regression: between judging a lock stale and unlinking it, a
+    contender may have broken it first and re-created the lock; the
+    unlink must only remove the exact body that was judged stale."""
+    import time as _time
+
+    from repro.resilience import CheckpointLock
+
+    lock_path = tmp_path / "ck.lock"
+    _write_lock(lock_path, 1, age_s=120.0)  # aged body: stale
+    lock = CheckpointLock(lock_path, stale_s=30.0, timeout_s=1.0)
+    assert lock._is_stale()
+    fresh = json.dumps(
+        {"pid": 424242, "acquired_at": _time.time(), "token": "fresh"}
+    )
+    lock_path.write_text(fresh)  # the contender re-acquired first
+    lock._break_stale()
+    assert lock_path.exists()
+    assert json.loads(lock_path.read_text()) == json.loads(fresh)
+    assert lock.takeovers == 0

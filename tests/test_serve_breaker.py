@@ -188,3 +188,75 @@ def test_registry_keys_on_run_kind_and_config():
     states = registry.states()
     assert states["cpu/AdvHet"]["state"] == OPEN
     assert states["gpu/AdvHet"]["state"] == CLOSED
+
+
+# ---------------------------------------------------------------------
+# transition-callback lock discipline
+# ---------------------------------------------------------------------
+
+def test_on_transition_fires_with_breaker_lock_released():
+    """Regression: transitions used to fire ``on_transition`` while
+    holding the breaker's lock; the service handler then snapshotted
+    *every* breaker for the health file, so two breakers transitioning
+    concurrently could deadlock on each other's locks.  The callback
+    must observe its own breaker's lock as free from another thread.
+    """
+    import threading
+
+    clock = FakeClock()
+    observed = []
+    holder = {}
+
+    def handler(key, old, new):
+        breaker = holder["b"]
+        lock_free = []
+
+        def probe():
+            got = breaker._lock.acquire(timeout=2.0)
+            if got:
+                breaker._lock.release()
+            lock_free.append(got)
+
+        t = threading.Thread(target=probe)
+        t.start()
+        t.join(5.0)
+        observed.append((old, new, lock_free == [True]))
+
+    holder["b"] = CircuitBreaker(
+        ("cpu", "AdvHet"),
+        BreakerPolicy(failure_threshold=1, recovery_s=10.0,
+                      max_recovery_s=40.0),
+        clock=clock,
+        on_transition=handler,
+    )
+    breaker = holder["b"]
+    breaker.record_failure("crash")          # closed -> open
+    clock.advance(11.0)
+    assert breaker.allow()                   # open -> half_open (probe)
+    breaker.record_success()                 # half_open -> closed
+    assert observed == [
+        (CLOSED, OPEN, True),
+        (OPEN, HALF_OPEN, True),
+        (HALF_OPEN, CLOSED, True),
+    ]
+
+
+def test_transition_handler_may_snapshot_the_registry():
+    """The service's real handler calls ``BreakerRegistry.states()``;
+    that must be safe from inside a transition callback."""
+    clock = FakeClock()
+    states_seen = []
+    holder = {}
+
+    def handler(key, old, new):
+        states_seen.append(
+            (new, holder["reg"].states()["cpu/AdvHet"]["state"])
+        )
+
+    registry = holder["reg"] = BreakerRegistry(
+        BreakerPolicy(failure_threshold=1),
+        clock=clock,
+        on_transition=handler,
+    )
+    registry.breaker_for("cpu", "AdvHet").record_failure("crash")
+    assert states_seen == [(OPEN, OPEN)]

@@ -154,3 +154,43 @@ def test_drain_remaining_returns_leftovers_sheds_cancelled(queue, shed_log):
     assert shed_log == [("x", "cancelled")]
     assert queue.depth == 0
     assert queue.drain_remaining() == []  # idempotent
+
+
+# ---------------------------------------------------------------------
+# callback lock discipline
+# ---------------------------------------------------------------------
+
+def test_on_shed_at_pop_fires_with_queue_lock_released():
+    """Regression: pop used to fire ``on_shed`` while holding the queue
+    lock, so a callback that re-enters the queue (the service's health
+    snapshot reads ``queue.depth``) deadlocked the dispatcher forever.
+    """
+    clock = FakeClock()
+    reentered = []
+    holder = {}
+
+    def on_shed(job, reason, detail):
+        # Re-enters the queue's (non-reentrant) lock; hangs pre-fix.
+        reentered.append((job.job_id, reason, holder["q"].depth))
+
+    q = holder["q"] = JobQueue(4, clock=clock, on_shed=on_shed)
+    assert q.offer(make_job("expiring", priority=1, deadline_s=1.0)).admitted
+    assert q.offer(make_job("live", priority=5)).admitted
+    assert q.offer(make_job("later", priority=9)).admitted
+    clock.advance(5.0)
+    assert q.pop().job_id == "live"
+    assert reentered == [("expiring", "past_deadline", 1)]
+
+
+def test_on_shed_fires_even_when_every_popped_job_sheds():
+    """All-shed pops must still deliver callbacks (outside the lock) and
+    return None on an emptied queue rather than losing the sheds."""
+    clock = FakeClock()
+    shed = []
+    q = JobQueue(4, clock=clock, on_shed=lambda j, r, d: (shed.append((j.job_id, r)), q.depth))
+    q.offer(make_job("a", deadline_s=1.0))
+    q.offer(make_job("b", deadline_s=2.0))
+    clock.advance(10.0)
+    assert q.pop() is None
+    assert sorted(shed) == [("a", "past_deadline"), ("b", "past_deadline")]
+    assert q.depth == 0

@@ -460,3 +460,42 @@ def test_sigterm_drains_flushes_checkpoint_and_resume_serves_gaps(tmp_path):
     cache = payload["telemetry"]["cache"]["cpu"]
     assert cache["hits"] == snap.counters["served"]
     assert cache["hits"] + cache["misses"] == len(configs)
+
+
+# ---------------------------------------------------------------------
+# shutdown vs. late-finishing abandoned workers
+# ---------------------------------------------------------------------
+
+def test_late_thread_finish_does_not_double_count_after_shutdown():
+    """Regression: shutdown reports an abandoned thread-isolation job as
+    a drained ``shed`` gap; if the daemon thread later finishes anyway,
+    the job must not be re-counted as served/failed (which would break
+    submitted == served + failed + shed + cancelled)."""
+    runner = make_runner()
+    release = threading.Event()
+    started = threading.Event()
+
+    def stuck_run_cell(run_kind, config, workload, extra=(), *,
+                       isolation="thread"):
+        started.set()
+        release.wait(60.0)
+        return None  # a late finish that would have recorded "failed"
+
+    runner.run_cell = stuck_run_cell
+    service = make_service(runner)
+    service.start()
+    service.submit(job("wedged"))
+    assert started.wait(10.0)
+    summary = service.shutdown(drain_deadline_s=0.2)
+    assert summary["counters"] == service.counters
+    assert service.counters["shed"] == 1
+    # Let the abandoned worker finish and its dispatcher thread exit.
+    release.set()
+    for thread in service._threads:
+        thread.join(10.0)
+    assert not any(t.is_alive() for t in service._threads)
+    record = service.poll("wedged")
+    assert (record.status, record.shed_reason) == ("shed", "draining")
+    c = service.counters
+    assert (c["served"], c["failed"], c["shed"]) == (0, 0, 1)
+    assert_accounting_closed(service)
