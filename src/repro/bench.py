@@ -1,0 +1,334 @@
+"""Perf-regression microbenchmarks for the cycle engines (``repro bench``).
+
+The fast-path work (event-driven cycle skipping, unboxed hot loops, the
+trace cache, shared-memory trace transport) is only worth keeping if it
+*stays* fast, so this module pins it down with a small reproducible
+harness:
+
+* **engine cells** -- a memory-heavy CPU cell (``canneal``: long DRAM
+  stalls, where idle-cycle skipping dominates), an ILP-heavy CPU cell
+  (``blackscholes``: mostly-busy pipeline, where the unboxed loop
+  dominates), and a GPU cell (``DCT``).  Each is run twice in-process --
+  once on the fast path, once with the ``REPRO_NO_CYCLE_SKIP=1`` escape
+  hatch -- timing *only* the engine (trace generation excluded), and the
+  results are compared field-for-field so every bench run doubles as a
+  cycle-exactness check;
+* **trace cache** -- generation cost vs cached-fetch cost for one trace
+  (the amortization the LRU buys every sweep);
+* **sweep latency** -- a small multi-configuration sweep with the cache
+  enabled vs disabled (the end-to-end win of sharing one trace across
+  configurations).
+
+Regression guarding compares **ratios**, never absolute instructions per
+second: the fast/slow runs execute in the same process on the same
+machine, so their quotient is machine-independent, while absolute
+throughput moves with the CI runner's hardware.  Absolute numbers are
+still reported (they are what a human reads), they just don't gate.  The
+committed baseline lives at ``benchmarks/perf/BENCH_cycle_engine.json``;
+``compare()`` applies a one-sided tolerance (a measured ratio may fall at
+most ``tolerance`` below baseline -- being faster never fails).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+
+#: Default committed baseline location (relative to the repo root, which
+#: is where CI and developers invoke ``repro bench``).
+DEFAULT_BASELINE = os.path.join("benchmarks", "perf", "BENCH_cycle_engine.json")
+
+#: Report schema version (bump on incompatible layout changes).
+SCHEMA = 1
+
+#: The reference cells (name -> (kind, config, workload)).
+CELLS = {
+    "cpu_mem": ("cpu", "BaseCMOS", "canneal"),
+    "cpu_ilp": ("cpu", "BaseCMOS", "blackscholes"),
+    "gpu": ("gpu", "BaseCMOS", "DCT"),
+}
+
+#: Ratio metrics gated against the baseline (dotted paths into the report).
+GUARDED = (
+    "cells.cpu_mem.speedup",
+    "cells.cpu_ilp.speedup",
+    "cells.gpu.speedup",
+    "trace_cache.amortization",
+    "sweep.speedup",
+)
+
+
+def _build_cpu_core(design, profile):
+    """A fresh detailed core for ``design``, mirroring ``simulate_cpu``."""
+    from repro.core.simulate import _prewarm
+    from repro.cpu.core import CoreConfig, OutOfOrderCore
+
+    hierarchy = design.build_hierarchy(mem_intensity=profile.mem_intensity)
+    _prewarm(hierarchy, profile)
+    config = CoreConfig(
+        freq_ghz=design.freq_ghz,
+        resources=design.resources(),
+        steering_enabled=design.dual_speed_alu,
+    )
+    return OutOfOrderCore(config, hierarchy, design.build_units(), name="bench")
+
+
+def _build_cu(design):
+    """A fresh compute unit for ``design``, mirroring ``simulate_gpu``."""
+    from repro.gpu.cu import ComputeUnit, CUConfig
+
+    return ComputeUnit(
+        CUConfig(
+            freq_ghz=design.freq_ghz,
+            fma_depth=design.fma_depth(),
+            rf_cycles=design.rf_cycles(),
+            rf_cache_enabled=design.rf_cache,
+        )
+    )
+
+
+def _timed(build, run, repeats: int):
+    """Best-of-``repeats`` engine wall time; returns (seconds, result, engine)."""
+    best = None
+    for _ in range(repeats):
+        engine = build()
+        t0 = time.perf_counter()
+        result = run(engine)
+        dt = time.perf_counter() - t0
+        if best is None or dt < best[0]:
+            best = (dt, result, engine)
+    return best
+
+
+def bench_cell(kind: str, config: str, workload: str,
+               instructions: int, warmup: int, repeats: int = 2) -> dict:
+    """Fast-vs-hatch engine timing for one reference cell.
+
+    Times only ``engine.run(trace)`` -- the trace is generated (and cached)
+    up front -- and checks the two result dataclasses are identical, so a
+    speedup bought by breaking cycle exactness can never pass.
+    """
+    from repro.core.configs import cpu_config, gpu_config
+    from repro.workloads.gpu_profiles import gpu_kernel
+    from repro.workloads.profiles import cpu_app
+    from repro.workloads.trace_cache import cached_kernel, cached_trace
+
+    if kind == "cpu":
+        design = cpu_config(config)
+        profile = cpu_app(workload)
+        trace = cached_trace(profile, instructions, seed=0)
+        build = lambda: _build_cpu_core(design, profile)
+        run = lambda core: core.run(trace, warmup=warmup)
+        work = instructions
+    else:
+        design = gpu_config(config)
+        profile = gpu_kernel(workload)
+        trace = cached_kernel(profile, seed=0)
+        build = lambda: _build_cu(design)
+        run = lambda cu: cu.run(trace)
+        work = profile.n_wavefronts * profile.stream_len
+
+    hatch = "REPRO_NO_CYCLE_SKIP"
+    t_fast, r_fast, engine = _timed(build, run, repeats)
+    prior = os.environ.get(hatch)
+    os.environ[hatch] = "1"
+    try:
+        t_slow, r_slow, _ = _timed(build, run, repeats)
+    finally:
+        if prior is None:
+            del os.environ[hatch]
+        else:
+            os.environ[hatch] = prior
+
+    return {
+        "kind": kind,
+        "config": config,
+        "workload": workload,
+        "instructions": work,
+        "fast_instr_per_s": round(work / t_fast, 1),
+        "slow_instr_per_s": round(work / t_slow, 1),
+        "fast_s": round(t_fast, 6),
+        "slow_s": round(t_slow, 6),
+        "speedup": round(t_slow / t_fast, 4),
+        "skipped_cycles": engine.skipped_cycles,
+        "skip_events": engine.skip_events,
+        "equivalent": dataclasses.asdict(r_fast) == dataclasses.asdict(r_slow),
+    }
+
+
+def _batch_hits(cached_trace, profile, instructions: int, count: int) -> float:
+    t0 = time.perf_counter()
+    for _ in range(count):
+        cached_trace(profile, instructions, seed=0)
+    return time.perf_counter() - t0
+
+
+def bench_trace_cache(instructions: int) -> dict:
+    """Generation cost vs cached-fetch cost for one CPU trace."""
+    from repro.workloads.profiles import cpu_app
+    from repro.workloads.trace_cache import reset_shared_cache, shared_cache
+
+    profile = cpu_app("canneal")
+    reset_shared_cache()
+    from repro.workloads.trace_cache import cached_trace
+
+    t0 = time.perf_counter()
+    cached_trace(profile, instructions, seed=0)
+    generate_s = time.perf_counter() - t0
+    # Hits are microseconds; time a batch (best of 3) to defeat clock
+    # granularity and scheduler jitter.
+    hits = 32
+    hit_s = min(
+        _batch_hits(cached_trace, profile, instructions, hits)
+        for _ in range(3)
+    ) / hits
+    hit_s = max(hit_s, 1e-9)
+    stats = shared_cache().stats()
+    return {
+        "generate_ms": round(generate_s * 1e3, 3),
+        "hit_ms": round(hit_s * 1e3, 6),
+        "amortization": round(generate_s / hit_s, 1),
+        "stats": stats,
+    }
+
+
+def bench_sweep_latency(instructions: int, warmup: int) -> dict:
+    """A 3-configuration mini-sweep, trace cache enabled vs disabled.
+
+    The N configurations of one figure share a single trace per workload;
+    this measures what that sharing is worth end to end (simulation
+    included, which is why the ratio is modest compared to the raw
+    amortization factor).
+    """
+    from repro.core.configs import cpu_config
+    from repro.core.simulate import simulate_cpu
+    from repro.workloads.trace_cache import reset_shared_cache
+
+    configs = ["BaseCMOS", "BaseHet", "AdvHet"]
+
+    def sweep() -> float:
+        t0 = time.perf_counter()
+        for name in configs:
+            simulate_cpu(
+                cpu_config(name), "canneal",
+                instructions=instructions, warmup=warmup,
+            )
+        return time.perf_counter() - t0
+
+    reset_shared_cache(0)  # disabled: every cell regenerates
+    cold_s = sweep()
+    reset_shared_cache()
+    warm_s = sweep()
+    reset_shared_cache()
+    return {
+        "configs": len(configs),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(cold_s / warm_s, 4),
+    }
+
+
+def run_bench(instructions: int = 30000, warmup: int = 5000,
+              repeats: int = 2) -> dict:
+    """The full benchmark report (the ``repro bench`` payload)."""
+    report = {
+        "schema": SCHEMA,
+        "instructions": instructions,
+        "warmup": warmup,
+        "repeats": repeats,
+        "cells": {
+            name: bench_cell(kind, config, workload, instructions, warmup,
+                             repeats=repeats)
+            for name, (kind, config, workload) in CELLS.items()
+        },
+        "trace_cache": bench_trace_cache(instructions),
+        "sweep": bench_sweep_latency(instructions, warmup),
+    }
+    return report
+
+
+def _lookup(report: dict, path: str):
+    node = report
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def compare(report: dict, baseline: dict, tolerance: float = 0.25) -> "list[str]":
+    """Regression messages for ``report`` against ``baseline`` (empty = ok).
+
+    Equivalence failures always regress; guarded ratios regress when the
+    measured value falls more than ``tolerance`` below the baseline
+    (one-sided: faster-than-baseline never fails).
+    """
+    problems = []
+    for name, cell in report.get("cells", {}).items():
+        if not cell.get("equivalent", False):
+            problems.append(
+                f"cells.{name}: fast-path result differs from escape-hatch "
+                f"result (cycle exactness broken)"
+            )
+    for path in GUARDED:
+        measured = _lookup(report, path)
+        reference = _lookup(baseline, path)
+        if measured is None or reference is None:
+            continue
+        floor = reference * (1.0 - tolerance)
+        if measured < floor:
+            problems.append(
+                f"{path}: {measured:.3f} fell below {floor:.3f} "
+                f"(baseline {reference:.3f}, tolerance {tolerance:.0%})"
+            )
+    return problems
+
+
+def format_report(report: dict, problems: "list[str] | None" = None) -> str:
+    """Human-readable summary of a bench report."""
+    lines = ["cycle-engine benchmarks "
+             f"(instructions={report['instructions']}, "
+             f"warmup={report['warmup']}, best of {report['repeats']}):"]
+    for name, cell in report["cells"].items():
+        lines.append(
+            f"  {name:<8} {cell['config']}/{cell['workload']:<14} "
+            f"{cell['fast_instr_per_s']:>12,.0f} instr/s fast   "
+            f"{cell['slow_instr_per_s']:>12,.0f} slow   "
+            f"{cell['speedup']:.2f}x   "
+            f"skipped={cell['skipped_cycles']:,} "
+            f"({cell['skip_events']:,} events)   "
+            f"{'exact' if cell['equivalent'] else 'MISMATCH'}"
+        )
+    tc = report["trace_cache"]
+    lines.append(
+        f"  trace cache: generate {tc['generate_ms']:.1f} ms vs hit "
+        f"{tc['hit_ms']:.3f} ms ({tc['amortization']:,.0f}x amortized)"
+    )
+    sw = report["sweep"]
+    lines.append(
+        f"  {sw['configs']}-config sweep: cold {sw['cold_s']:.2f} s vs warm "
+        f"{sw['warm_s']:.2f} s ({sw['speedup']:.2f}x)"
+    )
+    if problems:
+        lines.append("regressions:")
+        lines.extend(f"  FAIL {p}" for p in problems)
+    elif problems is not None:
+        lines.append("no regressions against baseline")
+    return "\n".join(lines)
+
+
+def load_baseline(path: str) -> "dict | None":
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def save_baseline(report: dict, path: str) -> None:
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -51,6 +51,16 @@ Commands
 ``serve --health [--health-file PATH]``
     Dump the service's latest liveness/readiness snapshot (queue depth,
     breaker states, served/shed counters) from its health file.
+``bench [--json] [--baseline PATH] [--tolerance T] [--update-baseline]
+[--instructions N] [--repeats N]``
+    Run the cycle-engine perf microbenchmarks (fast path vs
+    ``REPRO_NO_CYCLE_SKIP=1`` on the reference cells, trace-cache
+    amortization, cached-sweep latency) and gate the machine-independent
+    speedup ratios against the committed baseline
+    (``benchmarks/perf/BENCH_cycle_engine.json``) with a one-sided
+    tolerance.  Every run also rechecks cycle exactness: a fast-path
+    result that differs from the escape hatch fails regardless of
+    timing.  Exit status: 0 = ok, 1 = regression or exactness mismatch.
 
 Sweep sizing obeys ``REPRO_INSTRUCTIONS`` / ``REPRO_APPS`` /
 ``REPRO_KERNELS``, as everywhere else; fault injection (for exercising
@@ -509,6 +519,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 3 if service.gap_count() else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    if args.tolerance < 0:
+        print("--tolerance must be >= 0", file=sys.stderr)
+        return 2
+    report = bench.run_bench(
+        instructions=args.instructions,
+        warmup=min(args.instructions // 4, 5000),
+        repeats=args.repeats,
+    )
+    if args.update_baseline:
+        bench.save_baseline(report, args.baseline)
+        if not args.json:
+            print(f"baseline written: {args.baseline}")
+    baseline = bench.load_baseline(args.baseline)
+    problems = (
+        bench.compare(report, baseline, tolerance=args.tolerance)
+        if baseline is not None
+        else bench.compare(report, {}, tolerance=args.tolerance)
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "report": report,
+                    "baseline": args.baseline if baseline is not None else None,
+                    "tolerance": args.tolerance,
+                    "regressions": problems,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(bench.format_report(report, problems if baseline is not None else None))
+        if baseline is None:
+            print(
+                f"no baseline at {args.baseline} (exactness still checked); "
+                f"write one with --update-baseline"
+            )
+    return 1 if problems else 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -657,7 +710,41 @@ def main(argv: "list[str] | None" = None) -> int:
         help="emit the final job records, counters, and telemetry as JSON",
     )
 
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the cycle-engine perf microbenchmarks against the baseline",
+    )
+    p_bench.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="baseline report to gate against "
+        "(default benchmarks/perf/BENCH_cycle_engine.json)",
+    )
+    p_bench.add_argument(
+        "--tolerance", type=float, default=0.25, metavar="T",
+        help="allowed one-sided ratio shortfall vs baseline (default 0.25)",
+    )
+    p_bench.add_argument(
+        "--update-baseline", action="store_true",
+        help="write this run's report as the new baseline",
+    )
+    p_bench.add_argument(
+        "--instructions", type=int, default=30000, metavar="N",
+        help="per-cell trace length (default 30000)",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=2, metavar="N",
+        help="timing repeats per cell, best-of (default 2)",
+    )
+    p_bench.add_argument(
+        "--json", action="store_true",
+        help="emit the report, baseline path, and regressions as JSON",
+    )
+
     args = parser.parse_args(argv)
+    if args.command == "bench" and args.baseline is None:
+        from repro.bench import DEFAULT_BASELINE
+
+        args.baseline = DEFAULT_BASELINE
     handlers = {
         "list": _cmd_list,
         "exhibit": _cmd_exhibit,
@@ -666,5 +753,6 @@ def main(argv: "list[str] | None" = None) -> int:
         "trace": _cmd_trace,
         "sweep": _cmd_sweep,
         "serve": _cmd_serve,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)

@@ -21,10 +21,9 @@ from repro.gpu.cu import CUConfig
 from repro.gpu.gpu import GpuConfig, GpuResult, run_gpu
 from repro.power.metrics import ed2_product, ed_product
 from repro.power.model import EnergyBreakdown, cpu_energy, gpu_energy
-from repro.workloads.generator import generate_trace
-from repro.workloads.gpu_generator import generate_kernel
 from repro.workloads.gpu_profiles import KernelProfile, gpu_kernel
 from repro.workloads.profiles import AppProfile, cpu_app
+from repro.workloads.trace_cache import cached_kernel, cached_trace
 
 #: Default measured window per core (instructions) and cache/predictor
 #: warm-up, sized so a full sweep stays tractable in pure Python while
@@ -140,7 +139,10 @@ def simulate_cpu(
         )
 
     def trace_factory(core_idx: int):
-        return generate_trace(profile, instructions, seed=seed + core_idx)
+        # Cached: the N configurations of a sweep share one trace per
+        # (profile, length, seed) -- generation is deterministic and the
+        # engines treat trace arrays as read-only.
+        return cached_trace(profile, instructions, seed=seed + core_idx)
 
     multicore = run_multicore(
         core_factory,
@@ -182,7 +184,7 @@ def simulate_gpu(
     the parallel runtime.
     """
     profile = gpu_kernel(kernel) if isinstance(kernel, str) else kernel
-    trace = generate_kernel(profile, seed=seed)
+    trace = cached_kernel(profile, seed=seed)
     gpu_cfg = GpuConfig(
         cu=CUConfig(
             freq_ghz=design.freq_ghz,

@@ -35,9 +35,11 @@ class DualSpeedSteering:
             raise ValueError("steering window must be positive")
         self.window = min(window, max_consumer_distance)
         self.enabled = enabled
-        self._op = trace.op
-        self._src1 = trace.src1_dist
-        self._src2 = trace.src2_dist
+        # Unboxed once: prefer_fast runs per dispatched uop, and numpy
+        # scalar indexing would box on every window probe.
+        self._op = trace.op.tolist()
+        self._src1 = trace.src1_dist.tolist()
+        self._src2 = trace.src2_dist.tolist()
         self._n = len(trace)
         self.preferred = 0
         self.examined = 0

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cpu.uops import UopType
+from repro.cpu.uops import N_UOP_TYPES, UopType
 
 
 @dataclass(frozen=True)
@@ -101,6 +101,20 @@ class FunctionalUnitPool:
         self._muldiv_free = [0] * muldiv_count
         self._lsu_free = [0] * lsu_count
         self._fpu_free = [0] * fpu_count
+        # Issue-order and per-unit latency tables, precomputed once: the
+        # issue path runs per dynamic instruction, so it must not rebuild
+        # tuples or chase latency lambdas per call.
+        fast = tuple(range(fast_alu_count))
+        slow = tuple(range(fast_alu_count, alu_count))
+        self._order_pref = fast + slow
+        self._order_unpref = slow + fast
+        self._alu_lat = tuple(
+            tuple(
+                (self.fast_table if u < fast_alu_count else alu_table).latency_of(op)
+                for op in range(N_UOP_TYPES)
+            )
+            for u in range(alu_count)
+        )
         # activity counters (feed the power model)
         self.alu_fast_ops = 0
         self.alu_slow_ops = 0
@@ -121,19 +135,15 @@ class FunctionalUnitPool:
         for the producer-consumer chains (Section IV-C2).
         """
         free = self._alu_free
-        n = len(free)
-        fast = range(self.fast_alu_count)
-        slow = range(self.fast_alu_count, n)
-        order = (*fast, *slow) if prefer_fast else (*slow, *fast)
+        order = self._order_pref if prefer_fast else self._order_unpref
         for unit in order:
             if free[unit] <= cycle:
                 free[unit] = cycle + 1  # ALUs are fully pipelined
-                latency = self._alu_latency(unit, op)
                 if unit < self.fast_alu_count:
                     self.alu_fast_ops += 1
-                else:
-                    self.alu_slow_ops += 1
-                return latency, unit < self.fast_alu_count
+                    return self._alu_lat[unit][op], True
+                self.alu_slow_ops += 1
+                return self._alu_lat[unit][op], False
         return None
 
     def issue_muldiv(self, cycle: int, op: int) -> int | None:
@@ -166,6 +176,22 @@ class FunctionalUnitPool:
                 self.lsu_ops += 1
                 return self.alu_table.agu
         return None
+
+    def next_release(self, cycle: int) -> int:
+        """Earliest unit next-free time strictly after ``cycle``, or 0.
+
+        Used by the core's idle-cycle skip to bound a wait on a busy issue
+        port; 0 means no unit frees later than ``cycle`` (nothing to wait
+        for on the execution ports).
+        """
+        best = 0
+        for free in (
+            self._alu_free, self._muldiv_free, self._lsu_free, self._fpu_free
+        ):
+            for t in free:
+                if t > cycle and (best == 0 or t < best):
+                    best = t
+        return best
 
     def alu_balance(self) -> float:
         """Fraction of ALU ops that ran on the fast (CMOS) ALUs."""

@@ -32,12 +32,15 @@ from dataclasses import dataclass
 from repro import obs
 from repro.gpu.partitioned_rf import PartitionedRegisterFile
 from repro.gpu.regfile import RegisterFileCache, VectorRegisterFile
+from repro.obs import cycle_skip_disabled
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.trace import STAGE_ISSUE, STAGE_MEM, STAGE_STALL, PipelineTracer
 from repro.workloads.gpu_generator import OP_FMA, KernelTrace
 
 #: SIMD units per compute unit (AMD Southern Islands).
 SIMDS_PER_CU = 4
+
+_INF = 1 << 60
 
 
 @dataclass(frozen=True)
@@ -107,10 +110,20 @@ class ComputeUnit:
         self.tracer = tracer
         #: Per-run metrics registry (rebuilt by :meth:`run`).
         self.metrics: "MetricsRegistry | None" = None
+        #: Idle cycles the event-driven skip jumped over in the last run
+        #: (and how many distinct jumps) -- observability only, never part
+        #: of :class:`CUResult`.
+        self.skipped_cycles = 0
+        self.skip_events = 0
 
     def run(self, trace: KernelTrace) -> CUResult:
         cfg = self.config
         tracer = self.tracer
+        # Per-cycle trace events make every cycle observable, so skipping
+        # is only legal untraced; the hatch pins the per-cycle walk.
+        skip_on = tracer is None and not cycle_skip_disabled()
+        self.skipped_cycles = 0
+        self.skip_events = 0
         n_wf = trace.n_wavefronts
         n_ins = trace.stream_len
 
@@ -168,6 +181,7 @@ class ComputeUnit:
             return latency
 
         while remaining > 0:
+            progress = False
             # ---- vector issue: one per SIMD unit ----
             for s in range(SIMDS_PER_CU):
                 pool = groups[s]
@@ -193,6 +207,7 @@ class ComputeUnit:
                     if partition is not None:
                         partition.write(wr)
                     fma_ops += 1
+                    progress = True
                     ip[wf] = i + 1
                     if ip[wf] == n_ins:
                         remaining -= 1
@@ -221,6 +236,7 @@ class ComputeUnit:
                     continue
                 done[wf][i] = cycle + operand_latency(wf, i) + mem_latency
                 mem_ops += 1
+                progress = True
                 ip[wf] = i + 1
                 if ip[wf] == n_ins:
                     remaining -= 1
@@ -230,6 +246,34 @@ class ComputeUnit:
                     )
                 break
             mem_rr = (mem_rr + 1) % n_wf
+
+            # ---- event-driven idle-cycle skip ----
+            # Zero progress means every unfinished wavefront head is
+            # scoreboard-blocked (a ready head would have issued on its
+            # SIMD or through the memory port), so nothing can change
+            # before the earliest blocking ``done`` time.  Jump straight
+            # there, advancing the round-robin pointers exactly as the
+            # skipped cycles would have (they rotate every cycle).
+            if skip_on and not progress:
+                wake = _INF
+                for wf in range(n_wf):
+                    i = ip[wf]
+                    if i >= n_ins:
+                        continue
+                    d = dep_list[wf][i]
+                    w = done[wf][i - d] if d else cycle + 1
+                    if w < wake:
+                        wake = w
+                extra = wake - cycle - 1
+                if extra > 0 and wake < _INF:
+                    self.skipped_cycles += extra
+                    self.skip_events += 1
+                    for s in range(SIMDS_PER_CU):
+                        pool_len = len(groups[s])
+                        if pool_len:
+                            rr[s] = (rr[s] + extra) % pool_len
+                    mem_rr = (mem_rr + extra) % n_wf
+                    cycle = wake - 1  # the increment below lands on wake
 
             cycle += 1
             if cycle > worst:
@@ -245,6 +289,8 @@ class ComputeUnit:
         reg.gauge("fma_ops").set(fma_ops)
         reg.gauge("mem_ops").set(mem_ops)
         reg.gauge("wavefronts").set(n_wf)
+        reg.gauge("engine.skipped_cycles").set(self.skipped_cycles)
+        reg.gauge("engine.skip_events").set(self.skip_events)
         self.metrics = reg
         if obs.enabled():
             get_registry().mount("gpu.cu", reg)

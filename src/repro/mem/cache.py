@@ -88,6 +88,7 @@ class Cache:
         self.n_sets = n_sets
         self._line_shift = line_bytes.bit_length() - 1
         self._set_mask = n_sets - 1
+        self._tag_shift = n_sets.bit_length() - 1
         # Per set: list of tags in recency order, and a parallel dirty set.
         self._tags: list[list[int]] = [[] for _ in range(n_sets)]
         self._dirty: list[set[int]] = [set() for _ in range(n_sets)]
@@ -95,26 +96,31 @@ class Cache:
 
     def _index_tag(self, addr: int) -> tuple[int, int]:
         line = addr >> self._line_shift
-        return line & self._set_mask, line >> (self.n_sets.bit_length() - 1)
+        return line & self._set_mask, line >> self._tag_shift
 
     def access(self, addr: int, is_write: bool = False) -> bool:
         """Look up ``addr``; on miss, allocate the line.  Returns hit flag.
 
         Evicted-dirty lines count as writebacks.  The caller is responsible
-        for charging lower-level latency on a miss.
+        for charging lower-level latency on a miss.  Index/tag extraction is
+        inlined (vs :meth:`_index_tag`): this runs once per data access and
+        several times per miss walk.
         """
-        set_idx, tag = self._index_tag(addr)
+        line = addr >> self._line_shift
+        set_idx = line & self._set_mask
+        tag = line >> self._tag_shift
         tags = self._tags[set_idx]
-        self.stats.accesses += 1
+        stats = self.stats
+        stats.accesses += 1
         if tag in tags:
-            self.stats.hits += 1
+            stats.hits += 1
             if tags[0] != tag:
                 tags.remove(tag)
                 tags.insert(0, tag)
             if is_write:
                 self._dirty[set_idx].add(tag)
             return True
-        self.stats.misses += 1
+        stats.misses += 1
         self._fill(set_idx, tag, is_write)
         return False
 
@@ -185,7 +191,7 @@ class Cache:
             self._dirty[set_idx].discard(victim)
             if victim_dirty:
                 self.stats.writebacks += 1
-            victim_line = (victim << (self.n_sets.bit_length() - 1)) | set_idx
+            victim_line = (victim << self._tag_shift) | set_idx
             victim_addr = victim_line << self._line_shift
         tags.insert(0, tag)
         if dirty:

@@ -14,6 +14,7 @@ walked the fast way before the normal path).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.mem.asym import AsymmetricL1
 from repro.mem.cache import Cache
@@ -35,9 +36,13 @@ class CacheLatencies:
         return max(1, round(self.dram_ns * freq_ghz))
 
 
-@dataclass(frozen=True)
-class AccessResult:
-    """Outcome of one data access: total latency and the level that hit."""
+class AccessResult(NamedTuple):
+    """Outcome of one data access: total latency and the level that hit.
+
+    A NamedTuple rather than a (frozen) dataclass: one is allocated per
+    load/store on the simulator's hottest path, and frozen-dataclass
+    construction costs an ``object.__setattr__`` per field.
+    """
 
     latency: int
     level: str  # "dl1-fast", "dl1", "dl1-slow", "l2", "l3", "dram"
@@ -76,10 +81,9 @@ class MemoryHierarchy:
         self.contention = contention
         self.dram_accesses = 0
         self._dram_cycles = latencies.dram_cycles(freq_ghz)
-
-    @property
-    def has_asymmetric_dl1(self) -> bool:
-        return isinstance(self.dl1, AsymmetricL1)
+        #: Cached organisation flag: ``dl1`` never changes after
+        #: construction, and :meth:`data_access` tests this per access.
+        self.has_asymmetric_dl1 = isinstance(self.dl1, AsymmetricL1)
 
     def fetch(self, addr: int) -> AccessResult:
         """Instruction fetch through IL1 (misses walk L2/L3/DRAM)."""

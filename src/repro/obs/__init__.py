@@ -52,6 +52,17 @@ def set_enabled(flag: bool) -> None:
     _enabled = bool(flag)
 
 
+def cycle_skip_disabled() -> bool:
+    """``REPRO_NO_CYCLE_SKIP`` escape hatch for both cycle engines.
+
+    When set, :class:`repro.cpu.core.OutOfOrderCore` and
+    :class:`repro.gpu.cu.ComputeUnit` force the reference per-cycle walk
+    instead of the event-driven fast path.  Read per ``run()`` call (not
+    cached at import) so tests and the bench harness can toggle it.
+    """
+    return _env_flag("REPRO_NO_CYCLE_SKIP")
+
+
 from repro.obs.metrics import (  # noqa: E402  (flag must exist first)
     Counter,
     Gauge,

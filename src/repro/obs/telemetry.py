@@ -87,6 +87,22 @@ class SweepTelemetry:
         self.zombie_threads = 0
         self.callback_errors = 0
         self._callbacks: "list[Callable[[dict], None]]" = []
+        # Pull-model mirrors of the process-wide workload trace cache
+        # (lazy import: workloads must not become an obs dependency).
+        from repro.workloads.trace_cache import shared_cache
+
+        for stat in ("hits", "misses", "evictions"):
+            self._scope.probe(
+                f"trace_cache.{stat}",
+                lambda s=stat: getattr(shared_cache(), s),
+            )
+        self._scope.probe("trace_cache.entries", lambda: len(shared_cache()))
+
+    def trace_cache_counts(self) -> "dict[str, int]":
+        """Point-in-time stats of the shared workload trace cache."""
+        from repro.workloads.trace_cache import shared_cache
+
+        return shared_cache().stats()
 
     # -- hooks ---------------------------------------------------------
     def on_progress(self, callback: "Callable[[dict], None]") -> None:

@@ -44,6 +44,7 @@ from multiprocessing import connection as mp_connection
 from typing import Callable
 
 from repro.resilience import faults
+from repro.resilience import shm as shm_transport
 from repro.resilience.errors import RunFailure
 from repro.resilience.guard import GuardOutcome, GuardPolicy
 from repro.resilience.worker import worker_main
@@ -160,6 +161,7 @@ class SweepPool:
         self.heartbeat_timeout_s = heartbeat_timeout_s
         self._on_event = on_event
         self._abort = threading.Event()
+        self._shm_meta: "dict | None" = None
 
     def abort(self) -> None:
         """Request an early stop (thread-safe, idempotent).
@@ -191,6 +193,7 @@ class SweepPool:
             "env": env,
             "fault_plan": plan.to_dict() if plan is not None else None,
             "heartbeat_s": self.heartbeat_s,
+            "shm_traces": self._shm_meta,
         }
 
     def _spawn(self, task: CellTask, item: _Pending, env: dict) -> _Live:
@@ -254,6 +257,26 @@ class SweepPool:
     ) -> "list[GuardOutcome]":
         """Execute every task; outcomes are returned in task order."""
         env = {k: v for k, v in os.environ.items() if k.startswith("REPRO_")}
+
+        # Pack the traces the tasks share into one shared-memory segment
+        # so workers map the parent's buffers instead of regenerating them
+        # per attempt.  The parent is the sole owner: the segment is
+        # unlinked in the finally below, which runs on completion, abort,
+        # fail-fast and KeyboardInterrupt alike -- a SIGKILLed worker can
+        # never leak a /dev/shm entry.
+        shm_seg = None
+        if shm_transport.transport_enabled():
+            self._shm_meta, shm_seg = shm_transport.export_traces(
+                tasks, self.instructions
+            )
+            if shm_seg is not None:
+                self._event(
+                    "shm_exported",
+                    name=self._shm_meta["name"],
+                    bytes=self._shm_meta["size"],
+                    traces=len(self._shm_meta["entries"]),
+                )
+
         pending: "list[_Pending]" = [
             _Pending(idx=i, attempt=1) for i in range(len(tasks))
         ]
@@ -460,6 +483,9 @@ class SweepPool:
             # leave zero live children behind, whatever happened.
             for lv in live:
                 self._kill(lv)
+            if shm_seg is not None:
+                shm_transport.release(shm_seg)
+                self._shm_meta = None
             elapsed = max(time.monotonic() - started, 1e-9)
             self._event(
                 "utilization",

@@ -103,6 +103,17 @@ def worker_main(conn, spec: dict) -> None:
     # rather than dependent on inheritance.
     os.environ.update(spec.get("env", {}))
 
+    # Map the parent's shared-memory trace segment (if exported) and seed
+    # the process-local trace cache, so the simulators below reuse the
+    # parent's buffers instead of regenerating the workload.  Best-effort:
+    # a failed attach (segment already gone in a drain race) just means
+    # regeneration -- slower, bit-identical.
+    shm_meta = spec.get("shm_traces")
+    if shm_meta is not None:
+        from repro.resilience import shm as shm_transport
+
+        shm_transport.attach_traces(shm_meta)
+
     # Reconstruct fault state from the spec, never from inherited process
     # state, then draw for exactly the attempt the supervisor assigned.
     faults.reset()

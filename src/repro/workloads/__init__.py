@@ -13,12 +13,20 @@ latencies) is carried entirely by these profiles.
 * :mod:`repro.workloads.generator` -- CPU trace synthesis.
 * :mod:`repro.workloads.gpu_profiles` -- the 16 GPU kernel profiles.
 * :mod:`repro.workloads.gpu_generator` -- GPU wavefront-stream synthesis.
+* :mod:`repro.workloads.trace_cache` -- process-wide LRU over generation.
 """
 
 from repro.workloads.profiles import AppProfile, CPU_APPS, cpu_app
 from repro.workloads.generator import generate_trace
 from repro.workloads.gpu_profiles import KernelProfile, GPU_KERNELS, gpu_kernel
 from repro.workloads.gpu_generator import generate_kernel
+from repro.workloads.trace_cache import (
+    TraceCache,
+    cached_kernel,
+    cached_trace,
+    reset_shared_cache,
+    shared_cache,
+)
 
 __all__ = [
     "AppProfile",
@@ -29,4 +37,9 @@ __all__ = [
     "GPU_KERNELS",
     "gpu_kernel",
     "generate_kernel",
+    "TraceCache",
+    "cached_trace",
+    "cached_kernel",
+    "shared_cache",
+    "reset_shared_cache",
 ]

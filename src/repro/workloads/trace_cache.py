@@ -1,0 +1,170 @@
+"""Process-wide LRU cache for generated workload traces.
+
+Every cell of a sweep regenerates its workload trace, yet the N
+configurations of one figure all run the *same* (profile, length, seed)
+trace -- generation is pure and deterministic, so the result can be shared.
+The cache keys on exactly the determinism contract of the generators
+(:func:`repro.workloads.generator.generate_trace` and
+:func:`repro.workloads.gpu_generator.generate_kernel`): the frozen profile
+dataclass, the trace length, and the seed.
+
+Entries are returned by reference, not copied: the cycle engines treat
+trace arrays as read-only (they unbox them with ``tolist()`` and never
+write back), so sharing one trace across cells -- and across the serve
+dispatcher's threads -- is safe.  The cache itself is guarded by a lock and
+every public operation is atomic.
+
+Capacity defaults to :data:`DEFAULT_CAPACITY` traces and can be overridden
+with the ``REPRO_TRACE_CACHE`` environment variable (``0`` disables
+caching entirely, for memory-constrained or paranoid runs).  The default
+keeps a full main-sweep working set resident: one trace per (application,
+seed) pair, not per configuration, which is the entire point.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Hashable
+
+from repro.workloads.generator import generate_trace
+from repro.workloads.gpu_generator import generate_kernel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.cpu.trace import Trace
+    from repro.workloads.gpu_generator import KernelTrace
+    from repro.workloads.gpu_profiles import KernelProfile
+    from repro.workloads.profiles import AppProfile
+
+#: Default number of cached traces (CPU and GPU combined).
+DEFAULT_CAPACITY = 64
+
+
+def _capacity_from_env() -> int:
+    raw = os.environ.get("REPRO_TRACE_CACHE", "").strip()
+    if not raw:
+        return DEFAULT_CAPACITY
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_CAPACITY
+    return max(0, value)
+
+
+class TraceCache:
+    """Thread-safe LRU over deterministic trace generation.
+
+    ``get(key, factory)`` returns the cached value for ``key`` or calls
+    ``factory()`` and caches the result.  The factory runs *outside* the
+    lock -- generation takes milliseconds and must not serialise the serve
+    dispatcher's worker threads -- so two threads racing on the same key
+    may both generate; the first insert wins and both get equal (by
+    determinism) traces.
+    """
+
+    def __init__(self, capacity: int | None = None):
+        self.capacity = _capacity_from_env() if capacity is None else max(0, capacity)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, factory):
+        if self.capacity == 0:
+            with self._lock:
+                self.misses += 1
+            return factory()
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+            else:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return value
+        value = factory()
+        with self._lock:
+            if key not in self._entries:
+                self._entries[key] = value
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+            else:
+                # Lost the generation race: serve the first insert so every
+                # caller shares one buffer.
+                value = self._entries[key]
+                self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value):
+        """Seed ``key`` without counting a hit or miss.
+
+        Used by the shared-memory trace transport
+        (:mod:`repro.resilience.shm`) to pre-load a worker's cache with
+        zero-copy views of the parent's buffers.  First insert wins, same
+        as a lost generation race: if ``key`` is already present (fork
+        inherited it), the existing value is kept and returned.
+        """
+        if self.capacity == 0:
+            return value
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Point-in-time counters (hits/misses/evictions/entries)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+            }
+
+
+#: The process-wide cache used by :func:`cached_trace`/:func:`cached_kernel`.
+_shared = TraceCache()
+
+
+def shared_cache() -> TraceCache:
+    """The process-wide trace cache (one per process, lazily sized)."""
+    return _shared
+
+
+def reset_shared_cache(capacity: int | None = None) -> TraceCache:
+    """Replace the shared cache (tests; re-reads ``REPRO_TRACE_CACHE``)."""
+    global _shared
+    _shared = TraceCache(capacity)
+    return _shared
+
+
+def cached_trace(profile: "AppProfile", n: int, seed: int = 0) -> "Trace":
+    """`generate_trace` through the shared LRU cache."""
+    return _shared.get(
+        ("cpu", profile, n, seed), lambda: generate_trace(profile, n, seed=seed)
+    )
+
+
+def cached_kernel(profile: "KernelProfile", seed: int = 0) -> "KernelTrace":
+    """`generate_kernel` through the shared LRU cache."""
+    return _shared.get(
+        ("gpu", profile, seed), lambda: generate_kernel(profile, seed=seed)
+    )
