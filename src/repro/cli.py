@@ -225,8 +225,19 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             stats = collect_cpu_stats(run)
         else:
             stats = collect_gpu_stats(run)
+        if getattr(args, "prom", False):
+            # Capture the typed registry state while obs is still on;
+            # rendering happens after the flag is restored.
+            from repro.obs.metrics import get_registry
+
+            prom_state = get_registry().export_state()
     finally:
         obs.set_enabled(False)
+    if getattr(args, "prom", False):
+        from repro.obs.export import prometheus_text
+
+        print(prometheus_text(prom_state), end="")
+        return 0
     if args.json:
         print(json.dumps(stats, indent=2))
     else:
@@ -414,6 +425,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 3 if failures else 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import run_top
+
+    if args.interval <= 0:
+        print("--interval must be positive", file=sys.stderr)
+        return 2
+    run_top(
+        args.health_file,
+        interval_s=args.interval,
+        iterations=1 if args.once else None,
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import BreakerPolicy, ServiceConfig, SimService
     from repro.serve.health import read_health
@@ -441,6 +466,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         print("--resume requires --checkpoint PATH", file=sys.stderr)
         return 2
+    obs_requested = bool(args.obs_log or args.trace_out)
+    obs_was_enabled = obs.enabled()
+    if obs_requested:
+        obs.set_enabled(True)
     policy = GuardPolicy(timeout_s=args.timeout, max_retries=args.max_retries)
     runner = SweepRunner(
         policy=policy, checkpoint=args.checkpoint, resume=args.resume
@@ -490,6 +519,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         for signum, handler in old_handlers:
             signal.signal(signum, handler)
+
+    if obs_requested:
+        from repro.obs.events import chrome_trace, get_event_log
+
+        elog = get_event_log()
+        if args.obs_log:
+            count = elog.write_jsonl(args.obs_log)
+            print(f"serve: wrote {count} events to {args.obs_log}",
+                  file=sys.stderr)
+        if args.trace_out:
+            with open(args.trace_out, "w") as handle:
+                json.dump(chrome_trace(elog.events()), handle)
+            print(f"serve: wrote Chrome trace to {args.trace_out}",
+                  file=sys.stderr)
+        if not obs_was_enabled:
+            obs.set_enabled(False)
 
     counters = summary["counters"]
     if args.json:
@@ -585,6 +630,10 @@ def main(argv: "list[str] | None" = None) -> int:
     p_stats.add_argument("workload")
     p_stats.add_argument(
         "--json", action="store_true", help="emit the counter tree as JSON"
+    )
+    p_stats.add_argument(
+        "--prom", action="store_true",
+        help="emit the metrics registry in Prometheus text format instead",
     )
 
     p_trace = sub.add_parser(
@@ -709,6 +758,33 @@ def main(argv: "list[str] | None" = None) -> int:
         "--json", action="store_true",
         help="emit the final job records, counters, and telemetry as JSON",
     )
+    p_serve.add_argument(
+        "--obs-log", metavar="FILE",
+        help="enable observability and write the merged structured event "
+        "log (coordinator + workers) as JSONL at shutdown",
+    )
+    p_serve.add_argument(
+        "--trace-out", metavar="FILE",
+        help="enable observability and write the merged spans as a Chrome "
+        "trace-event file at shutdown",
+    )
+
+    p_top = sub.add_parser(
+        "top",
+        help="live dashboard tailing a service's health + metrics snapshots",
+    )
+    p_top.add_argument(
+        "--health-file", required=True, metavar="PATH",
+        help="the running service's --health-file path",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="refresh interval in seconds (default 1.0)",
+    )
+    p_top.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (for scripts and tests)",
+    )
 
     p_bench = sub.add_parser(
         "bench",
@@ -753,6 +829,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "trace": _cmd_trace,
         "sweep": _cmd_sweep,
         "serve": _cmd_serve,
+        "top": _cmd_top,
         "bench": _cmd_bench,
     }
     return handlers[args.command](args)

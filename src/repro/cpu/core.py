@@ -70,6 +70,9 @@ _NOP = int(UopType.NOP)
 #: Trace-event name per op (tracing-only lookup, off the default path).
 _TRACE_NAMES = {int(t): t.name.lower() for t in UopType}
 
+#: Stall-bucket code (see ``_run_fast``) -> tracer reason string.
+_STALL_REASONS = ("idle", "frontend", "dep", "mem", "structural")
+
 _ALU_CLASS = frozenset({_IALU, _BRANCH, _CALL, _RET, _NOP})
 _MULDIV_CLASS = frozenset({_IMUL, _IDIV})
 _FP_CLASS = frozenset({_FADD, _FMUL, _FDIV})
@@ -273,13 +276,15 @@ class OutOfOrderCore:
 
         Two loop bodies implement identical semantics (held together by
         the seed-pinned equivalence suite): the event-driven fast path and
-        the per-cycle walk.  The walk serves tracer-attached runs (every
-        cycle is observable, so none may be skipped) and the
-        ``REPRO_NO_CYCLE_SKIP`` hatch, which pins the seed engine.
+        the per-cycle walk.  Tracer-attached runs take the fast path too
+        -- skipped idle stretches surface as synthetic ``skip`` events
+        carrying the jumped cycle count and stall reason, so the trace
+        stays a faithful (if compressed) account of the same cycles.
+        Only the ``REPRO_NO_CYCLE_SKIP`` hatch pins the seed engine.
         """
         if warmup >= len(trace):
             raise ValueError("warmup must be smaller than the trace")
-        if self.tracer is None and not cycle_skip_disabled():
+        if not cycle_skip_disabled():
             return self._run_fast(trace, warmup)
         return self._run_legacy(trace, warmup)
 
@@ -299,9 +304,19 @@ class OutOfOrderCore:
         * a cycle in which commit, issue, dispatch, and fetch all made zero
           progress jumps straight to the next wakeup event, charging the
           jumped cycles to the same stall bucket.
+
+        An attached :class:`PipelineTracer` observes this path directly:
+        per-event sites match the legacy walk's, and each idle-cycle jump
+        adds one synthetic ``skip`` event (``dur`` = cycles jumped, with
+        the replayed stall reason) in place of that many per-cycle stall
+        events.  Results remain cycle-exact either way -- the equivalence
+        suite diffs trace-on fast runs against the pinned seed engine.
         """
         n = len(trace)
         cfg = self.config
+        # Tracing is opt-in per run; a None local keeps the guard to a
+        # single truth test per event site (zero-overhead-when-off).
+        tracer = self.tracer
         # Unbox the trace once: indexing a numpy array allocates a boxed
         # scalar per access, which dominates the per-uop cost of the loop.
         op_l = trace.op.tolist()
@@ -411,6 +426,8 @@ class OutOfOrderCore:
                 do_commit(is_mem_t[hop], is_intw_t[hop], is_fpw_t[hop])
                 committed += 1
                 ncommit += 1
+                if tracer is not None:
+                    tracer.emit(cycle, "commit", STAGE_COMMIT, idx=head, op=hop)
                 if committed == warmup:
                     act.committed = committed  # flushed from the local
                     measure_start_cycle = cycle
@@ -433,6 +450,11 @@ class OutOfOrderCore:
                         act.stall_dep_cycles += 1
                     else:
                         act.stall_structural_cycles += 1
+                    if tracer is not None:
+                        tracer.emit(
+                            cycle, "stall", STAGE_STALL,
+                            reason=_STALL_REASONS[stall_kind],
+                        )
                 else:
                     while parked and parked[0][0] <= cycle:
                         insort_(eligible, heappop_(parked)[1])
@@ -495,9 +517,15 @@ class OutOfOrderCore:
                                     survivors.append(idx)
                                 continue
                             if o == _LOAD:
-                                latency = agu + data_access(
-                                    addr_l[idx], False
-                                ).latency
+                                access = data_access(addr_l[idx], False)
+                                latency = agu + access.latency
+                                if tracer is not None and access.level not in (
+                                    "dl1", "dl1-fast"
+                                ):
+                                    tracer.emit(
+                                        cycle, "dl1_miss", STAGE_MEM,
+                                        idx=idx, level=access.level,
+                                    )
                             else:
                                 # Stores drain through the store buffer;
                                 # they do not stall commit beyond address
@@ -522,6 +550,11 @@ class OutOfOrderCore:
                         ready[idx] = completion
                         do_issue()
                         nissued += 1
+                        if tracer is not None:
+                            tracer.emit(
+                                cycle, _TRACE_NAMES[o], STAGE_ISSUE,
+                                dur=latency, idx=idx,
+                            )
                         iq_len -= 1
                         left_iq[idx] = 1
                         if survivors is None:
@@ -562,6 +595,11 @@ class OutOfOrderCore:
                         else:
                             act.stall_structural_cycles += 1
                             stall_kind = 4
+                        if tracer is not None:
+                            tracer.emit(
+                                cycle, "stall", STAGE_STALL,
+                                reason=_STALL_REASONS[stall_kind],
+                            )
                         # After a no-issue scan every source-blocked entry
                         # sits in ``parked`` (or transitively behind one
                         # that does), so the earliest possible issue is the
@@ -578,6 +616,8 @@ class OutOfOrderCore:
             elif rob or fetch_q or next_fetch < n:
                 act.stall_frontend_cycles += 1
                 stall_kind = 1
+                if tracer is not None:
+                    tracer.emit(cycle, "stall", STAGE_STALL, reason="frontend")
 
             # ---- dispatch ----
             ndisp = 0
@@ -593,6 +633,15 @@ class OutOfOrderCore:
                 do_dispatch(is_mem, w_int, w_fp)
                 if steer_on:
                     prefer_fast[idx] = steering.prefer_fast(idx)
+                if tracer is not None and is_alu_t[o]:
+                    tracer.emit(
+                        cycle,
+                        "steer_fast"
+                        if (steer_on and prefer_fast[idx])
+                        else "steer_slow",
+                        STAGE_STEER,
+                        idx=idx,
+                    )
                 rob.append(idx)
                 eligible.append(idx)
                 iq_order.append(idx)
@@ -643,6 +692,11 @@ class OutOfOrderCore:
                         if access.latency > il1_rt:
                             fetch_blocked_until = cycle + access.latency
                             il1_blocked = True
+                            if tracer is not None:
+                                tracer.emit(
+                                    cycle, "il1_miss", STAGE_FETCH,
+                                    dur=access.latency, level=access.level,
+                                )
                             break
                     o = op_l[idx]
                     mispredicted = False
@@ -666,6 +720,8 @@ class OutOfOrderCore:
                     nfetch += 1
                     if mispredicted:
                         pending_redirect = idx
+                        if tracer is not None:
+                            tracer.emit(cycle, "mispredict", STAGE_FETCH, idx=idx)
                         break
                 act.fetched += nfetch
 
@@ -703,6 +759,14 @@ class OutOfOrderCore:
                 if extra > 0 and wake < _INF:
                     self.skipped_cycles += extra
                     self.skip_events += 1
+                    if tracer is not None:
+                        # One synthetic event stands in for the per-cycle
+                        # stall events the legacy walk would have emitted
+                        # across the jumped stretch.
+                        tracer.emit(
+                            cycle, "skip", STAGE_STALL,
+                            dur=extra, reason=_STALL_REASONS[stall_kind],
+                        )
                     if stall_kind == 3:
                         act.stall_mem_cycles += extra
                     elif stall_kind == 2:
@@ -744,11 +808,13 @@ class OutOfOrderCore:
     def _run_legacy(self, trace: Trace, warmup: int) -> CoreResult:
         """The reference per-cycle walk: all four stages, every cycle.
 
-        Serves tracer-attached runs and the ``REPRO_NO_CYCLE_SKIP`` escape
-        hatch.  Under the hatch the seed engine is pinned wholesale --
-        full per-cycle walk *and* boxed numpy scalar indexing -- so the
-        benchmark harness measures an honest before/after ratio; tracer
-        runs still unbox because trace events must carry plain ints.
+        Serves the ``REPRO_NO_CYCLE_SKIP`` escape hatch (tracer-attached
+        runs ride the fast path since the skip stretches became synthetic
+        ``skip`` events).  Under the hatch the seed engine is pinned
+        wholesale -- full per-cycle walk *and* boxed numpy scalar indexing
+        -- so the benchmark harness measures an honest before/after
+        ratio; tracer runs still unbox because trace events must carry
+        plain ints.
         """
         n = len(trace)
         cfg = self.config

@@ -60,6 +60,7 @@ from typing import Callable
 
 from repro.core.configs import cpu_config, gpu_config
 from repro.core.simulate import CpuRunResult, GpuRunResult, simulate_cpu, simulate_gpu
+from repro.obs.events import get_event_log
 from repro.obs.telemetry import SweepTelemetry
 from repro.resilience import faults
 from repro.resilience.checkpoint import SweepCheckpoint
@@ -214,6 +215,10 @@ class SweepRunner:
                 list(self.failures.values()),
             )
             self.telemetry.record_checkpoint("save")
+            get_event_log().emit(
+                "checkpoint.flush", entries=count,
+                failures=len(self.failures),
+            )
         return count
 
     # -- guarded execution ---------------------------------------------
@@ -302,18 +307,29 @@ class SweepRunner:
         """Cache lookup + guarded execution for one sweep cell."""
         cached = key in cache
         if not cached:
-            outcome = run_guarded(
-                lambda: self._execute(run_kind, key, fn),
-                policy=self.policy,
-                run_kind=run_kind,
-                config=config_name,
+            elog = get_event_log()
+
+            def on_retry(attempt: int, kind: str) -> None:
+                self.telemetry.record_retry(run_kind, kind)
+                elog.emit(
+                    "guard.retry", run_kind=run_kind, config=config_name,
+                    workload=workload, attempt=attempt, failure_kind=kind,
+                )
+
+            with elog.span(
+                "cell.attempt", run_kind=run_kind, config=config_name,
                 workload=workload,
-                extra=extra,
-                validate=lambda result: validate_result(run_kind, result),
-                on_retry=lambda _attempt, kind: self.telemetry.record_retry(
-                    run_kind, kind
-                ),
-            )
+            ):
+                outcome = run_guarded(
+                    lambda: self._execute(run_kind, key, fn),
+                    policy=self.policy,
+                    run_kind=run_kind,
+                    config=config_name,
+                    workload=workload,
+                    extra=extra,
+                    validate=lambda result: validate_result(run_kind, result),
+                    on_retry=on_retry,
+                )
             self._note_zombies()
             if outcome.failure is not None:
                 with self._lock:

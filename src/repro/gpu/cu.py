@@ -119,9 +119,10 @@ class ComputeUnit:
     def run(self, trace: KernelTrace) -> CUResult:
         cfg = self.config
         tracer = self.tracer
-        # Per-cycle trace events make every cycle observable, so skipping
-        # is only legal untraced; the hatch pins the per-cycle walk.
-        skip_on = tracer is None and not cycle_skip_disabled()
+        # Tracer-attached runs skip too: the jump below emits a synthetic
+        # ``skip`` event covering the jumped cycles, so only the
+        # REPRO_NO_CYCLE_SKIP hatch pins the per-cycle walk.
+        skip_on = not cycle_skip_disabled()
         self.skipped_cycles = 0
         self.skip_events = 0
         n_wf = trace.n_wavefronts
@@ -268,6 +269,13 @@ class ComputeUnit:
                 if extra > 0 and wake < _INF:
                     self.skipped_cycles += extra
                     self.skip_events += 1
+                    if tracer is not None:
+                        # Stands in for the per-cycle wf_stall events the
+                        # jumped stretch would have produced.
+                        tracer.emit(
+                            cycle, "skip", STAGE_STALL, dur=extra,
+                            reason="dep",
+                        )
                     for s in range(SIMDS_PER_CU):
                         pool_len = len(groups[s])
                         if pool_len:

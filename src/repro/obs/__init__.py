@@ -1,6 +1,6 @@
-"""Observability: metrics registry, pipeline tracing, and sweep telemetry.
+"""Observability: metrics, tracing, telemetry, and the telemetry spine.
 
-The subsystem has three legs:
+The subsystem's legs:
 
 * :mod:`repro.obs.metrics` -- a hierarchical metrics registry.  Counters,
   gauges, and histograms live under dotted names
@@ -8,10 +8,24 @@ The subsystem has three legs:
   callable so hot simulation loops keep their plain integer counters and the
   registry reads them lazily at snapshot time.  ``snapshot()`` / ``delta()``
   replace the hand-rolled measurement-window bookkeeping the CPU core used
-  to carry.
+  to carry.  ``export_state()`` / ``merge_exported()`` are the cross-process
+  transport: workers ship typed deltas back over the result pipe and the
+  supervisor merges them so serial and parallel snapshots agree.
 * :mod:`repro.obs.trace` -- a bounded ring-buffer pipeline tracer whose
   contents export as Chrome ``trace_event`` JSON (open the file in
   ``chrome://tracing`` or Perfetto).
+* :mod:`repro.obs.events` -- the structured, schema-versioned event log
+  with span-based distributed tracing: serve jobs, cell attempts, guard
+  retries, breaker transitions, checkpoint flushes, and engine runs all
+  become events/spans carrying a ``trace_id`` that flows from the
+  coordinator through the worker pool's pipe protocol into the engines;
+  a per-worker disk spill doubles as a SIGKILL flight recorder.
+* :mod:`repro.obs.export` -- Prometheus text exposition (with a strict
+  parser for CI validation), the periodic metrics-snapshot file the
+  serve tier writes next to its health file, and the determinism filter
+  that CI compares byte-for-byte between serial and parallel sweeps.
+* :mod:`repro.obs.top` -- the ``repro top`` live dashboard tailing the
+  health + metrics snapshot files.
 * :mod:`repro.obs.telemetry` -- per-(config, workload) wall-time and
   throughput records for sweep runs, including the SweepRunner's own
   result-cache hit/miss accounting and a live progress callback.
@@ -73,6 +87,20 @@ from repro.obs.metrics import (  # noqa: E402  (flag must exist first)
 )
 from repro.obs.trace import PipelineTracer  # noqa: E402
 from repro.obs.telemetry import RunRecord, SweepTelemetry  # noqa: E402
+from repro.obs.events import (  # noqa: E402
+    EventLog,
+    chrome_trace,
+    get_event_log,
+    new_trace_id,
+    read_events,
+)
+from repro.obs.export import (  # noqa: E402
+    deterministic_snapshot,
+    parse_prometheus,
+    prometheus_text,
+    read_metrics_snapshot,
+    write_metrics_snapshot,
+)
 
 __all__ = [
     "enabled",
@@ -86,4 +114,14 @@ __all__ = [
     "PipelineTracer",
     "RunRecord",
     "SweepTelemetry",
+    "EventLog",
+    "chrome_trace",
+    "get_event_log",
+    "new_trace_id",
+    "read_events",
+    "deterministic_snapshot",
+    "parse_prometheus",
+    "prometheus_text",
+    "read_metrics_snapshot",
+    "write_metrics_snapshot",
 ]

@@ -1,0 +1,426 @@
+"""Structured event log with span-based tracing across processes.
+
+This is the *telemetry spine*: every interesting lifecycle moment — a
+serve job, a cell attempt, a guard retry, a breaker transition, a
+checkpoint flush, an engine run — becomes an **event** (a flat JSON
+dict) or a **span** (a start/end event pair sharing a ``span_id``).
+Spans carry a ``trace_id`` that is minted once at the outermost edge
+(job submission, or the first cell attempt of a sweep) and *propagated*
+down through every layer, including across the worker-pool pipe
+protocol into child processes, so one ``trace_id`` stitches a
+coordinator-side job span to the worker-side engine span it caused.
+
+Design points:
+
+* **Schema-versioned.** Every export envelope and spill line carries
+  :data:`SCHEMA_VERSION`; readers skip lines they cannot parse, which
+  is what makes the sidecar usable as a flight recorder (a SIGKILLed
+  writer leaves at worst one torn final line).
+* **Bounded ring in memory.** Events append to a ``deque(maxlen=...)``;
+  ``emitted``/``dropped`` counters surface loss instead of hiding it.
+* **Spillable to disk.** An :class:`EventLog` constructed with
+  ``spill_path`` appends each event as one JSON line *at emit time*
+  and flushes, so the file is current even if the process is killed
+  mid-run.  Workers use this as their crash sidecar; the supervisor
+  reads it back with :func:`read_events` when the result pipe dies.
+* **Zero overhead when off.** Like the metrics registry, an event log
+  created without ``enabled=True`` defers to :func:`repro.obs.enabled`
+  on every emit and returns immediately while observability is off.
+  Span context managers become no-ops that still propagate ``None``
+  context, so instrumented call sites need no conditional code.
+
+Context propagation uses a per-thread stack (``threading.local``): the
+serve dispatcher thread that opens a job span implicitly parents every
+cell/engine span opened below it on the same thread, and
+:func:`current_context` packages (trace_id, span_id) for shipping
+across a process boundary where :meth:`EventLog.activate` adopts it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterable, Optional
+
+from repro import obs
+
+#: Version stamped on export envelopes and spill headers.  Bump on any
+#: incompatible change to the per-event field set.
+SCHEMA_VERSION = 1
+
+#: Default in-memory ring capacity (events, not bytes).
+DEFAULT_CAPACITY = 8192
+
+#: Envelope keys :meth:`EventLog.emit` stamps on every event; payload
+#: fields with these names are stored under an ``f_`` prefix instead.
+_ENVELOPE_KEYS = frozenset({"seq", "ts", "proc", "pid", "name"})
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+def new_span_id() -> str:
+    """A fresh 8-hex-digit span id."""
+    return uuid.uuid4().hex[:8]
+
+
+class _Context(threading.local):
+    """Per-thread span stack: list of (trace_id, span_id) tuples."""
+
+    def __init__(self):
+        self.stack: "list[tuple[str, str]]" = []
+
+
+class EventLog:
+    """A bounded, optionally disk-spilling structured event log.
+
+    ``proc`` names the emitting process role ("coordinator",
+    "worker-3", "serve") and is stamped on every event so merged logs
+    remain attributable.  ``enabled=None`` defers to the global
+    observability flag per emit; ``True`` pins the log always-on
+    (used by tests and by workers that were told obs is on).
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        *,
+        proc: str = "coordinator",
+        spill_path: "str | os.PathLike | None" = None,
+        clock: "Callable[[], float]" = time.time,
+        enabled: "bool | None" = None,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.proc = proc
+        self.spill_path = str(spill_path) if spill_path is not None else None
+        self._clock = clock
+        self._enabled = enabled
+        self._ring: "deque[dict]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._ctx = _Context()
+        self._spill_fh = None
+        self._seq = 0
+        self.emitted = 0
+        self.dropped = 0
+
+    # -- state ---------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        return obs.enabled() if self._enabled is None else self._enabled
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # -- emission ------------------------------------------------------
+    def emit(self, name: str, /, **fields) -> "dict | None":
+        """Record one event; returns the event dict, or None when off.
+
+        ``name`` is positional-only so callers may attach a payload field
+        that happens to be called ``name`` (e.g. a shared-memory segment
+        name); payload fields colliding with envelope keys are prefixed
+        with ``f_`` rather than silently clobbering the envelope.
+        """
+        if not self.active:
+            return None
+        with self._lock:
+            self._seq += 1
+            event = {
+                "seq": self._seq,
+                "ts": self._clock(),
+                "proc": self.proc,
+                "pid": os.getpid(),
+                "name": name,
+            }
+            for key, value in fields.items():
+                event[f"f_{key}" if key in _ENVELOPE_KEYS else key] = value
+            if len(self._ring) == self.capacity:
+                self.dropped += 1
+            self._ring.append(event)
+            self.emitted += 1
+            if self.spill_path is not None:
+                self._spill(event)
+        return event
+
+    def _spill(self, event: dict) -> None:
+        """Append one JSON line and flush (flight-recorder semantics)."""
+        try:
+            if self._spill_fh is None:
+                Path(self.spill_path).parent.mkdir(parents=True, exist_ok=True)
+                self._spill_fh = open(self.spill_path, "a", encoding="utf-8")
+                header = {"schema": SCHEMA_VERSION, "proc": self.proc,
+                          "pid": os.getpid(), "name": "log_open",
+                          "ts": self._clock(), "seq": 0}
+                self._spill_fh.write(json.dumps(header, sort_keys=True) + "\n")
+            self._spill_fh.write(
+                json.dumps(event, sort_keys=True, default=str) + "\n"
+            )
+            self._spill_fh.flush()
+        except OSError:
+            # Best-effort: a full/unwritable disk must never fail a run.
+            self._spill_fh = None
+            self.spill_path = None
+
+    # -- spans ---------------------------------------------------------
+    def current_context(self) -> "tuple[str | None, str | None]":
+        """The innermost (trace_id, span_id) on this thread, or Nones."""
+        stack = self._ctx.stack
+        if stack:
+            return stack[-1]
+        return (None, None)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        *,
+        trace_id: "str | None" = None,
+        parent_id: "str | None" = None,
+        **fields,
+    ):
+        """A timed span: emits ``<name>`` start/end events.
+
+        Yields the ``(trace_id, span_id)`` context (Nones when the log
+        is inactive) so callers can propagate it across processes.
+        Explicit ``trace_id``/``parent_id`` override the thread-local
+        context; otherwise the innermost open span on this thread is
+        the parent.
+        """
+        if not self.active:
+            yield (None, None)
+            return
+        cur_trace, cur_span = self.current_context()
+        trace = trace_id or cur_trace or new_trace_id()
+        parent = parent_id if parent_id is not None else cur_span
+        span_id = new_span_id()
+        self.emit(
+            name, phase="start", trace_id=trace, span_id=span_id,
+            parent_id=parent, **fields,
+        )
+        self._ctx.stack.append((trace, span_id))
+        start = time.perf_counter()
+        error: "str | None" = None
+        try:
+            yield (trace, span_id)
+        except BaseException as exc:
+            error = type(exc).__name__
+            raise
+        finally:
+            self._ctx.stack.pop()
+            end_fields = dict(fields)
+            if error is not None:
+                end_fields["error"] = error
+            self.emit(
+                name, phase="end", trace_id=trace, span_id=span_id,
+                parent_id=parent, dur_s=time.perf_counter() - start,
+                **end_fields,
+            )
+
+    @contextmanager
+    def activate(self, trace_id: "str | None", span_id: "str | None"):
+        """Adopt a remote (trace_id, span_id) as this thread's context.
+
+        Workers call this with the context shipped in their spec so
+        their spans parent correctly under the coordinator's span.
+        """
+        if not self.active or trace_id is None:
+            yield
+            return
+        self._ctx.stack.append((trace_id, span_id or ""))
+        try:
+            yield
+        finally:
+            self._ctx.stack.pop()
+
+    # -- reading / merging ---------------------------------------------
+    def events(self) -> "list[dict]":
+        with self._lock:
+            return list(self._ring)
+
+    def export(self) -> dict:
+        """Schema-versioned envelope for shipping over the result pipe."""
+        with self._lock:
+            return {
+                "schema": SCHEMA_VERSION,
+                "proc": self.proc,
+                "emitted": self.emitted,
+                "dropped": self.dropped,
+                "events": list(self._ring),
+            }
+
+    def absorb(self, events: "Iterable[dict]") -> int:
+        """Merge foreign events (a worker's export) into this log.
+
+        Events keep their own ``proc``/``pid``/``ts`` attribution; only
+        the ring occupancy accounting is local.  Returns the count.
+        """
+        count = 0
+        with self._lock:
+            for event in events:
+                if not isinstance(event, dict):
+                    continue
+                if len(self._ring) == self.capacity:
+                    self.dropped += 1
+                self._ring.append(event)
+                self.emitted += 1
+                count += 1
+        return count
+
+    def counts_by_name(self) -> "dict[str, int]":
+        out: "dict[str, int]" = {}
+        for event in self.events():
+            name = event.get("name", "?")
+            out[name] = out.get(name, 0) + 1
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self.emitted = 0
+            self.dropped = 0
+            self._seq = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._spill_fh is not None:
+                try:
+                    self._spill_fh.close()
+                except OSError:
+                    pass
+                self._spill_fh = None
+
+    # -- export formats ------------------------------------------------
+    def write_jsonl(self, path: "str | os.PathLike") -> int:
+        """Dump the in-memory ring as JSONL (one event per line)."""
+        events = self.events()
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(
+                {"schema": SCHEMA_VERSION, "proc": self.proc,
+                 "name": "log_open", "seq": 0, "ts": 0.0,
+                 "pid": os.getpid()}, sort_keys=True) + "\n")
+            for event in events:
+                fh.write(json.dumps(event, sort_keys=True, default=str) + "\n")
+        return len(events)
+
+    def chrome_trace(self) -> dict:
+        return chrome_trace(self.events())
+
+
+def read_events(path: "str | os.PathLike") -> "list[dict]":
+    """Read a JSONL event file, skipping torn/foreign lines.
+
+    This is the flight-recorder read path: the writer may have been
+    SIGKILLed mid-line, so any line that fails to parse (or is not a
+    dict) is silently dropped rather than failing the recovery.
+    """
+    events: "list[dict]" = []
+    try:
+        text = Path(path).read_text(encoding="utf-8", errors="replace")
+    except OSError:
+        return events
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(event, dict) and event.get("name") != "log_open":
+            events.append(event)
+    return events
+
+
+def chrome_trace(events: "Iterable[dict]") -> dict:
+    """Convert merged span events into a Chrome ``trace_event`` doc.
+
+    Span start/end pairs (matched on ``span_id``) become complete "X"
+    events; unmatched starts (the worker died inside the span) and
+    plain events become instant "i" events, so a flight-recorder tail
+    still renders.  Processes map to Chrome pids via their real OS pid,
+    with "M" metadata rows naming each ``proc``; timestamps are wall
+    clock in microseconds, so coordinator and worker rows line up on
+    one shared axis.
+    """
+    opens: "dict[str, dict]" = {}
+    rows: "list[dict]" = []
+    procs: "dict[int, str]" = {}
+    for event in events:
+        pid = int(event.get("pid", 0))
+        procs.setdefault(pid, str(event.get("proc", "?")))
+        phase = event.get("phase")
+        span_id = event.get("span_id")
+        if phase == "start" and span_id is not None:
+            opens[span_id] = event
+            continue
+        if phase == "end" and span_id is not None:
+            start = opens.pop(span_id, None)
+            begin_ts = (start or event)["ts"]
+            dur_s = event.get("dur_s", 0.0) or 0.0
+            rows.append({
+                "name": event.get("name", "?"),
+                "ph": "X",
+                "pid": pid,
+                "tid": 0,
+                "ts": begin_ts * 1e6,
+                "dur": max(dur_s * 1e6, 1.0),
+                "args": {
+                    k: v for k, v in event.items()
+                    if k not in ("name", "ts", "proc", "pid", "phase", "dur_s")
+                },
+            })
+            continue
+        rows.append({
+            "name": event.get("name", "?"),
+            "ph": "i",
+            "s": "t",
+            "pid": pid,
+            "tid": 0,
+            "ts": event.get("ts", 0.0) * 1e6,
+            "args": {
+                k: v for k, v in event.items()
+                if k not in ("name", "ts", "proc", "pid", "phase")
+            },
+        })
+    # Unmatched starts: the span never closed (crash) -- instant marker.
+    for start in opens.values():
+        rows.append({
+            "name": start.get("name", "?") + ":unclosed",
+            "ph": "i",
+            "s": "t",
+            "pid": int(start.get("pid", 0)),
+            "tid": 0,
+            "ts": start.get("ts", 0.0) * 1e6,
+            "args": {"span_id": start.get("span_id"),
+                     "trace_id": start.get("trace_id")},
+        })
+    meta = [
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"name": proc}}
+        for pid, proc in sorted(procs.items())
+    ]
+    return {
+        "traceEvents": meta + sorted(rows, key=lambda r: r["ts"]),
+        "displayTimeUnit": "ms",
+        "metadata": {"schema": SCHEMA_VERSION},
+    }
+
+
+#: The process-wide event log (cheap while observability is off).
+_EVENT_LOG = EventLog()
+
+
+def get_event_log() -> EventLog:
+    """The process-wide structured event log."""
+    return _EVENT_LOG

@@ -1,0 +1,348 @@
+"""Metrics export: Prometheus text format and snapshot files.
+
+Three consumers pull from the metrics registry through this module:
+
+* ``repro stats --prom`` renders the registry in the Prometheus text
+  exposition format (v0.0.4): dotted names become underscore families
+  (``sweep.cpu.runs`` -> ``repro_sweep_cpu_runs``), the registry's
+  ``name{k=v}`` labeled-children syntax becomes real Prometheus labels,
+  and histograms expand to ``_bucket{le=...}``/``_sum``/``_count`` with
+  cumulative bucket counts.  :func:`parse_prometheus` is the matching
+  strict parser -- CI and tests validate the output by round-tripping
+  it rather than eyeballing strings.
+* The serve tier writes a **periodic metrics snapshot** (a JSON file
+  next to the health file, same atomic-replace discipline) that
+  ``repro top`` tails; the document wraps
+  :meth:`~repro.obs.metrics.MetricsRegistry.export_state` with a
+  schema version, a monotonically increasing ``seq``, and a wall-clock
+  ``written_at`` so readers can age-check it.
+* Determinism tests compare :func:`deterministic_snapshot` views:
+  the flat snapshot minus every name that legitimately differs
+  between serial and parallel execution (wall-clock timings, pool
+  lifecycle, cross-process cache hit ratios, ...).  What remains --
+  engine counters, sweep run/retry/failure counts, per-unit activity
+  -- must be byte-identical between ``--workers 1`` and ``--workers N``,
+  and that invariant is enforced in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+#: Version of the metrics-snapshot file format.
+SNAPSHOT_SCHEMA = 1
+
+#: Default metric-name prefix for Prometheus families.
+PROM_PREFIX = "repro"
+
+#: Substrings that mark a metric as legitimately nondeterministic
+#: across serial-vs-parallel execution (timings, transport internals,
+#: pool/service lifecycle).  See :func:`deterministic_snapshot`.
+NONDETERMINISTIC_MARKERS = (
+    "wall",          # wall-clock histograms and derived stats
+    "per_s",         # throughput gauges
+    "throughput",
+    "utilization",
+    "trace_cache",   # per-process cache hit/miss split differs
+    "shm",           # shared-memory transport is parallel-only
+    "checkpoint",    # flush timing/count depends on completion order
+    "pool.",         # worker lifecycle (spawns, heartbeats, requeues)
+    "serve.",        # service-side accounting
+    "zombie",
+    "duration",
+    "age",
+)
+
+_FAMILY_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"$')
+
+
+# -- name mangling -----------------------------------------------------
+def _split_labels(raw: str) -> "tuple[str, dict[str, str]]":
+    """Split the registry's ``name{k=v,...}`` syntax into parts."""
+    if raw.endswith("}") and "{" in raw:
+        base, inner = raw[:-1].split("{", 1)
+        labels: "dict[str, str]" = {}
+        for pair in inner.split(","):
+            if "=" in pair:
+                key, value = pair.split("=", 1)
+                labels[key.strip()] = value.strip()
+        return base, labels
+    return raw, {}
+
+
+def _sanitize(name: str, prefix: str = PROM_PREFIX) -> str:
+    """Dotted registry name -> Prometheus family name."""
+    flat = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    family = f"{prefix}_{flat}" if prefix else flat
+    if not _FAMILY_RE.match(family):
+        family = "_" + family
+    return family
+
+
+def _sanitize_label(key: str) -> str:
+    key = re.sub(r"[^a-zA-Z0-9_]", "_", key)
+    if not re.match(r"^[a-zA-Z_]", key):
+        key = "_" + key
+    return key
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or (
+        isinstance(value, float) and value.is_integer()
+    ):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: object) -> str:
+    text = str(value)
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: "dict[str, str]") -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_sanitize_label(k)}="{_escape_label_value(v)}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+# -- rendering ---------------------------------------------------------
+def prometheus_text(
+    state: "dict | None" = None,
+    *,
+    registry: "MetricsRegistry | None" = None,
+    prefix: str = PROM_PREFIX,
+) -> str:
+    """Render a typed ``export_state`` payload as Prometheus text.
+
+    Pass either a pre-captured ``state`` (from
+    :meth:`MetricsRegistry.export_state`) or a ``registry`` to export
+    now; with neither, the process-wide registry is used.
+    """
+    if state is None:
+        state = (registry or get_registry()).export_state()
+    families: "dict[str, dict]" = {}
+
+    def family(name: str, kind: str, source: str) -> dict:
+        entry = families.get(name)
+        if entry is None:
+            entry = {"type": kind, "source": source, "samples": []}
+            families[name] = entry
+        return entry
+
+    gauges = dict(state.get("gauges", {}))
+    # Mounted engine registries export as flat snapshots per prefix;
+    # for exposition they are plain gauges under dotted names.
+    for mount_prefix, snap in state.get("mounts", {}).items():
+        for name, value in snap.items():
+            gauges[f"{mount_prefix}.{name}"] = value
+    for kind, entries in (
+        ("counter", state.get("counters", {})), ("gauge", gauges)
+    ):
+        for raw, value in entries.items():
+            base, labels = _split_labels(raw)
+            fam = family(_sanitize(base, prefix), kind, base)
+            fam["samples"].append((
+                _sanitize(base, prefix), labels, value,
+            ))
+    for raw, hist in state.get("histograms", {}).items():
+        base, labels = _split_labels(raw)
+        name = _sanitize(base, prefix)
+        fam = family(name, "histogram", base)
+        bounds = hist.get("bounds", [])
+        counts = hist.get("counts", [])
+        cumulative = 0
+        for bound, count in zip(bounds, counts):
+            cumulative += count
+            fam["samples"].append((
+                f"{name}_bucket", {**labels, "le": f"{bound:g}"}, cumulative,
+            ))
+        total = cumulative + (counts[-1] if len(counts) > len(bounds) else 0)
+        fam["samples"].append((f"{name}_bucket", {**labels, "le": "+Inf"},
+                               total))
+        fam["samples"].append((f"{name}_sum", labels, hist.get("sum", 0.0)))
+        fam["samples"].append((f"{name}_count", labels, total))
+
+    lines: "list[str]" = []
+    for name in sorted(families):
+        fam = families[name]
+        lines.append(f"# HELP {name} repro metric {fam['source']}")
+        lines.append(f"# TYPE {name} {fam['type']}")
+        for sample_name, labels, value in fam["samples"]:
+            lines.append(
+                f"{sample_name}{_render_labels(labels)} {_fmt(value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- parsing / validation ----------------------------------------------
+def parse_prometheus(text: str) -> "dict[str, dict]":
+    """Strictly parse Prometheus text format (the validation side).
+
+    Returns ``{family: {"type": str, "samples": [(name, labels, value)]}}``
+    and raises :class:`ValueError` on any malformed line -- CI pipes
+    the exporter output through this to keep the format honest.
+    """
+    families: "dict[str, dict]" = {}
+    current: "str | None" = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                raise ValueError(f"line {lineno}: malformed TYPE: {line!r}")
+            name = parts[2]
+            if not _FAMILY_RE.match(name):
+                raise ValueError(f"line {lineno}: bad family name {name!r}")
+            if name in families:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {name}")
+            families[name] = {"type": parts[3], "samples": []}
+            current = name
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        name = match.group("name")
+        labels: "dict[str, str]" = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for pair in raw_labels.split(","):
+                pair = pair.strip()
+                if not pair:
+                    continue
+                lm = _LABEL_RE.match(pair)
+                if not lm:
+                    raise ValueError(
+                        f"line {lineno}: malformed label {pair!r}"
+                    )
+                labels[lm.group("key")] = lm.group("value")
+        raw_value = match.group("value")
+        try:
+            value = float(raw_value)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: non-numeric value {raw_value!r}"
+            )
+        if current is None or not (
+            name == current or name.startswith(current + "_")
+        ):
+            # Allow samples for a family that had no TYPE line? No:
+            # the exporter always writes TYPE first, so enforce it.
+            raise ValueError(
+                f"line {lineno}: sample {name!r} outside its TYPE block"
+            )
+        families[current]["samples"].append((name, labels, value))
+    return families
+
+
+# -- determinism filter ------------------------------------------------
+def deterministic_snapshot(
+    snapshot: "dict[str, float]",
+    *,
+    extra_markers: "tuple[str, ...]" = (),
+) -> "dict[str, float]":
+    """Filter a flat snapshot down to execution-order-invariant names.
+
+    The result must be byte-identical (after ``json.dumps(...,
+    sort_keys=True)``) between a serial sweep and a ``--workers N``
+    sweep over the same cells; tests and CI enforce exactly that.
+    """
+    markers = NONDETERMINISTIC_MARKERS + tuple(extra_markers)
+    return {
+        name: value
+        for name, value in sorted(snapshot.items())
+        if not any(marker in name for marker in markers)
+    }
+
+
+def snapshot_from_state(state: dict) -> "dict[str, float]":
+    """Flatten a typed ``export_state`` payload like ``snapshot()`` would."""
+    out: "dict[str, float]" = {}
+    out.update(state.get("counters", {}))
+    out.update(state.get("gauges", {}))
+    for prefix, snap in state.get("mounts", {}).items():
+        for name, value in snap.items():
+            out[f"{prefix}.{name}"] = value
+    for name, hist in state.get("histograms", {}).items():
+        counts = hist.get("counts", [])
+        out[f"{name}.count"] = sum(counts)
+        out[f"{name}.sum"] = hist.get("sum", 0.0)
+        for bound, count in zip(hist.get("bounds", []), counts):
+            out[f"{name}.le_{bound:g}"] = count
+        if len(counts) > len(hist.get("bounds", [])):
+            out[f"{name}.le_inf"] = counts[-1]
+    return out
+
+
+# -- metrics snapshot file ---------------------------------------------
+def write_metrics_snapshot(
+    path: "str | os.PathLike",
+    *,
+    registry: "MetricsRegistry | None" = None,
+    seq: int = 0,
+    extra: "dict | None" = None,
+) -> dict:
+    """Atomically write the periodic metrics snapshot document."""
+    doc = {
+        "schema": SNAPSHOT_SCHEMA,
+        "seq": seq,
+        "written_at": time.time(),
+        "pid": os.getpid(),
+        "state": (registry or get_registry()).export_state(),
+    }
+    if extra:
+        doc.update(extra)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(target.name + f".tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(doc, indent=1, sort_keys=True, default=str))
+    os.replace(tmp, target)
+    return doc
+
+
+def read_metrics_snapshot(path: "str | os.PathLike") -> "dict | None":
+    """Load a metrics snapshot document; ``None`` if missing/torn."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(doc, dict) or doc.get("schema") != SNAPSHOT_SCHEMA:
+        return None
+    return doc
+
+
+def metrics_snapshot_path(health_file: "str | os.PathLike") -> str:
+    """The metrics-snapshot path derived from a health-file path.
+
+    ``foo.health.json`` -> ``foo.metrics.json``; anything else gets a
+    ``.metrics.json`` suffix appended, so the two files always sit in
+    the same directory and ``repro top`` can find one from the other.
+    """
+    text = str(health_file)
+    if text.endswith(".health.json"):
+        return text[: -len(".health.json")] + ".metrics.json"
+    return text + ".metrics.json"

@@ -151,6 +151,10 @@ class MetricsRegistry:
         self._metrics: "dict[str, object]" = {}
         self._probes: "dict[str, Callable[[], float]]" = {}
         self._mounts: "dict[str, MetricsRegistry]" = {}
+        #: Highest merge order seen per gauge / mount prefix (see
+        #: ``merge_exported``).
+        self._gauge_order: "dict[str, int]" = {}
+        self._mount_order: "dict[str, int]" = {}
 
     # -- state ---------------------------------------------------------
     @property
@@ -161,10 +165,8 @@ class MetricsRegistry:
         return len(self._metrics) + len(self._probes)
 
     # -- factories -----------------------------------------------------
-    def _get(self, cls, name: str, labels: "dict[str, object]", **kwargs):
-        if not self.active:
-            return NULL_METRIC
-        full = _labeled(name, labels)
+    def _lookup(self, cls, full: str, **kwargs):
+        """Find-or-create by already-rendered (labeled) name."""
         metric = self._metrics.get(full)
         if metric is None:
             metric = cls(full, **kwargs)
@@ -175,6 +177,11 @@ class MetricsRegistry:
                 f"{type(metric).__name__}, not {cls.__name__}"
             )
         return metric
+
+    def _get(self, cls, name: str, labels: "dict[str, object]", **kwargs):
+        if not self.active:
+            return NULL_METRIC
+        return self._lookup(cls, _labeled(name, labels), **kwargs)
 
     def counter(self, name: str, **labels) -> Counter:
         return self._get(Counter, name, labels)
@@ -234,6 +241,132 @@ class MetricsRegistry:
             for name, value in self.snapshot().items()
         }
 
+    # -- cross-process transport ---------------------------------------
+    def export_state(self, since: "dict | None" = None) -> dict:
+        """A *typed* snapshot suitable for :meth:`merge_exported`.
+
+        Unlike :meth:`snapshot` (which flattens everything to floats),
+        this keeps counters, gauges, and histograms distinguishable so
+        the receiving side can merge each with the right semantics.
+        Probes flatten to gauges.  Mounted registries export as whole
+        flat snapshots under ``"mounts"``: re-mounting *replaces* a
+        prefix in serial sweeps (keys from earlier runs vanish), so the
+        receiver must replace the prefix wholesale too -- flattening
+        mounts into gauges would union keys across runs instead.
+
+        ``since`` is an earlier ``export_state`` result: counters and
+        histogram buckets export as deltas (zero deltas dropped), and
+        gauges whose value is unchanged since ``since`` are dropped.
+        A forked worker passes its start-of-life state here so values
+        inherited from the parent process are never re-shipped.
+        """
+        counters: "dict[str, float]" = {}
+        gauges: "dict[str, float]" = {}
+        histograms: "dict[str, dict]" = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Histogram):
+                histograms[name] = {
+                    "bounds": list(metric.bounds),
+                    "counts": list(metric.counts),
+                    "sum": metric.sum,
+                }
+            elif isinstance(metric, Counter):
+                counters[name] = metric.value
+            else:
+                gauges[name] = metric.value
+        for name, fn in self._probes.items():
+            gauges[name] = fn()
+        mounts = {
+            prefix: dict(registry.snapshot())
+            for prefix, registry in self._mounts.items()
+        }
+        if since is not None:
+            base_c = since.get("counters", {})
+            counters = {
+                name: value - base_c.get(name, 0)
+                for name, value in counters.items()
+                if value - base_c.get(name, 0) != 0
+            }
+            base_g = since.get("gauges", {})
+            gauges = {
+                name: value for name, value in gauges.items()
+                if base_g.get(name) != value
+            }
+            base_h = since.get("histograms", {})
+            rebased: "dict[str, dict]" = {}
+            for name, hist in histograms.items():
+                base = base_h.get(name)
+                if base is not None and base.get("bounds") == hist["bounds"]:
+                    counts = [
+                        c - b for c, b in zip(hist["counts"], base["counts"])
+                    ]
+                    hist = {
+                        "bounds": hist["bounds"],
+                        "counts": counts,
+                        "sum": hist["sum"] - base.get("sum", 0.0),
+                    }
+                if any(hist["counts"]):
+                    rebased[name] = hist
+            histograms = rebased
+            base_m = since.get("mounts", {})
+            mounts = {
+                prefix: snap for prefix, snap in mounts.items()
+                if base_m.get(prefix) != snap
+            }
+        return {
+            "schema": 1,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "mounts": mounts,
+        }
+
+    def merge_exported(self, payload: "dict | None", order: int = 0) -> int:
+        """Merge a worker's :meth:`export_state` payload into this registry.
+
+        Counters *add* (order-independent), histograms add bucket
+        counts and sums, and gauges and mounts *set last-wins keyed on
+        ``order``*: the pool passes its task index, which is the serial
+        iteration order, so a parallel sweep converges to the same gauge
+        values and mounted-engine snapshots a serial sweep would have
+        left behind regardless of completion order.  Shipped mounts are
+        re-mounted as frozen snapshots replacing the whole prefix --
+        the same wholesale replacement a serial re-mount performs.
+        Returns the number of metrics touched.
+        """
+        if not payload or not self.active:
+            return 0
+        touched = 0
+        for name, value in payload.get("counters", {}).items():
+            self._lookup(Counter, name).inc(value)
+            touched += 1
+        for name, value in payload.get("gauges", {}).items():
+            if order >= self._gauge_order.get(name, -1):
+                self._lookup(Gauge, name).set(value)
+                self._gauge_order[name] = order
+                touched += 1
+        for name, hist in payload.get("histograms", {}).items():
+            bounds = tuple(hist.get("bounds", DEFAULT_BOUNDS))
+            try:
+                metric = self._lookup(Histogram, name, bounds=bounds)
+            except TypeError:
+                continue
+            counts = hist.get("counts", [])
+            if metric.bounds != bounds or len(counts) != len(metric.counts):
+                continue
+            for idx, count in enumerate(counts):
+                metric.counts[idx] += count
+            added = sum(counts)
+            metric.total += added
+            metric.sum += hist.get("sum", 0.0)
+            touched += 1
+        for prefix, snap in payload.get("mounts", {}).items():
+            if order >= self._mount_order.get(prefix, -1):
+                self._mounts[prefix] = FrozenSnapshot(prefix, snap)
+                self._mount_order[prefix] = order
+                touched += 1
+        return touched
+
     # -- lifecycle -----------------------------------------------------
     def reset(self) -> None:
         """Zero every owned metric (registrations and mounts are kept)."""
@@ -245,12 +378,33 @@ class MetricsRegistry:
         self._metrics.clear()
         self._probes.clear()
         self._mounts.clear()
+        self._gauge_order.clear()
+        self._mount_order.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"MetricsRegistry({self.name!r}, metrics={len(self._metrics)}, "
             f"probes={len(self._probes)}, mounts={len(self._mounts)})"
         )
+
+
+class FrozenSnapshot:
+    """An immutable mount: a shipped worker-registry snapshot.
+
+    Quacks like a registry for :meth:`MetricsRegistry.snapshot` /
+    :meth:`MetricsRegistry.export_state` purposes (it only needs
+    ``snapshot()``), so the supervisor can mount a worker's engine
+    counters at the same prefix a serial run would have used.
+    """
+
+    __slots__ = ("name", "_snapshot")
+
+    def __init__(self, name: str, snapshot: "dict[str, float]"):
+        self.name = name
+        self._snapshot = dict(snapshot)
+
+    def snapshot(self) -> "dict[str, float]":
+        return dict(self._snapshot)
 
 
 class ScopedRegistry:

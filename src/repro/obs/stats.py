@@ -122,6 +122,27 @@ def _attach_registry(stats: dict) -> None:
         snapshot = get_registry().snapshot()
         if snapshot:
             stats["registry"] = {k: snapshot[k] for k in sorted(snapshot)}
+    stats["runtime"] = collect_runtime_stats()
+
+
+def collect_runtime_stats() -> dict:
+    """Process-wide runtime counters: trace cache and shm transport.
+
+    These used to be pull-model probes only (visible solely through a
+    SweepTelemetry-owned registry), so single-run ``repro stats`` never
+    showed them; they are cheap plain-int reads, so they are attached
+    unconditionally.
+    """
+    from repro.resilience.shm import transport_enabled, transport_stats
+    from repro.workloads.trace_cache import shared_cache
+
+    return {
+        "trace_cache": shared_cache().stats(),
+        "shm_transport": {
+            "enabled": transport_enabled(),
+            **transport_stats(),
+        },
+    }
 
 
 def flatten_stats(stats: dict, prefix: str = "") -> "dict[str, object]":

@@ -97,12 +97,27 @@ class SweepTelemetry:
                 lambda s=stat: getattr(shared_cache(), s),
             )
         self._scope.probe("trace_cache.entries", lambda: len(shared_cache()))
+        # Same pull-model mirror for the shm trace transport (its plain
+        # int counters live in repro.resilience.shm; reads stay lazy).
+        from repro.resilience.shm import transport_stats
+
+        for stat in sorted(transport_stats()):
+            self._scope.probe(
+                f"shm.{stat}",
+                lambda s=stat: transport_stats()[s],
+            )
 
     def trace_cache_counts(self) -> "dict[str, int]":
         """Point-in-time stats of the shared workload trace cache."""
         from repro.workloads.trace_cache import shared_cache
 
         return shared_cache().stats()
+
+    def shm_transport_counts(self) -> "dict[str, int]":
+        """Point-in-time counters of the shm trace transport."""
+        from repro.resilience.shm import transport_stats
+
+        return transport_stats()
 
     # -- hooks ---------------------------------------------------------
     def on_progress(self, callback: "Callable[[dict], None]") -> None:
@@ -129,6 +144,9 @@ class SweepTelemetry:
             self._misses[kind] += 1
             scope.counter(f"{kind}.cache_misses").inc()
             scope.counter(f"{kind}.runs").inc()
+            # Cumulative simulated instructions: ``repro top`` derives
+            # its live instr/s rate from successive snapshots of this.
+            scope.counter(f"{kind}.instructions_total").inc(instructions)
             scope.gauge(f"{kind}.last_wall_s").set(wall_s)
             scope.histogram(f"{kind}.wall_s", bounds=_WALL_BOUNDS).observe(wall_s)
             self.records.append(

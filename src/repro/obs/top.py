@@ -1,0 +1,210 @@
+"""``repro top``: a live terminal view of a running simulation service.
+
+Pure tailing, no RPC: the serve tier already writes two small JSON files
+(the health snapshot and, with observability on, the metrics snapshot
+next to it) with atomic replaces; ``repro top`` polls both and renders
+queue depth, breaker states, worker utilisation, throughput, and
+shed/retry rates.  Rates come from successive metrics snapshots: the
+counters are cumulative, so ``(now - prev) / dt`` over the snapshot
+``written_at`` stamps gives instructions/s and events/s without the
+writer keeping any windowed state.
+
+Staleness is judged with :class:`repro.serve.health.HealthWatcher` --
+the reader's own monotonic clock watching the ``seq`` advance -- so a
+stepped wall clock on either side never fakes a dead (or alive)
+service.
+
+Everything is injectable (clock, output) and the renderer is a pure
+function of its inputs, so the dashboard is testable without a terminal
+or a sleeping loop (``repro top --once``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.obs.export import (
+    metrics_snapshot_path,
+    read_metrics_snapshot,
+    snapshot_from_state,
+)
+from repro.serve.health import HealthSnapshot, HealthWatcher
+
+#: Counter names (flat snapshot keys) whose per-second rates headline
+#: the dashboard, as (label, key-list) rows; keys are summed.
+RATE_ROWS = (
+    ("instr/s", (
+        "sweep.cpu.instructions_total",
+        "sweep.gpu.instructions_total",
+        "sweep.dvfs.instructions_total",
+    )),
+    ("runs/s", (
+        "sweep.cpu.runs", "sweep.gpu.runs", "sweep.dvfs.runs",
+    )),
+    ("retry/s", (
+        "sweep.cpu.retries", "sweep.gpu.retries", "sweep.dvfs.retries",
+    )),
+    ("shed/s", ("sweep.serve.shed",)),
+)
+
+
+def _fmt_rate(value: "float | None") -> str:
+    if value is None:
+        return "--"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.2f}k"
+    if value >= 10:
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+def _bar(fraction: float, width: int = 20) -> str:
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return "[" + "#" * filled + "." * (width - filled) + "]"
+
+
+class TopSession:
+    """Stateful poller: remembers the previous sample to compute rates."""
+
+    def __init__(
+        self,
+        health_file: str,
+        *,
+        stale_after_s: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.health_file = health_file
+        self.metrics_file = metrics_snapshot_path(health_file)
+        self.watcher = HealthWatcher(
+            health_file, stale_after_s=stale_after_s, clock=clock
+        )
+        self._prev: "tuple[float, dict] | None" = None  # (written_at, flat)
+
+    def sample(self) -> "tuple[HealthSnapshot | None, dict | None, dict]":
+        """One poll: (health, metrics doc, {label: rate-or-None})."""
+        health = self.watcher.poll()
+        doc = read_metrics_snapshot(self.metrics_file)
+        rates: "dict[str, float | None]" = {
+            label: None for label, _keys in RATE_ROWS
+        }
+        if doc is not None:
+            flat = snapshot_from_state(doc.get("state", {}))
+            written_at = float(doc.get("written_at", 0.0))
+            if self._prev is not None:
+                prev_at, prev_flat = self._prev
+                dt = written_at - prev_at
+                if dt > 0:
+                    for label, keys in RATE_ROWS:
+                        delta = sum(
+                            flat.get(k, 0.0) - prev_flat.get(k, 0.0)
+                            for k in keys
+                        )
+                        rates[label] = max(delta, 0.0) / dt
+            if self._prev is None or written_at != self._prev[0]:
+                self._prev = (written_at, flat)
+        return health, doc, rates
+
+
+def render_dashboard(
+    health: "HealthSnapshot | None",
+    metrics_doc: "dict | None",
+    rates: "dict[str, float | None]",
+    *,
+    silent_s: "float | None" = None,
+) -> str:
+    """Render one dashboard frame as plain multi-line text."""
+    lines: "list[str]" = ["repro top"]
+    if health is None:
+        lines.append("health:  (no health file yet)")
+    else:
+        state = "draining" if health.draining else (
+            "ready" if health.ready else "not-ready"
+        )
+        silent = f", silent {silent_s:.1f}s" if silent_s is not None else ""
+        lines.append(
+            f"service: {'alive' if health.alive else 'DOWN'} ({state}), "
+            f"pid {health.pid}, seq {health.seq}{silent}"
+        )
+        cap = max(health.queue_capacity, 1)
+        lines.append(
+            f"queue:   {_bar(health.queue_depth / cap)} "
+            f"{health.queue_depth}/{health.queue_capacity}"
+        )
+        lines.append(
+            f"workers: {_bar(health.utilization())} "
+            f"{health.in_flight}/{health.workers} in flight "
+            f"({health.isolation}{', DEGRADED' if health.degraded else ''})"
+        )
+        if health.counters:
+            lines.append(
+                "jobs:    " + ", ".join(
+                    f"{k}={v}" for k, v in sorted(health.counters.items())
+                )
+            )
+        if health.breakers:
+            not_closed = health.breakers_open
+            parts = [
+                f"{key}:{snap['state']}"
+                for key, snap in sorted(health.breakers.items())
+                if snap.get("state") != "closed"
+            ]
+            lines.append(
+                f"breakers: {not_closed} not closed"
+                + (" -- " + ", ".join(parts) if parts else "")
+            )
+    if metrics_doc is None:
+        lines.append("metrics: (no metrics snapshot -- is obs enabled?)")
+    else:
+        lines.append(
+            "rates:   " + "  ".join(
+                f"{label} {_fmt_rate(rates.get(label))}"
+                for label, _keys in RATE_ROWS
+            )
+        )
+        age = None
+        if health is not None and health.metrics_age_s is not None:
+            age = health.metrics_age_s
+        lines.append(
+            f"metrics: seq {metrics_doc.get('seq', '?')}"
+            + (f", written {age:.1f}s before health" if age is not None else "")
+        )
+    return "\n".join(lines)
+
+
+def run_top(
+    health_file: str,
+    *,
+    interval_s: float = 1.0,
+    iterations: "int | None" = None,
+    out: Callable[[str], None] = print,
+    clear: bool = True,
+    sleep: Callable[[float], None] = time.sleep,
+) -> int:
+    """The ``repro top`` loop; returns the number of frames rendered.
+
+    ``iterations=1`` is the ``--once`` mode (no clearing, no sleep) that
+    scripts and tests use; ``None`` loops until KeyboardInterrupt.
+    """
+    session = TopSession(health_file)
+    frames = 0
+    try:
+        while iterations is None or frames < iterations:
+            health, doc, rates = session.sample()
+            frame = render_dashboard(
+                health, doc, rates, silent_s=session.watcher.silent_s()
+            )
+            if clear and iterations != 1:
+                out("\x1b[2J\x1b[H" + frame)
+            else:
+                out(frame)
+            frames += 1
+            if iterations is not None and frames >= iterations:
+                break
+            sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return frames

@@ -57,6 +57,11 @@ class RunFailure:
     #: Extra cell coordinates beyond (config, workload) -- the DVFS runs
     #: add (freq_ghz, variation).
     extra: tuple = field(default=())
+    #: Flight-recorder tail: the last structured events the worker spilled
+    #: to its sidecar before dying without a terminal message (SIGKILL,
+    #: lost heartbeat).  Plain event dicts, JSON-ready; empty for attempts
+    #: that reported normally.
+    flight: tuple = field(default=())
 
     def __post_init__(self) -> None:
         if self.kind not in FAILURE_KINDS:
@@ -88,6 +93,7 @@ class RunFailure:
             "traceback": self.traceback,
             "wall_s": self.wall_s,
             "extra": list(self.extra),
+            "flight": list(self.flight),
         }
 
     @classmethod
@@ -102,6 +108,7 @@ class RunFailure:
             traceback=data.get("traceback", ""),
             wall_s=data.get("wall_s", 0.0),
             extra=tuple(data.get("extra", ())),
+            flight=tuple(data.get("flight", ())),
         )
 
 

@@ -36,13 +36,18 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import shutil
 import signal
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 from typing import Callable
 
+from repro import obs
+from repro.obs.events import get_event_log, new_trace_id, read_events
+from repro.obs.metrics import get_registry
 from repro.resilience import faults
 from repro.resilience import shm as shm_transport
 from repro.resilience.errors import RunFailure
@@ -104,6 +109,9 @@ class _Live:
     started: float
     deadline: "float | None"
     last_beat: float = field(default=0.0)
+    #: Flight-recorder sidecar JSONL the worker spills events to (only
+    #: when observability is on); read back if the worker dies silently.
+    sidecar: "str | None" = None
 
 
 def _describe_exit(exitcode: "int | None") -> str:
@@ -162,6 +170,11 @@ class SweepPool:
         self._on_event = on_event
         self._abort = threading.Event()
         self._shm_meta: "dict | None" = None
+        #: Telemetry-spine state for the current :meth:`run` (obs on only):
+        #: tempdir holding worker flight-recorder sidecars, and the
+        #: (trace_id, span_id) propagated to workers via the task spec.
+        self._obs_dir: "str | None" = None
+        self._trace_ctx: "dict | None" = None
 
     def abort(self) -> None:
         """Request an early stop (thread-safe, idempotent).
@@ -177,9 +190,14 @@ class SweepPool:
     def _event(self, event: str, **info) -> None:
         if self._on_event is not None:
             self._on_event(event, info)
+        if obs.enabled():
+            get_event_log().emit(f"pool.{event}", **info)
 
     # -- spawning ------------------------------------------------------
-    def _spec(self, task: CellTask, attempt: int, env: dict) -> dict:
+    def _spec(
+        self, task: CellTask, attempt: int, env: dict,
+        sidecar: "str | None" = None,
+    ) -> dict:
         plan = faults.installed_plan()
         return {
             "run_kind": task.run_kind,
@@ -194,13 +212,26 @@ class SweepPool:
             "fault_plan": plan.to_dict() if plan is not None else None,
             "heartbeat_s": self.heartbeat_s,
             "shm_traces": self._shm_meta,
+            # Telemetry spine: carry the obs flag explicitly (it may have
+            # been enabled programmatically, invisible to spawn-context
+            # children), the coordinator's span context so worker spans
+            # stitch into the same trace, and the sidecar path the worker
+            # spills its flight recorder to.
+            "obs": obs.enabled(),
+            "trace": self._trace_ctx,
+            "obs_sidecar": sidecar,
         }
 
     def _spawn(self, task: CellTask, item: _Pending, env: dict) -> _Live:
+        sidecar = None
+        if self._obs_dir is not None:
+            sidecar = os.path.join(
+                self._obs_dir, f"cell{item.idx}-a{item.attempt}.jsonl"
+            )
         recv_conn, send_conn = self.ctx.Pipe(duplex=False)
         proc = self.ctx.Process(
             target=worker_main,
-            args=(send_conn, self._spec(task, item.attempt, env)),
+            args=(send_conn, self._spec(task, item.attempt, env, sidecar)),
             daemon=True,
             name=f"repro-sweep-{item.idx}-a{item.attempt}",
         )
@@ -223,6 +254,7 @@ class SweepPool:
             started=now,
             deadline=(now + timeout_s) if timeout_s is not None else None,
             last_beat=now,
+            sidecar=sidecar,
         )
         self._event(
             "spawned",
@@ -249,6 +281,54 @@ class SweepPool:
         live.proc.kill()
         self._reap(live)
 
+    # -- telemetry-spine merging ---------------------------------------
+    def _merge_obs(self, live: _Live, payload: "dict | None") -> None:
+        """Merge a worker's pipe-shipped telemetry into the coordinator.
+
+        Metrics merge with ``order=idx`` (the serial iteration index), so
+        gauges converge to the value the *serially last* cell would have
+        left regardless of completion order; events keep their worker
+        attribution.  The sidecar is redundant once the pipe delivered --
+        drop it so the flight recorder only ever surfaces silent deaths.
+        """
+        if live.sidecar is not None:
+            try:
+                os.unlink(live.sidecar)
+            except OSError:
+                pass
+        if not payload:
+            return
+        get_registry().merge_exported(payload.get("metrics"), order=live.idx)
+        events = payload.get("events")
+        if events:
+            get_event_log().absorb(events)
+
+    def _flight_recorder(self, live: _Live) -> tuple:
+        """Recover a silently-dead worker's spilled events (best effort).
+
+        Returns the tail of the sidecar (the attempt's last recorded
+        moments) for attachment to the gap record; the full recovered
+        stream is absorbed into the coordinator's event log.
+        """
+        if live.sidecar is None:
+            return ()
+        events = read_events(live.sidecar)
+        try:
+            os.unlink(live.sidecar)
+        except OSError:
+            pass
+        if not events:
+            return ()
+        get_event_log().absorb(events)
+        get_event_log().emit(
+            "pool.flight_recovered",
+            idx=live.idx,
+            attempt=live.attempt,
+            pid=getattr(live.proc, "pid", None),
+            events=len(events),
+        )
+        return tuple(events[-16:])
+
     # -- the supervisor loop -------------------------------------------
     def run(
         self,
@@ -257,6 +337,18 @@ class SweepPool:
     ) -> "list[GuardOutcome]":
         """Execute every task; outcomes are returned in task order."""
         env = {k: v for k, v in os.environ.items() if k.startswith("REPRO_")}
+
+        # Telemetry spine: a tempdir for worker flight-recorder sidecars
+        # and the span context workers adopt.  If the caller is already
+        # inside a span (a serve job, a traced sweep), propagate it; else
+        # mint a fresh trace id so all workers of this run share one.
+        if obs.enabled():
+            self._obs_dir = tempfile.mkdtemp(prefix="repro-obs-")
+            trace_id, span_id = get_event_log().current_context()
+            self._trace_ctx = {
+                "trace_id": trace_id or new_trace_id(),
+                "span_id": span_id,
+            }
 
         # Pack the traces the tasks share into one shared-memory segment
         # so workers map the parent's buffers instead of regenerating them
@@ -291,7 +383,8 @@ class SweepPool:
                 on_result(tasks[idx], outcome)
 
         def retry_or_fail(
-            idx: int, attempt: int, kind: str, message: str, tb: str, wall: float
+            idx: int, attempt: int, kind: str, message: str, tb: str,
+            wall: float, flight: tuple = (),
         ) -> None:
             task = tasks[idx]
             if attempt <= self.policy.max_retries:
@@ -319,6 +412,7 @@ class SweepPool:
                 traceback=tb,
                 wall_s=wall,
                 extra=tuple(task.extra),
+                flight=flight,
             )
             finalise(idx, GuardOutcome(result=None, failure=failure,
                                        attempts=attempt))
@@ -381,7 +475,10 @@ class SweepPool:
                             busy_s += time.monotonic() - lv.started
                             self._reap(lv)
                             if msg[0] == "ok":
-                                _, result, wall = msg
+                                _, result, wall = msg[:3]
+                                self._merge_obs(
+                                    lv, msg[3] if len(msg) > 3 else None
+                                )
                                 task = tasks[lv.idx]
                                 self._event(
                                     "completed",
@@ -399,8 +496,11 @@ class SweepPool:
                                         wall_s=wall,
                                     ),
                                 )
-                            else:  # ("fail", kind, message, tb, wall)
-                                _, kind, message, tb, wall = msg
+                            else:  # ("fail", kind, message, tb, wall, obs)
+                                _, kind, message, tb, wall = msg[:5]
+                                self._merge_obs(
+                                    lv, msg[5] if len(msg) > 5 else None
+                                )
                                 retry_or_fail(
                                     lv.idx, lv.attempt, kind, message, tb, wall
                                 )
@@ -429,6 +529,7 @@ class SweepPool:
                             f"worker died before reporting ({detail})",
                             "",
                             time.monotonic() - lv.started,
+                            flight=self._flight_recorder(lv),
                         )
                     if done:
                         continue
@@ -457,6 +558,7 @@ class SweepPool:
                             f"of {self.policy.timeout_s:g}s (worker SIGKILLed)",
                             "",
                             now - lv.started,
+                            flight=self._flight_recorder(lv),
                         )
                     elif now - lv.last_beat > self.heartbeat_timeout_s:
                         live.remove(lv)
@@ -477,6 +579,7 @@ class SweepPool:
                             f"{now - lv.last_beat:.1f}s (SIGKILLed)",
                             "",
                             now - lv.started,
+                            flight=self._flight_recorder(lv),
                         )
         finally:
             # Abort path (fail-fast, KeyboardInterrupt, caller error):
@@ -486,6 +589,10 @@ class SweepPool:
             if shm_seg is not None:
                 shm_transport.release(shm_seg)
                 self._shm_meta = None
+            if self._obs_dir is not None:
+                shutil.rmtree(self._obs_dir, ignore_errors=True)
+                self._obs_dir = None
+                self._trace_ctx = None
             elapsed = max(time.monotonic() - started, 1e-9)
             self._event(
                 "utilization",

@@ -68,6 +68,22 @@ _GPU_FIELDS = ("op", "dep_dist", "src1_reg", "src2_reg", "dst_reg")
 _attached: "list[shared_memory.SharedMemory]" = []
 _cleanup_registered = False
 
+#: Process-local transport counters, surfaced by ``repro stats`` and the
+#: sweep telemetry probes (plain ints: incrementing them must stay free).
+_stats = {
+    "exported_segments": 0,   # segments this process created
+    "exported_bytes": 0,      # total packed payload bytes
+    "export_unavailable": 0,  # exports that fell back (no /dev/shm, ...)
+    "attached_segments": 0,   # segments this process mapped
+    "attach_failures": 0,     # attachments that fell back to regeneration
+    "seeded_traces": 0,       # cache entries seeded from mapped segments
+}
+
+
+def transport_stats() -> "dict[str, int]":
+    """Point-in-time counters of this process's shm-trace activity."""
+    return dict(_stats)
+
 
 def transport_enabled() -> bool:
     """``REPRO_NO_SHM_TRACES`` escape hatch for the trace transport."""
@@ -158,6 +174,7 @@ def export_traces(tasks, instructions: int, seed: int = 0):
     try:
         shm = shared_memory.SharedMemory(create=True, size=offset)
     except (OSError, ValueError):
+        _stats["export_unavailable"] += 1
         return None, None
     try:
         for off, arr in payload:
@@ -166,6 +183,8 @@ def export_traces(tasks, instructions: int, seed: int = 0):
     except BaseException:
         release(shm)
         raise
+    _stats["exported_segments"] += 1
+    _stats["exported_bytes"] += offset
     meta = {"name": shm.name, "size": offset, "entries": entries}
     return meta, shm
 
@@ -238,8 +257,10 @@ def attach_traces(meta) -> int:
     try:
         shm = _attach_untracked(meta["name"])
     except (FileNotFoundError, OSError, ValueError):
+        _stats["attach_failures"] += 1
         return 0
     _attached.append(shm)
+    _stats["attached_segments"] += 1
     if not _cleanup_registered:
         atexit.register(_release_attached)
         _cleanup_registered = True
@@ -272,4 +293,5 @@ def attach_traces(meta) -> int:
             key = ("gpu", profile, entry["seed"])
         cache.put(key, value)
         seeded += 1
+    _stats["seeded_traces"] += seeded
     return seeded

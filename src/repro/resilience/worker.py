@@ -13,11 +13,26 @@ killed worker can never poison a lock shared with its siblings):
 * ``("hb",)`` -- heartbeat, sent every ``spec["heartbeat_s"]`` seconds
   from a daemon thread; the supervisor SIGKILLs workers whose heartbeats
   stop (a wedged-but-alive process);
-* ``("ok", result, wall_s)`` -- the attempt succeeded and passed the
-  end-of-run self-checks; ``result`` is the pickled run result;
-* ``("fail", kind, message, traceback, wall_s)`` -- the attempt raised;
-  ``kind`` is ``corrupt`` for self-check rejections, else ``crash``.
-  Timeouts never originate here: the supervisor kills overrunners.
+* ``("ok", result, wall_s, obs)`` -- the attempt succeeded and passed
+  the end-of-run self-checks; ``result`` is the pickled run result;
+* ``("fail", kind, message, traceback, wall_s, obs)`` -- the attempt
+  raised; ``kind`` is ``corrupt`` for self-check rejections, else
+  ``crash``.  Timeouts never originate here: the supervisor kills
+  overrunners.
+
+The trailing ``obs`` element is the worker's telemetry freight: ``None``
+while observability is off (zero overhead), else a dict carrying the
+worker's structured-event export and its metrics-registry delta since
+worker start (:meth:`~repro.obs.metrics.MetricsRegistry.export_state`
+with ``since=``, so state inherited over ``fork`` is never re-shipped).
+The supervisor merges both into the coordinator's registry/event log.
+Because a SIGKILL can land at any instant, the worker *also* appends
+every event to a sidecar JSONL file named in the spec as it happens --
+the flight recorder the supervisor reads back when the pipe dies.
+
+Span propagation: the spec's ``trace`` entry carries the coordinator's
+``(trace_id, span_id)``; the worker adopts it so its ``worker.attempt``
+and ``engine.run`` spans stitch into the same distributed trace.
 
 Determinism: the worker re-applies the parent's ``REPRO_*`` environment
 and fault plan from the task spec (so programmatically installed
@@ -29,6 +44,7 @@ sweep replays the serial schedule exactly.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 import traceback as tb_module
@@ -127,28 +143,80 @@ def worker_main(conn, spec: dict) -> None:
     if injector is not None:
         injector.prime(spec["run_kind"], key, spec["attempt"])
 
+    # Observability: the spec says explicitly whether the coordinator had
+    # it on (the flag may have been set programmatically, which a spawn
+    # context would not inherit).  When on, the worker keeps its own
+    # event log (spilled per-event to the sidecar flight recorder) and
+    # snapshots the registry so only this attempt's delta ships back.
+    from repro import obs
+    from repro.obs.events import EventLog
+    from repro.obs.metrics import get_registry
+
+    if spec.get("obs"):
+        obs.set_enabled(True)
+    wlog = None
+    base_state = None
+    if obs.enabled():
+        base_state = get_registry().export_state()
+        wlog = EventLog(
+            proc=f"worker-{os.getpid()}",
+            spill_path=spec.get("obs_sidecar"),
+            enabled=True,
+        )
+
     send_lock = threading.Lock()
     stop_heartbeat = _start_heartbeat(
         conn, send_lock, float(spec.get("heartbeat_s", 0.5))
     )
     start = time.perf_counter()
+
+    trace_ctx = spec.get("trace") or {}
+    span_stack = contextlib.ExitStack()
+    if wlog is not None:
+        span_stack.enter_context(
+            wlog.activate(trace_ctx.get("trace_id"), trace_ctx.get("span_id"))
+        )
+
     try:
         def execute():
-            return execute_cell(
-                spec["run_kind"],
-                spec["config"],
-                spec["workload"],
+            inner = execute_cell
+            if wlog is not None:
+                with wlog.span(
+                    "engine.run",
+                    run_kind=spec["run_kind"],
+                    config=spec["config"],
+                    workload=spec["workload"],
+                ):
+                    return inner(
+                        spec["run_kind"], spec["config"], spec["workload"],
+                        tuple(spec.get("extra", ())),
+                        spec["instructions"], spec["warmup"],
+                    )
+            return inner(
+                spec["run_kind"], spec["config"], spec["workload"],
                 tuple(spec.get("extra", ())),
-                spec["instructions"],
-                spec["warmup"],
+                spec["instructions"], spec["warmup"],
             )
 
-        if injector is not None:
-            result = injector.call(spec["run_kind"], key, execute)
-        else:
-            result = execute()
-        validate_result(spec["run_kind"], result)
-        message = ("ok", result, time.perf_counter() - start)
+        with span_stack:
+            if wlog is not None:
+                span_stack.enter_context(
+                    wlog.span(
+                        "worker.attempt",
+                        cell=list(key),
+                        run_kind=spec["run_kind"],
+                        attempt=spec["attempt"],
+                    )
+                )
+            if injector is not None:
+                result = injector.call(spec["run_kind"], key, execute)
+            else:
+                result = execute()
+            validate_result(spec["run_kind"], result)
+        message = (
+            "ok", result, time.perf_counter() - start,
+            _obs_payload(wlog, base_state),
+        )
     except BaseException as exc:
         kind = "corrupt" if isinstance(exc, CorruptResult) else "crash"
         message = (
@@ -157,6 +225,7 @@ def worker_main(conn, spec: dict) -> None:
             f"{type(exc).__name__}: {exc}",
             tb_module.format_exc(),
             time.perf_counter() - start,
+            _obs_payload(wlog, base_state),
         )
     stop_heartbeat.set()
     with send_lock:
@@ -165,3 +234,18 @@ def worker_main(conn, spec: dict) -> None:
         except OSError:  # parent died first; exit quietly
             pass
     conn.close()
+
+
+def _obs_payload(wlog, base_state) -> "dict | None":
+    """The telemetry freight appended to a terminal message (or None)."""
+    if wlog is None:
+        return None
+    from repro.obs.events import SCHEMA_VERSION
+    from repro.obs.metrics import get_registry
+
+    wlog.close()
+    return {
+        "schema": SCHEMA_VERSION,
+        "events": wlog.events(),
+        "metrics": get_registry().export_state(since=base_state),
+    }

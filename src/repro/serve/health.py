@@ -49,6 +49,14 @@ class HealthSnapshot:
     shed_reasons: dict
     pid: int = dataclasses.field(default_factory=os.getpid)
     updated_at: float = dataclasses.field(default_factory=time.time)
+    #: Monotonically increasing write counter.  Readers that poll (the
+    #: ``repro top`` watcher) detect liveness from *seq advancing* under
+    #: their own monotonic clock instead of trusting cross-process wall
+    #: clocks, which may step.
+    seq: int = 0
+    #: Age of the companion metrics snapshot at write time (seconds on
+    #: the writer's monotonic clock); None when metrics export is off.
+    metrics_age_s: "float | None" = None
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -67,9 +75,10 @@ class HealthSnapshot:
         state = "draining" if self.draining else (
             "ready" if self.ready else "not-ready"
         )
+        age = max(time.time() - self.updated_at, 0.0)
         lines = [
             f"service: {'alive' if self.alive else 'DOWN'} ({state}), "
-            f"pid {self.pid}, updated {time.time() - self.updated_at:.1f}s ago",
+            f"pid {self.pid}, updated {age:.1f}s ago (seq {self.seq})",
             f"queue:   {self.queue_depth}/{self.queue_capacity} queued, "
             f"{self.in_flight}/{self.workers} in flight "
             f"({self.isolation} isolation"
@@ -123,7 +132,62 @@ def read_health(
         snapshot = HealthSnapshot.from_dict(json.loads(Path(path).read_text()))
     except (OSError, ValueError, TypeError, KeyError):
         return None
-    if time.time() - snapshot.updated_at > stale_after_s:
+    # Clamp negative ages: the writer's wall clock may be ahead of ours
+    # (NTP step, container clock skew); a snapshot from "the future" is
+    # fresh, not stale, and must never trip the liveness probe.
+    if max(time.time() - snapshot.updated_at, 0.0) > stale_after_s:
         snapshot.alive = False
         snapshot.ready = False
     return snapshot
+
+
+class HealthWatcher:
+    """Poll a health file with *reader-side monotonic* staleness.
+
+    One-shot readers (``read_health``) can only compare wall clocks
+    across processes, which break under clock steps.  A polling reader
+    (``repro top``) can do better: it remembers the last ``seq`` it saw
+    and the monotonic instant it changed, and declares the writer dead
+    only when the sequence stops advancing for ``stale_after_s`` of the
+    *reader's own* monotonic time -- immune to either side's wall clock.
+    """
+
+    def __init__(
+        self,
+        path: "str | os.PathLike",
+        *,
+        stale_after_s: float = DEFAULT_STALE_AFTER_S,
+        clock=time.monotonic,
+    ):
+        self.path = path
+        self.stale_after_s = stale_after_s
+        self._clock = clock
+        self._last_marker: "tuple | None" = None
+        self._last_advance: "float | None" = None
+
+    def poll(self) -> "HealthSnapshot | None":
+        """The current snapshot, staleness-checked monotonically."""
+        try:
+            snapshot = HealthSnapshot.from_dict(
+                json.loads(Path(self.path).read_text())
+            )
+        except (OSError, ValueError, TypeError, KeyError):
+            return None
+        now = self._clock()
+        marker = (snapshot.seq, snapshot.updated_at)
+        if self._last_marker != marker:
+            self._last_marker = marker
+            self._last_advance = now
+        elif (
+            self._last_advance is not None
+            and now - self._last_advance > self.stale_after_s
+        ):
+            snapshot.alive = False
+            snapshot.ready = False
+        return snapshot
+
+    def silent_s(self) -> "float | None":
+        """Seconds since the snapshot last advanced (reader-monotonic)."""
+        if self._last_advance is None:
+            return None
+        return max(self._clock() - self._last_advance, 0.0)

@@ -61,7 +61,10 @@ from dataclasses import dataclass, field
 from threading import Event, RLock, Thread
 from typing import Callable
 
+from repro import obs
 from repro.experiments.runner import SweepRunner
+from repro.obs.events import get_event_log
+from repro.obs.export import metrics_snapshot_path, write_metrics_snapshot
 from repro.resilience.errors import RunFailure
 from repro.resilience.pool import PoolAborted
 from repro.serve.breaker import BreakerPolicy, BreakerRegistry
@@ -181,6 +184,8 @@ class SimService:
         self._spawn_failures = 0
         self._auto_ids = itertools.count(1)
         self._last_health_write = float("-inf")
+        self._health_seq = 0
+        self._last_metrics_write: "float | None" = None
 
     # -- small helpers -------------------------------------------------
     @property
@@ -194,6 +199,9 @@ class SimService:
     def _on_breaker_transition(self, key: tuple, old: str, new: str) -> None:
         label = {"open": "opened", "half_open": "half_open", "closed": "closed"}
         self.telemetry.record_serve(f"breaker.{label[new]}")
+        get_event_log().emit(
+            "breaker.transition", key=list(key), old=old, new=new,
+        )
         self._write_health(force=True)
 
     def _shed_gap(self, job: Job, reason: str, detail: str) -> RunFailure:
@@ -484,6 +492,20 @@ class SimService:
         }
 
     def _execute(self, job: Job, record: JobRecord) -> None:
+        # The job span opens on the dispatcher thread, so the span
+        # context it pushes is exactly what the worker pool captures and
+        # propagates into worker processes: one trace_id from job
+        # admission down to the engine run.
+        with get_event_log().span(
+            "serve.job",
+            job_id=job.job_id,
+            run_kind=job.run_kind,
+            config=job.config,
+            workload=job.workload,
+        ):
+            self._execute_inner(job, record)
+
+    def _execute_inner(self, job: Job, record: JobRecord) -> None:
         breaker = self.breakers.breaker_for(job.run_kind, job.config)
         if not breaker.allow():
             self._mark_shed(job, "breaker_open", breaker.reject_detail())
@@ -653,7 +675,12 @@ class SimService:
             in_flight = self._in_flight
         depth = self.queue.depth
         draining = self._stop.is_set()
+        metrics_age = None
+        if self._last_metrics_write is not None:
+            metrics_age = max(self._clock() - self._last_metrics_write, 0.0)
         return HealthSnapshot(
+            seq=self._health_seq,
+            metrics_age_s=metrics_age,
             alive=self._started and not self._finished,
             ready=(
                 self._started
@@ -685,6 +712,21 @@ class SimService:
             ):
                 return
             self._last_health_write = now
+            self._health_seq += 1
+            seq = self._health_seq
+        # Periodic metrics snapshot for `repro top` / scrapers: written
+        # with the same cadence (and atomic-replace discipline) as the
+        # health file, in the same directory.  Best-effort -- a full
+        # disk must never take down the service.
+        if obs.enabled():
+            try:
+                write_metrics_snapshot(
+                    metrics_snapshot_path(self.config.health_file), seq=seq
+                )
+                with self._lock:
+                    self._last_metrics_write = self._clock()
+            except OSError:
+                pass
         write_health(self.config.health_file, self.health_snapshot())
 
     def summary(self) -> dict:

@@ -1,0 +1,290 @@
+"""Structured event log: rings, spans, spill/flight-recorder, Chrome export."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.events import (
+    DEFAULT_CAPACITY,
+    SCHEMA_VERSION,
+    EventLog,
+    chrome_trace,
+    get_event_log,
+    new_span_id,
+    new_trace_id,
+    read_events,
+)
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    """Every test starts and ends with observability disabled."""
+    obs.set_enabled(False)
+    get_event_log().clear()
+    yield
+    obs.set_enabled(False)
+    get_event_log().clear()
+
+
+def enabled_log(**kwargs) -> EventLog:
+    return EventLog(proc=kwargs.pop("proc", "test"), enabled=True, **kwargs)
+
+
+# ---------------------------------------------------------------------
+# ring semantics and envelope
+# ---------------------------------------------------------------------
+
+class TestRing:
+    def test_capacity_bounds_memory_and_counts_drops(self):
+        log = enabled_log(capacity=4)
+        for i in range(10):
+            log.emit("ev", i=i)
+        assert len(log) == 4
+        assert log.emitted == 10
+        assert log.dropped == 6
+        assert [e["i"] for e in log.events()] == [6, 7, 8, 9]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            EventLog(capacity=0)
+
+    def test_envelope_fields_are_stamped(self):
+        log = enabled_log(clock=lambda: 123.5)
+        event = log.emit("pool.spawned", idx=3)
+        assert event["name"] == "pool.spawned"
+        assert event["proc"] == "test"
+        assert event["pid"] == os.getpid()
+        assert event["ts"] == 123.5
+        assert event["seq"] == 1
+        assert event["idx"] == 3
+
+    def test_payload_fields_colliding_with_envelope_are_prefixed(self):
+        # A shared-memory segment ships a payload field called "name";
+        # it must not clobber the event's own name (or ts/seq/...).
+        log = enabled_log()
+        event = log.emit("shm.exported", name="psm_abc123", seq=99, size=10)
+        assert event["name"] == "shm.exported"
+        assert event["f_name"] == "psm_abc123"
+        assert event["f_seq"] == 99
+        assert event["seq"] == 1
+        assert event["size"] == 10
+
+    def test_inactive_log_is_a_noop(self):
+        log = EventLog(proc="off", enabled=False)
+        assert log.emit("ev") is None
+        with log.span("s") as ctx:
+            assert ctx == (None, None)
+        assert len(log) == 0 and log.emitted == 0
+
+    def test_enabled_none_defers_to_global_flag(self):
+        log = EventLog(proc="deferred")
+        assert log.emit("ev") is None
+        obs.set_enabled(True)
+        assert log.emit("ev") is not None
+        assert log.emitted == 1
+
+    def test_clear_resets_everything(self):
+        log = enabled_log(capacity=2)
+        for _ in range(5):
+            log.emit("ev")
+        log.clear()
+        assert len(log) == 0 and log.emitted == 0 and log.dropped == 0
+        assert log.emit("ev")["seq"] == 1
+
+    def test_default_capacity_is_sane(self):
+        assert EventLog().capacity == DEFAULT_CAPACITY
+
+
+# ---------------------------------------------------------------------
+# spans and context propagation
+# ---------------------------------------------------------------------
+
+class TestSpans:
+    def test_span_emits_start_end_pair_with_duration(self):
+        log = enabled_log()
+        with log.span("cell.attempt", config="BaseCMOS") as (trace, span_id):
+            assert len(trace) == 16 and len(span_id) == 8
+        start, end = log.events()
+        assert (start["phase"], end["phase"]) == ("start", "end")
+        assert start["span_id"] == end["span_id"] == span_id
+        assert start["trace_id"] == end["trace_id"] == trace
+        assert end["dur_s"] >= 0.0
+        assert start["config"] == end["config"] == "BaseCMOS"
+
+    def test_nested_spans_share_trace_and_chain_parents(self):
+        log = enabled_log()
+        with log.span("outer") as (trace, outer_id):
+            assert log.current_context() == (trace, outer_id)
+            with log.span("inner") as (inner_trace, inner_id):
+                assert inner_trace == trace
+        inner_start = [
+            e for e in log.events()
+            if e["name"] == "inner" and e["phase"] == "start"
+        ][0]
+        assert inner_start["parent_id"] == outer_id
+        assert log.current_context() == (None, None)
+
+    def test_span_records_error_type_and_reraises(self):
+        log = enabled_log()
+        with pytest.raises(ValueError):
+            with log.span("doomed"):
+                raise ValueError("boom")
+        end = log.events()[-1]
+        assert end["phase"] == "end" and end["error"] == "ValueError"
+
+    def test_activate_adopts_remote_context_as_parent(self):
+        # This is the worker side of cross-process propagation: the
+        # coordinator ships (trace_id, span_id); spans opened under
+        # activate() parent into the remote span on the same trace.
+        log = enabled_log(proc="worker-1")
+        trace, remote_span = new_trace_id(), new_span_id()
+        with log.activate(trace, remote_span):
+            with log.span("worker.attempt") as (got_trace, _):
+                assert got_trace == trace
+        start = log.events()[0]
+        assert start["trace_id"] == trace
+        assert start["parent_id"] == remote_span
+        assert log.current_context() == (None, None)
+
+    def test_activate_with_none_trace_is_a_noop(self):
+        log = enabled_log()
+        with log.activate(None, None):
+            assert log.current_context() == (None, None)
+
+    def test_context_is_per_thread(self):
+        log = enabled_log()
+        seen = {}
+
+        def probe():
+            seen["ctx"] = log.current_context()
+
+        with log.span("outer"):
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+        assert seen["ctx"] == (None, None)
+
+
+# ---------------------------------------------------------------------
+# spill files: the flight recorder
+# ---------------------------------------------------------------------
+
+class TestSpill:
+    def test_events_hit_disk_at_emit_time(self, tmp_path):
+        path = tmp_path / "sidecar.jsonl"
+        log = enabled_log(spill_path=path)
+        log.emit("worker.attempt", phase="start")
+        # No close(): the file must already be current (SIGKILL safety).
+        recovered = read_events(path)
+        assert [e["name"] for e in recovered] == ["worker.attempt"]
+        log.close()
+
+    def test_spill_header_carries_schema_and_is_skipped_on_read(self, tmp_path):
+        path = tmp_path / "sidecar.jsonl"
+        log = enabled_log(spill_path=path)
+        log.emit("ev")
+        log.close()
+        lines = path.read_text().strip().splitlines()
+        header = json.loads(lines[0])
+        assert header["name"] == "log_open"
+        assert header["schema"] == SCHEMA_VERSION
+        assert all(e["name"] != "log_open" for e in read_events(path))
+
+    def test_read_events_skips_torn_final_line(self, tmp_path):
+        path = tmp_path / "sidecar.jsonl"
+        log = enabled_log(spill_path=path)
+        log.emit("ev", i=1)
+        log.emit("ev", i=2)
+        log.close()
+        # Simulate a SIGKILL mid-write: truncate inside the last line.
+        text = path.read_text()
+        path.write_text(text[:-15])
+        recovered = read_events(path)
+        assert [e["i"] for e in recovered] == [1]
+
+    def test_read_events_tolerates_garbage_and_missing_files(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text('not json\n[1,2,3]\n{"name": "ok", "ts": 1}\n\n')
+        assert [e["name"] for e in read_events(path)] == ["ok"]
+        assert read_events(tmp_path / "missing.jsonl") == []
+
+    def test_write_jsonl_round_trips_through_read_events(self, tmp_path):
+        log = enabled_log()
+        with log.span("outer"):
+            log.emit("mark", value=7)
+        out = tmp_path / "log.jsonl"
+        assert log.write_jsonl(out) == 3
+        names = [e["name"] for e in read_events(out)]
+        assert names == ["outer", "mark", "outer"]
+
+
+# ---------------------------------------------------------------------
+# merging and Chrome export
+# ---------------------------------------------------------------------
+
+class TestMergeAndExport:
+    def test_absorb_keeps_foreign_attribution(self):
+        coordinator = enabled_log(proc="coordinator")
+        worker = enabled_log(proc="worker-9")
+        worker.emit("engine.run", phase="start")
+        assert coordinator.absorb(worker.events()) == 1
+        merged = coordinator.events()[0]
+        assert merged["proc"] == "worker-9"
+        assert coordinator.absorb([42, "junk", None]) == 0
+
+    def test_export_envelope_is_schema_versioned(self):
+        log = enabled_log()
+        log.emit("ev")
+        envelope = log.export()
+        assert envelope["schema"] == SCHEMA_VERSION
+        assert envelope["proc"] == "test"
+        assert len(envelope["events"]) == 1
+
+    def test_counts_by_name(self):
+        log = enabled_log()
+        log.emit("a")
+        log.emit("a")
+        log.emit("b")
+        assert log.counts_by_name() == {"a": 2, "b": 1}
+
+    def test_chrome_trace_pairs_spans_into_complete_events(self):
+        log = enabled_log(clock=lambda: 10.0)
+        with log.span("cell.attempt"):
+            log.emit("guard.retry", attempt=1)
+        doc = chrome_trace(log.events())
+        phases = [row["ph"] for row in doc["traceEvents"]]
+        assert phases.count("X") == 1     # paired span
+        assert phases.count("i") == 1     # plain event
+        assert phases.count("M") == 1     # process-name metadata
+        complete = [r for r in doc["traceEvents"] if r["ph"] == "X"][0]
+        assert complete["name"] == "cell.attempt"
+        assert complete["dur"] >= 1.0     # floor of 1us keeps rows visible
+
+    def test_chrome_trace_marks_unclosed_spans(self):
+        # A crashed worker leaves a start without an end; the trace
+        # still renders it (as an instant marker) instead of dropping it.
+        log = enabled_log()
+        log.emit("worker.attempt", phase="start", span_id="dead1234",
+                 trace_id="t" * 16)
+        doc = chrome_trace(log.events())
+        names = [row["name"] for row in doc["traceEvents"]]
+        assert "worker.attempt:unclosed" in names
+
+    def test_chrome_trace_separates_processes_by_pid(self):
+        events = [
+            {"name": "a", "ts": 1.0, "proc": "coordinator", "pid": 100},
+            {"name": "b", "ts": 2.0, "proc": "worker-200", "pid": 200},
+        ]
+        doc = chrome_trace(events)
+        meta = {r["pid"]: r["args"]["name"]
+                for r in doc["traceEvents"] if r["ph"] == "M"}
+        assert meta == {100: "coordinator", 200: "worker-200"}
+
+    def test_global_event_log_is_a_singleton(self):
+        assert get_event_log() is get_event_log()
+        assert isinstance(get_event_log(), EventLog)

@@ -1,0 +1,289 @@
+"""Exporter leg: Prometheus text, determinism filter, snapshot files,
+and the cross-process ``export_state``/``merge_exported`` transport."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (
+    SNAPSHOT_SCHEMA,
+    deterministic_snapshot,
+    metrics_snapshot_path,
+    parse_prometheus,
+    prometheus_text,
+    read_metrics_snapshot,
+    snapshot_from_state,
+    write_metrics_snapshot,
+)
+from repro.obs.metrics import FrozenSnapshot, MetricsRegistry, get_registry
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    obs.set_enabled(False)
+    get_registry().clear()
+    yield
+    obs.set_enabled(False)
+    get_registry().clear()
+
+
+def enabled_registry(name: str = "test") -> MetricsRegistry:
+    return MetricsRegistry(name, enabled=True)
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = enabled_registry()
+    reg.counter("sweep.cpu.runs").inc(3)
+    reg.counter("sweep.cpu.retries", kind="crash").inc()
+    reg.gauge("pool.utilization").set(0.75)
+    reg.histogram("guard.wall_s", bounds=(0.1, 1.0)).observe(0.5)
+    engine = enabled_registry("engine")
+    engine.counter("dl1.hits").inc(10)
+    reg.mount("cpu.core0", engine)
+    return reg
+
+
+# ---------------------------------------------------------------------
+# Prometheus rendering + strict parsing (the CI validation pair)
+# ---------------------------------------------------------------------
+
+class TestPrometheus:
+    def test_render_parses_back_strictly(self):
+        text = prometheus_text(registry=populated_registry())
+        families = parse_prometheus(text)
+        assert families["repro_sweep_cpu_runs"]["type"] == "counter"
+        assert families["repro_sweep_cpu_runs"]["samples"] == [
+            ("repro_sweep_cpu_runs", {}, 3.0)
+        ]
+        # Registry label syntax becomes real Prometheus labels.
+        assert families["repro_sweep_cpu_retries"]["samples"] == [
+            ("repro_sweep_cpu_retries", {"kind": "crash"}, 1.0)
+        ]
+        # Mounted engine snapshots surface as dotted gauge families.
+        assert families["repro_cpu_core0_dl1_hits"]["samples"] == [
+            ("repro_cpu_core0_dl1_hits", {}, 10.0)
+        ]
+
+    def test_histograms_expand_to_cumulative_buckets(self):
+        text = prometheus_text(registry=populated_registry())
+        fam = parse_prometheus(text)["repro_guard_wall_s"]
+        assert fam["type"] == "histogram"
+        by_name = {}
+        for name, labels, value in fam["samples"]:
+            by_name[(name, labels.get("le"))] = value
+        assert by_name[("repro_guard_wall_s_bucket", "0.1")] == 0.0
+        assert by_name[("repro_guard_wall_s_bucket", "1")] == 1.0
+        assert by_name[("repro_guard_wall_s_bucket", "+Inf")] == 1.0
+        assert by_name[("repro_guard_wall_s_count", None)] == 1.0
+        assert by_name[("repro_guard_wall_s_sum", None)] == 0.5
+
+    def test_empty_registry_renders_empty_and_parses(self):
+        text = prometheus_text(registry=enabled_registry())
+        assert text == ""
+        assert parse_prometheus(text) == {}
+
+    @pytest.mark.parametrize("bad", [
+        "repro_x{le=0.5} 1",            # unquoted label value
+        "repro_x 1 2 3",                # trailing garbage
+        "repro_x notanumber",           # non-numeric value
+        "# TYPE repro_x flavour",       # unknown metric type
+        "repro_x 1",                    # sample before any TYPE line
+    ])
+    def test_parser_rejects_malformed_lines(self, bad):
+        with pytest.raises(ValueError):
+            parse_prometheus(bad + "\n")
+
+    def test_parser_rejects_samples_outside_their_family(self):
+        text = "# TYPE repro_a counter\nrepro_b 1\n"
+        with pytest.raises(ValueError, match="outside its TYPE block"):
+            parse_prometheus(text)
+
+    def test_parser_rejects_duplicate_type_lines(self):
+        text = "# TYPE repro_a counter\n# TYPE repro_a counter\n"
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            parse_prometheus(text)
+
+
+# ---------------------------------------------------------------------
+# determinism filter and flat views
+# ---------------------------------------------------------------------
+
+class TestDeterminism:
+    def test_filter_drops_only_marked_names(self):
+        snap = {
+            "sweep.cpu.runs": 4,
+            "sweep.cpu.wall_s.sum": 1.23,       # timing
+            "pool.spawned": 2,                  # pool lifecycle
+            "serve.shed": 1,                    # service accounting
+            "trace_cache.hits": 9,              # per-process split
+            "cpu.core0.dl1.hits": 100,          # engine counter: kept
+        }
+        kept = deterministic_snapshot(snap)
+        assert kept == {"sweep.cpu.runs": 4, "cpu.core0.dl1.hits": 100}
+
+    def test_extra_markers_extend_the_filter(self):
+        snap = {"a.b": 1, "c.d": 2}
+        assert deterministic_snapshot(snap, extra_markers=("c.",)) == {"a.b": 1}
+
+    def test_snapshot_from_state_matches_registry_snapshot(self):
+        reg = populated_registry()
+        assert snapshot_from_state(reg.export_state()) == reg.snapshot()
+
+
+# ---------------------------------------------------------------------
+# export_state: typed deltas for the worker result pipe
+# ---------------------------------------------------------------------
+
+class TestExportState:
+    def test_since_rebases_counters_and_drops_zero_deltas(self):
+        reg = enabled_registry()
+        reg.counter("a").inc(5)
+        reg.counter("b").inc(1)
+        base = reg.export_state()
+        reg.counter("a").inc(2)
+        delta = reg.export_state(since=base)
+        assert delta["counters"] == {"a": 2}   # b unchanged: dropped
+
+    def test_since_drops_unchanged_gauges_and_mounts(self):
+        reg = enabled_registry()
+        reg.gauge("depth").set(3)
+        engine = enabled_registry("engine")
+        engine.counter("hits").inc(7)
+        reg.mount("cpu.core0", engine)
+        base = reg.export_state()
+        assert reg.export_state(since=base)["gauges"] == {}
+        assert reg.export_state(since=base)["mounts"] == {}
+        # A touched mount ships again, whole.
+        engine.counter("hits").inc()
+        assert reg.export_state(since=base)["mounts"] == {
+            "cpu.core0": {"hits": 8}
+        }
+
+    def test_since_rebases_histogram_buckets(self):
+        reg = enabled_registry()
+        hist = reg.histogram("wall", bounds=(1.0,))
+        hist.observe(0.5)
+        base = reg.export_state()
+        hist.observe(0.7)
+        delta = reg.export_state(since=base)["histograms"]["wall"]
+        assert delta["counts"][0] == 1
+        assert delta["sum"] == pytest.approx(0.7)
+
+    def test_mounts_ship_as_whole_snapshots_not_gauges(self):
+        # Re-mounting replaces a prefix wholesale in serial sweeps;
+        # flattening mounts into gauges would union keys across runs
+        # and break serial-vs-parallel identity.
+        reg = enabled_registry()
+        engine = enabled_registry("engine")
+        engine.counter("hits").inc(2)
+        reg.mount("cpu.core0", engine)
+        state = reg.export_state()
+        assert state["mounts"] == {"cpu.core0": {"hits": 2}}
+        assert state["gauges"] == {}
+
+
+# ---------------------------------------------------------------------
+# merge_exported: the supervisor side
+# ---------------------------------------------------------------------
+
+class TestMergeExported:
+    def test_counters_add_order_independently(self):
+        a = {"schema": 1, "counters": {"runs": 2}}
+        b = {"schema": 1, "counters": {"runs": 3}}
+        forward, backward = enabled_registry(), enabled_registry()
+        forward.merge_exported(a, order=0)
+        forward.merge_exported(b, order=1)
+        backward.merge_exported(b, order=1)
+        backward.merge_exported(a, order=0)
+        assert forward.snapshot() == backward.snapshot() == {"runs": 5}
+
+    def test_gauges_converge_to_highest_order_regardless_of_arrival(self):
+        late = {"schema": 1, "gauges": {"depth": 9.0}}
+        early = {"schema": 1, "gauges": {"depth": 1.0}}
+        reg = enabled_registry()
+        reg.merge_exported(late, order=5)       # completes first
+        reg.merge_exported(early, order=2)      # straggler arrives late
+        assert reg.snapshot()["depth"] == 9.0   # serial order wins
+
+    def test_mounts_replace_wholesale_keyed_on_order(self):
+        # Serial re-mounts drop keys the newest run never produced; the
+        # merged view must do the same, whichever order payloads land.
+        first = {"schema": 1, "mounts": {"cpu.core0": {"hits": 5, "evictions": 2}}}
+        last = {"schema": 1, "mounts": {"cpu.core0": {"hits": 8}}}
+        reg = enabled_registry()
+        reg.merge_exported(last, order=3)
+        reg.merge_exported(first, order=1)
+        snap = reg.snapshot()
+        assert snap == {"cpu.core0.hits": 8}
+        assert "cpu.core0.evictions" not in snap
+
+    def test_merged_mounts_are_frozen_snapshots(self):
+        reg = enabled_registry()
+        reg.merge_exported(
+            {"schema": 1, "mounts": {"gpu.cu": {"warps": 4}}}, order=0
+        )
+        state = reg.export_state()
+        assert state["mounts"] == {"gpu.cu": {"warps": 4}}
+        frozen = FrozenSnapshot("x", {"a": 1})
+        assert frozen.snapshot() == {"a": 1}
+        assert frozen.snapshot() is not frozen.snapshot()  # defensive copy
+
+    def test_histograms_merge_matching_bounds_only(self):
+        reg = enabled_registry()
+        reg.histogram("wall", bounds=(1.0,)).observe(0.5)
+        merged = reg.merge_exported({
+            "schema": 1,
+            "histograms": {
+                "wall": {"bounds": [1.0], "counts": [2, 0], "sum": 0.9},
+                "other": {"bounds": [9.0], "counts": [1, 0], "sum": 0.1},
+            },
+        }, order=0)
+        assert merged == 2
+        snap = reg.snapshot()
+        assert snap["wall.count"] == 3
+        assert snap["wall.sum"] == pytest.approx(1.4)
+
+    def test_inactive_registry_ignores_payloads(self):
+        reg = MetricsRegistry("off", enabled=False)
+        assert reg.merge_exported({"schema": 1, "counters": {"x": 1}}) == 0
+
+    def test_round_trip_export_merge_preserves_snapshot(self):
+        source = populated_registry()
+        target = enabled_registry()
+        target.merge_exported(source.export_state(), order=0)
+        assert target.snapshot() == source.snapshot()
+
+
+# ---------------------------------------------------------------------
+# the metrics snapshot file (what `repro top` tails)
+# ---------------------------------------------------------------------
+
+class TestSnapshotFile:
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / "svc.metrics.json"
+        doc = write_metrics_snapshot(path, registry=populated_registry(),
+                                     seq=7, extra={"note": "t"})
+        assert doc["schema"] == SNAPSHOT_SCHEMA and doc["seq"] == 7
+        loaded = read_metrics_snapshot(path)
+        assert loaded["note"] == "t"
+        assert snapshot_from_state(loaded["state"])["sweep.cpu.runs"] == 3
+
+    def test_read_tolerates_missing_torn_and_foreign_files(self, tmp_path):
+        assert read_metrics_snapshot(tmp_path / "missing.json") is None
+        torn = tmp_path / "torn.json"
+        torn.write_text('{"schema": 1, "seq"')
+        assert read_metrics_snapshot(torn) is None
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text(json.dumps({"schema": 999}))
+        assert read_metrics_snapshot(foreign) is None
+
+    def test_snapshot_path_derives_from_health_path(self):
+        assert metrics_snapshot_path("/run/svc.health.json") == (
+            "/run/svc.metrics.json"
+        )
+        assert metrics_snapshot_path("/run/health") == (
+            "/run/health.metrics.json"
+        )
