@@ -51,6 +51,27 @@ Commands
 ``serve --health [--health-file PATH]``
     Dump the service's latest liveness/readiness snapshot (queue depth,
     breaker states, served/shed counters) from its health file.
+``fabric coordinator CONFIGS... [--gpu] [--listen HOST:PORT] [--nodes N]
+[--checkpoint PATH] [--resume] [--heartbeat S] [--heartbeat-timeout S]
+[--task-timeout S] [--grace S] [--drain-deadline S] [--fleet-dir DIR]
+[--json]``
+    Run a sweep distributed across connected fabric nodes: cells are
+    consistent-hashed onto nodes, dead nodes (heartbeat timeout or
+    connection loss) have their in-flight cells resubmitted to
+    survivors exactly once (epoch fencing rejects zombie results), and
+    SIGTERM drains the whole fleet through every node's checkpoint.
+    The report is byte-identical to a serial ``sweep`` of the same
+    cells.  Exit status matches ``sweep``: 0 = complete, 3 = gaps.
+``fabric node --connect HOST:PORT [--name NAME] [--workers N]
+[--isolation {thread,process}] [--checkpoint PATH] [--resume]
+[--queue-capacity N] [--health-file PATH] [--json]``
+    Run one worker node: the existing job service (queue, breakers,
+    process pool) fed by coordinator assignments.  Reconnects with
+    seeded exponential backoff after a lost coordinator; exits on the
+    coordinator's ``bye``/``drain``.
+``top --fleet PATH``
+    Render the fabric's fleet rollup (``<fleet-dir>/fleet.json``)
+    instead of a single service's health file.
 ``bench [--json] [--baseline PATH] [--tolerance T] [--update-baseline]
 [--instructions N] [--repeats N]``
     Run the cycle-engine perf microbenchmarks (fast path vs
@@ -431,12 +452,215 @@ def _cmd_top(args: argparse.Namespace) -> int:
     if args.interval <= 0:
         print("--interval must be positive", file=sys.stderr)
         return 2
+    if args.fleet and args.health_file:
+        print("--fleet and --health-file are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if not args.fleet and not args.health_file:
+        print("top requires --health-file PATH (or --fleet PATH)",
+              file=sys.stderr)
+        return 2
     run_top(
-        args.health_file,
+        args.fleet or args.health_file,
         interval_s=args.interval,
         iterations=1 if args.once else None,
+        fleet=bool(args.fleet),
     )
     return 0
+
+
+def _parse_hostport(value: str, default_port: int = 7077) -> "tuple[str, int]":
+    host, sep, port = value.rpartition(":")
+    if not sep:
+        return value, default_port
+    return host or "127.0.0.1", int(port)
+
+
+def _cmd_fabric_coordinator(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.fabric import FabricConfig, FabricCoordinator
+
+    known = GPU_CONFIGS if args.gpu else CPU_CONFIGS
+    unknown = [n for n in args.configs if n not in known]
+    if unknown:
+        kind = "GPU" if args.gpu else "CPU"
+        print(
+            f"unknown {kind} configs: {unknown}; choose from {sorted(known)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    host, port = _parse_hostport(args.listen)
+    runner = SweepRunner(
+        policy=GuardPolicy(
+            timeout_s=args.timeout, max_retries=args.max_retries
+        ),
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
+    run_kind = "gpu" if args.gpu else "cpu"
+    workloads = runner.settings.kernels if args.gpu else runner.settings.apps
+    cells = [
+        (run_kind, config, workload)
+        for config in args.configs
+        for workload in workloads
+    ]
+    coordinator = FabricCoordinator(
+        runner,
+        cells,
+        FabricConfig(
+            host=host,
+            port=port,
+            heartbeat_s=args.heartbeat,
+            heartbeat_timeout_s=args.heartbeat_timeout,
+            task_timeout_s=args.task_timeout,
+            min_nodes=args.nodes,
+            join_timeout_s=args.join_timeout,
+            rejoin_grace_s=args.grace,
+            drain_deadline_s=args.drain_deadline,
+            fleet_dir=args.fleet_dir,
+        ),
+    )
+
+    def _on_signal(_signum, _frame):
+        coordinator.request_shutdown()
+
+    old_handlers = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            old_handlers.append((signum, signal.signal(signum, _on_signal)))
+        except ValueError:  # not the main thread (embedded callers)
+            pass
+    try:
+        fabric_summary = asyncio.run(coordinator.serve())
+    finally:
+        for signum, handler in old_handlers:
+            signal.signal(signum, handler)
+
+    # Assemble the report straight from the runner caches in
+    # deterministic cell order -- the exact construction the serial
+    # sweep uses, so the two are byte-identical.  (Never re-execute
+    # here: a gap must stay a gap, not trigger a local retry.)
+    cache = runner._cache_for(run_kind)
+    results = {
+        config: {w: cache.get((config, w)) for w in workloads}
+        for config in args.configs
+    }
+    failures = list(runner.failures.values())
+    if args.json:
+        cells_doc = {
+            config: {
+                workload: (
+                    None if run is None else {
+                        "time_s": run.time_s,
+                        "energy_j": run.energy_j,
+                        "ed2": run.ed2,
+                    }
+                )
+                for workload, run in row.items()
+            }
+            for config, row in results.items()
+        }
+        print(
+            json.dumps(
+                {
+                    "kind": run_kind,
+                    "configs": args.configs,
+                    "workloads": workloads,
+                    "cells": cells_doc,
+                    "failures": [f.to_dict() for f in failures],
+                    "failure_table": failure_table(failures),
+                    "telemetry": runner.telemetry.summary(),
+                    "fabric": fabric_summary,
+                },
+                indent=2,
+            )
+        )
+    else:
+        total = len(args.configs) * len(workloads)
+        done = sum(
+            1 for row in results.values() for run in row.values()
+            if run is not None
+        )
+        print(_sweep_status_table(results, workloads))
+        counters = fabric_summary["counters"]
+        print(
+            f"\n{done}/{total} cells ok, {len(failures)} failed | "
+            f"{counters['nodes_joined']} node(s) joined, "
+            f"{counters['nodes_dead']} died, "
+            f"{counters['resubmitted']} resubmitted, "
+            f"{counters['fenced']} fenced, "
+            f"{counters['duplicates']} duplicates dropped"
+        )
+        if failures:
+            print(failure_table(failures))
+        print(runner.telemetry.cache_summary())
+        if args.checkpoint:
+            print(f"checkpoint: {args.checkpoint}")
+    return 3 if failures else 0
+
+
+def _cmd_fabric_node(args: argparse.Namespace) -> int:
+    from repro.fabric import FabricNode, NodeConfig
+
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    if args.workers > 1 and args.isolation == "thread":
+        print(
+            "--workers > 1 requires --isolation process "
+            "(threads cannot parallelise CPU-bound sweeps)",
+            file=sys.stderr,
+        )
+        return 2
+    host, port = _parse_hostport(args.connect)
+    node = FabricNode(NodeConfig(
+        host=host,
+        port=port,
+        name=args.name,
+        workers=args.workers,
+        isolation=args.isolation,
+        queue_capacity=args.queue_capacity,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        health_file=args.health_file,
+    ))
+
+    def _on_signal(_signum, _frame):
+        node.request_shutdown()
+
+    old_handlers = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            old_handlers.append((signum, signal.signal(signum, _on_signal)))
+        except ValueError:
+            pass
+    try:
+        summary = node.run()
+    finally:
+        for signum, handler in old_handlers:
+            signal.signal(signum, handler)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        counters = summary["counters"]
+        print(
+            f"fabric node {summary['node']}: "
+            f"{counters['assigned']} assigned, "
+            f"{counters['results_sent']} results sent, "
+            f"{counters['connects']} connect(s), "
+            f"{counters['reconnects']} reconnect(s)"
+        )
+    return 0
+
+
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    if args.fabric_command == "coordinator":
+        return _cmd_fabric_coordinator(args)
+    return _cmd_fabric_node(args)
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -774,8 +998,13 @@ def main(argv: "list[str] | None" = None) -> int:
         help="live dashboard tailing a service's health + metrics snapshots",
     )
     p_top.add_argument(
-        "--health-file", required=True, metavar="PATH",
+        "--health-file", metavar="PATH",
         help="the running service's --health-file path",
+    )
+    p_top.add_argument(
+        "--fleet", metavar="PATH",
+        help="render a fabric fleet rollup from <fleet-dir>/fleet.json "
+        "instead of a single service's health file",
     )
     p_top.add_argument(
         "--interval", type=float, default=1.0, metavar="S",
@@ -784,6 +1013,131 @@ def main(argv: "list[str] | None" = None) -> int:
     p_top.add_argument(
         "--once", action="store_true",
         help="render a single frame and exit (for scripts and tests)",
+    )
+
+    p_fabric = sub.add_parser(
+        "fabric",
+        help="distributed sweep tier: one coordinator, N worker nodes",
+    )
+    fabric_sub = p_fabric.add_subparsers(
+        dest="fabric_command", required=True
+    )
+    p_coord = fabric_sub.add_parser(
+        "coordinator",
+        help="own a sweep's cell list; hash cells onto connected nodes, "
+        "resubmit in-flight cells of dead nodes exactly once",
+    )
+    p_coord.add_argument(
+        "configs", nargs="+", metavar="CONFIG",
+        help="CPU (or, with --gpu, GPU) configurations to sweep",
+    )
+    p_coord.add_argument(
+        "--gpu", action="store_true",
+        help="sweep GPU configurations over kernels instead of CPU/apps",
+    )
+    p_coord.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="bind address (default 127.0.0.1:0 = ephemeral port, "
+        "printed to stderr at startup)",
+    )
+    p_coord.add_argument(
+        "--nodes", type=int, default=1, metavar="N",
+        help="wait for N nodes to join before distributing (default 1)",
+    )
+    p_coord.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="persist the authoritative result caches here",
+    )
+    p_coord.add_argument(
+        "--resume", action="store_true",
+        help="preload a matching checkpoint; cached cells never leave "
+        "the coordinator",
+    )
+    p_coord.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="wall-clock budget per run attempt on each node (seconds)",
+    )
+    p_coord.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="node-local retries per cell (default 2)",
+    )
+    p_coord.add_argument(
+        "--heartbeat", type=float, default=0.5, metavar="S",
+        help="node heartbeat interval (default 0.5)",
+    )
+    p_coord.add_argument(
+        "--heartbeat-timeout", type=float, default=3.0, metavar="S",
+        help="heartbeat silence that declares a node dead (default 3)",
+    )
+    p_coord.add_argument(
+        "--task-timeout", type=float, default=120.0, metavar="S",
+        help="per-assignment budget before resubmission (default 120)",
+    )
+    p_coord.add_argument(
+        "--join-timeout", type=float, default=60.0, metavar="S",
+        help="how long to wait for the first --nodes joins (default 60)",
+    )
+    p_coord.add_argument(
+        "--grace", type=float, default=10.0, metavar="S",
+        help="after all nodes die, how long to wait for a rejoin before "
+        "shedding the remaining cells (default 10)",
+    )
+    p_coord.add_argument(
+        "--drain-deadline", type=float, default=10.0, metavar="S",
+        help="SIGTERM drain budget for the whole fleet (default 10)",
+    )
+    p_coord.add_argument(
+        "--fleet-dir", metavar="DIR",
+        help="publish per-node health + the fleet rollup here "
+        "(read by `repro top --fleet DIR/fleet.json`)",
+    )
+    p_coord.add_argument(
+        "--json", action="store_true",
+        help="emit the sweep report (sweep --json shape) plus a "
+        "'fabric' summary as JSON",
+    )
+    p_node = fabric_sub.add_parser(
+        "node",
+        help="run one worker node backed by the simulation job service",
+    )
+    p_node.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address",
+    )
+    p_node.add_argument(
+        "--name", default=None, metavar="NAME",
+        help="stable node identity (default node-<pid>); reconnects "
+        "under the same name supersede the old session",
+    )
+    p_node.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="concurrent dispatcher slots (default 1)",
+    )
+    p_node.add_argument(
+        "--isolation", choices=("thread", "process"), default="thread",
+        help="execute cells in-process (thread) or in SIGKILL-supervised "
+        "worker processes (process)",
+    )
+    p_node.add_argument(
+        "--queue-capacity", type=int, default=256, metavar="N",
+        help="bounded local queue; overflow assignments shed back to "
+        "the coordinator (default 256)",
+    )
+    p_node.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="persist this node's result caches here",
+    )
+    p_node.add_argument(
+        "--resume", action="store_true",
+        help="preload a matching checkpoint on startup",
+    )
+    p_node.add_argument(
+        "--health-file", metavar="PATH",
+        help="also write this node's health snapshots locally",
+    )
+    p_node.add_argument(
+        "--json", action="store_true",
+        help="emit the node's counters as JSON on exit",
     )
 
     p_bench = sub.add_parser(
@@ -830,6 +1184,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "sweep": _cmd_sweep,
         "serve": _cmd_serve,
         "top": _cmd_top,
+        "fabric": _cmd_fabric,
         "bench": _cmd_bench,
     }
     return handlers[args.command](args)

@@ -1,0 +1,62 @@
+"""``repro.fabric``: the distributed sweep tier.
+
+One asyncio coordinator (:mod:`repro.fabric.coordinator`) owns a
+sweep's cell list and its authoritative runner/checkpoint; N worker
+nodes (:mod:`repro.fabric.node`) each run the existing
+:class:`~repro.serve.service.SimService` machinery and stream results
+back over a length-prefixed JSON protocol
+(:mod:`repro.fabric.protocol`).  Cells are consistent-hashed on
+(run_kind, config, workload) so breaker state and caches stay
+node-local; node death (heartbeat timeout or connection loss) triggers
+exactly-once resubmission fenced by session epochs; heartbeat health
+snapshots roll up into a fleet view (:mod:`repro.fabric.fleet`) for
+``repro top --fleet``.
+
+Serial, single-node, and multi-node sweeps produce byte-identical
+reports: simulation is deterministic and reports are assembled from the
+runner caches in deterministic cell order, so the fabric only changes
+*where* cells run, never what they produce.
+"""
+
+from repro.fabric.coordinator import FabricConfig, FabricCoordinator, NodeClient
+from repro.fabric.fleet import (
+    FleetRollup,
+    FleetSnapshot,
+    fleet_path,
+    read_fleet,
+    rollup,
+    write_fleet,
+)
+from repro.fabric.node import FabricNode, NodeConfig
+from repro.fabric.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    FrameSocket,
+    HashRing,
+    ProtocolError,
+    encode_frame,
+    route_key,
+)
+
+__all__ = [
+    "FabricConfig",
+    "FabricCoordinator",
+    "FabricNode",
+    "FleetRollup",
+    "FleetSnapshot",
+    "FrameSocket",
+    "HashRing",
+    "NodeClient",
+    "NodeConfig",
+    "ConnectionClosed",
+    "ProtocolError",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "encode_frame",
+    "fleet_path",
+    "read_fleet",
+    "rollup",
+    "route_key",
+    "write_fleet",
+]

@@ -1,0 +1,204 @@
+"""Fleet-level health rollup for the distributed sweep fabric.
+
+The coordinator relays every node heartbeat into a per-node health file
+(``<fleet_dir>/<node>.health.json``, the same atomic-replace contract
+as the single-service file) and periodically rolls the set up into one
+``<fleet_dir>/fleet.json`` document.  ``repro top --fleet`` tails that
+one file.
+
+Staleness is judged per node with
+:class:`~repro.serve.health.HealthWatcher` -- the reader's own
+monotonic clock watching each node's ``seq`` advance -- so a node whose
+heartbeats stop (killed, partitioned, wedged) degrades to ``dead``
+within the staleness budget even if its last snapshot claimed perfect
+health.  The fleet itself stays ``healthy`` while a quorum (majority by
+default) of registered nodes is alive: one dead node is a degraded
+fleet, not an outage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.serve.health import HealthSnapshot, HealthWatcher
+
+#: Default per-node staleness budget; fabric heartbeats are sub-second,
+#: so a few missed beats plus file latency still fits comfortably.
+DEFAULT_NODE_STALE_S = 5.0
+
+#: The states a node can be in within a fleet snapshot.
+NODE_STATES = ("alive", "draining", "dead", "missing")
+
+
+def default_quorum(total: int) -> int:
+    """Majority quorum: the smallest count that is more than half."""
+    return total // 2 + 1 if total else 0
+
+
+@dataclasses.dataclass
+class FleetSnapshot:
+    """One rolled-up view of every node in the fabric."""
+
+    nodes: dict
+    total: int
+    alive: int
+    quorum: int
+    healthy: bool
+    draining: bool = False
+    seq: int = 0
+    updated_at: float = dataclasses.field(default_factory=time.time)
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetSnapshot":
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+    def describe(self) -> str:
+        """Human-readable multi-line dump (``repro top --fleet --once``)."""
+        state = "draining" if self.draining else (
+            "healthy" if self.healthy else "DEGRADED"
+        )
+        lines = [
+            f"fleet:   {state}, {self.alive}/{self.total} nodes alive "
+            f"(quorum {self.quorum}), seq {self.seq}",
+        ]
+        for name in sorted(self.nodes):
+            node = self.nodes[name]
+            extra = ""
+            if node.get("state") == "alive":
+                extra = (
+                    f", {node.get('in_flight', 0)} in flight, "
+                    f"queue {node.get('queue_depth', 0)}"
+                )
+            silent = node.get("silent_s")
+            if silent is not None:
+                extra += f", silent {silent:.1f}s"
+            lines.append(f"  {name}: {node.get('state', '?')}{extra}")
+        return "\n".join(lines)
+
+
+def rollup(
+    nodes: "dict[str, tuple[HealthSnapshot | None, float | None]]",
+    *,
+    quorum: "int | None" = None,
+    draining: bool = False,
+    seq: int = 0,
+) -> FleetSnapshot:
+    """Pure rollup of per-node (snapshot, silent_s) pairs.
+
+    A missing snapshot is ``missing``; a snapshot whose liveness the
+    watcher already revoked (seq stopped advancing) is ``dead``; a live
+    snapshot carries its queue/in-flight numbers into the fleet doc.
+    """
+    total = len(nodes)
+    need = default_quorum(total) if quorum is None else quorum
+    node_docs: dict = {}
+    alive = 0
+    for name, (snapshot, silent_s) in sorted(nodes.items()):
+        if snapshot is None:
+            node_docs[name] = {"state": "missing", "silent_s": silent_s}
+            continue
+        if not snapshot.alive:
+            state = "dead"
+        elif snapshot.draining:
+            state = "draining"
+        else:
+            state = "alive"
+        if state != "dead":
+            alive += 1
+        node_docs[name] = {
+            "state": state,
+            "seq": snapshot.seq,
+            "pid": snapshot.pid,
+            "in_flight": snapshot.in_flight,
+            "queue_depth": snapshot.queue_depth,
+            "counters": dict(snapshot.counters),
+            "silent_s": silent_s,
+        }
+    return FleetSnapshot(
+        nodes=node_docs,
+        total=total,
+        alive=alive,
+        quorum=need,
+        healthy=total > 0 and alive >= need,
+        draining=draining,
+        seq=seq,
+    )
+
+
+class FleetRollup:
+    """Watch a set of per-node health files and roll them up on demand."""
+
+    def __init__(
+        self,
+        *,
+        stale_after_s: float = DEFAULT_NODE_STALE_S,
+        quorum: "int | None" = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.stale_after_s = stale_after_s
+        self.quorum = quorum
+        self._clock = clock
+        self._watchers: "dict[str, HealthWatcher]" = {}
+        self._seq = 0
+
+    @property
+    def names(self) -> "tuple[str, ...]":
+        return tuple(sorted(self._watchers))
+
+    def watch(self, name: str, health_file: "str | os.PathLike") -> None:
+        """Register a node's health file (idempotent per name)."""
+        if name not in self._watchers:
+            self._watchers[name] = HealthWatcher(
+                health_file,
+                stale_after_s=self.stale_after_s,
+                clock=self._clock,
+            )
+
+    def forget(self, name: str) -> None:
+        self._watchers.pop(name, None)
+
+    def poll(self, *, draining: bool = False) -> FleetSnapshot:
+        """One rollup pass across every watched node."""
+        self._seq += 1
+        observed = {
+            name: (watcher.poll(), watcher.silent_s())
+            for name, watcher in self._watchers.items()
+        }
+        return rollup(
+            observed, quorum=self.quorum, draining=draining, seq=self._seq
+        )
+
+
+def fleet_path(fleet_dir: "str | os.PathLike") -> Path:
+    return Path(fleet_dir) / "fleet.json"
+
+
+def node_health_path(fleet_dir: "str | os.PathLike", node: str) -> Path:
+    safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in node)
+    return Path(fleet_dir) / f"{safe}.health.json"
+
+
+def write_fleet(fleet_dir: "str | os.PathLike", snapshot: FleetSnapshot) -> None:
+    """Atomically replace the fleet rollup document."""
+    target = fleet_path(fleet_dir)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(target.name + f".tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(snapshot.to_dict(), indent=1, sort_keys=True))
+    os.replace(tmp, target)
+
+
+def read_fleet(path: "str | os.PathLike") -> "FleetSnapshot | None":
+    """Load a fleet document; None when missing or torn."""
+    try:
+        return FleetSnapshot.from_dict(json.loads(Path(path).read_text()))
+    except (OSError, ValueError, TypeError, KeyError):
+        return None

@@ -54,6 +54,7 @@ NONDETERMINISTIC_MARKERS = (
     "checkpoint",    # flush timing/count depends on completion order
     "pool.",         # worker lifecycle (spawns, heartbeats, requeues)
     "serve.",        # service-side accounting
+    "fabric.",       # node membership / resubmission depends on timing
     "zombie",
     "duration",
     "age",

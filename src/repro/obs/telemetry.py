@@ -83,6 +83,7 @@ class SweepTelemetry:
         self._pool: "dict[str, int]" = {}
         self._serve: "dict[str, int]" = {}
         self._shed: "dict[str, int]" = {}
+        self._fabric: "dict[str, int]" = {}
         self.pool_utilization = 0.0
         self.zombie_threads = 0
         self.callback_errors = 0
@@ -240,6 +241,14 @@ class SweepTelemetry:
         self._scope.counter("serve.shed").inc(count)
         self._scope.counter(f"serve.shed.{reason}").inc(count)
 
+    def record_fabric(self, event: str, count: int = 1) -> None:
+        """Account one distributed-fabric lifecycle event
+        (``node_joined`` / ``node_died`` / ``assigned`` / ``completed``
+        / ``failed`` / ``resubmitted`` / ``fenced`` / ``duplicate`` /
+        ``task_timeout`` / ``heartbeat``)."""
+        self._fabric[event] = self._fabric.get(event, 0) + count
+        self._scope.counter(f"fabric.{event}").inc(count)
+
     def record_queue_depth(self, depth: int) -> None:
         """Record the service's current admitted-but-unstarted backlog."""
         self._scope.gauge("serve.queue_depth").set(depth)
@@ -283,6 +292,10 @@ class SweepTelemetry:
         """Shed jobs per structured admission-control reason."""
         return dict(self._shed)
 
+    def fabric_counts(self) -> "dict[str, int]":
+        """Distributed-fabric lifecycle events so far."""
+        return dict(self._fabric)
+
     @property
     def total_wall_s(self) -> float:
         return sum(r.wall_s for r in self.records)
@@ -314,6 +327,7 @@ class SweepTelemetry:
             "pool": dict(self._pool),
             "serve": dict(self._serve),
             "shed_reasons": dict(self._shed),
+            "fabric": dict(self._fabric),
             "pool_utilization": round(self.pool_utilization, 4),
             "zombie_threads": self.zombie_threads,
             "callback_errors": self.callback_errors,

@@ -99,11 +99,17 @@ class TopSession:
                 dt = written_at - prev_at
                 if dt > 0:
                     for label, keys in RATE_ROWS:
+                        # Clamp each counter's delta individually: a
+                        # restarted writer resets its cumulative
+                        # counters to zero, and that one negative delta
+                        # must read as "no progress observed", not
+                        # cancel the positive deltas of its siblings
+                        # (or render as a negative rate).
                         delta = sum(
-                            flat.get(k, 0.0) - prev_flat.get(k, 0.0)
+                            max(flat.get(k, 0.0) - prev_flat.get(k, 0.0), 0.0)
                             for k in keys
                         )
-                        rates[label] = max(delta, 0.0) / dt
+                        rates[label] = delta / dt
             if self._prev is None or written_at != self._prev[0]:
                 self._prev = (written_at, flat)
         return health, doc, rates
@@ -175,6 +181,16 @@ def render_dashboard(
     return "\n".join(lines)
 
 
+def render_fleet(snapshot) -> str:
+    """Render one fleet-rollup frame (``repro top --fleet``)."""
+    lines = ["repro top (fleet)"]
+    if snapshot is None:
+        lines.append("fleet:   (no fleet file yet)")
+    else:
+        lines.append(snapshot.describe())
+    return "\n".join(lines)
+
+
 def run_top(
     health_file: str,
     *,
@@ -183,20 +199,28 @@ def run_top(
     out: Callable[[str], None] = print,
     clear: bool = True,
     sleep: Callable[[float], None] = time.sleep,
+    fleet: bool = False,
 ) -> int:
     """The ``repro top`` loop; returns the number of frames rendered.
 
     ``iterations=1`` is the ``--once`` mode (no clearing, no sleep) that
     scripts and tests use; ``None`` loops until KeyboardInterrupt.
+    With ``fleet=True``, ``health_file`` is a fabric ``fleet.json``
+    rollup and each frame renders the whole node fleet instead.
     """
-    session = TopSession(health_file)
+    session = None if fleet else TopSession(health_file)
     frames = 0
     try:
         while iterations is None or frames < iterations:
-            health, doc, rates = session.sample()
-            frame = render_dashboard(
-                health, doc, rates, silent_s=session.watcher.silent_s()
-            )
+            if fleet:
+                from repro.fabric.fleet import read_fleet
+
+                frame = render_fleet(read_fleet(health_file))
+            else:
+                health, doc, rates = session.sample()
+                frame = render_dashboard(
+                    health, doc, rates, silent_s=session.watcher.silent_s()
+                )
             if clear and iterations != 1:
                 out("\x1b[2J\x1b[H" + frame)
             else:

@@ -35,6 +35,20 @@ Env gating (mirrors ``REPRO_OBS``)
 from ``REPRO_FAULTS_SEED`` (default 0), and hang duration from
 ``REPRO_FAULTS_HANG_S`` (default 30s).
 Tests install an injector programmatically via :func:`install` instead.
+
+Network faults (the fabric tier)
+--------------------------------
+:class:`NetFaultInjector` is the wire-level sibling used by
+:mod:`repro.fabric`: every frame a peer *sends* draws once from a seeded
+RNG keyed on (seed, site, frame sequence number) -- sites are
+directional link names like ``"node-1->coordinator"`` -- and is either
+dropped, delayed, duplicated, delivered normally, or opens a timed
+*partition* during which every subsequent frame on that site is dropped.
+The decision is a pure function of (plan, site, seq), so a failing
+chaos run replays byte-for-byte with the same seed.  Env gating uses
+``REPRO_NET_FAULTS=1`` plus ``REPRO_NET_FAULTS_DROP_P`` /
+``_DELAY_P`` / ``_DELAY_S`` / ``_DUP_P`` / ``_PARTITION_P`` /
+``_PARTITION_S`` / ``_SEED``.
 """
 
 from __future__ import annotations
@@ -183,10 +197,12 @@ def uninstall() -> None:
 
 
 def reset() -> None:
-    """Forget both the installed and the env-built injector (test hygiene)."""
-    global _INSTALLED, _FROM_ENV
+    """Forget every installed/env-built injector (test hygiene)."""
+    global _INSTALLED, _FROM_ENV, _NET_INSTALLED, _NET_FROM_ENV
     _INSTALLED = None
     _FROM_ENV = None
+    _NET_INSTALLED = None
+    _NET_FROM_ENV = None
 
 
 def installed_plan() -> "FaultPlan | None":
@@ -210,3 +226,141 @@ def active() -> "FaultInjector | None":
     if _FROM_ENV is None:
         _FROM_ENV = FaultInjector(FaultPlan.from_env())
     return _FROM_ENV
+
+
+@dataclass(frozen=True)
+class NetFaultPlan:
+    """Per-frame network fault probabilities (disjoint bands: drop, then
+    delay, then duplicate, then partition, from one uniform sample)."""
+
+    drop_p: float = 0.0
+    delay_p: float = 0.0
+    dup_p: float = 0.0
+    partition_p: float = 0.0
+    delay_s: float = 0.05
+    partition_s: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_p", "delay_p", "dup_p", "partition_p"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.drop_p + self.delay_p + self.dup_p + self.partition_p > 1.0:
+            raise ValueError("network fault probabilities must sum to <= 1")
+        for name in ("delay_s", "partition_s"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be >= 0")
+
+    @classmethod
+    def from_env(cls) -> "NetFaultPlan":
+        return cls(
+            drop_p=_env_float("REPRO_NET_FAULTS_DROP_P", 0.0),
+            delay_p=_env_float("REPRO_NET_FAULTS_DELAY_P", 0.0),
+            dup_p=_env_float("REPRO_NET_FAULTS_DUP_P", 0.0),
+            partition_p=_env_float("REPRO_NET_FAULTS_PARTITION_P", 0.0),
+            delay_s=_env_float("REPRO_NET_FAULTS_DELAY_S", 0.05),
+            partition_s=_env_float("REPRO_NET_FAULTS_PARTITION_S", 2.0),
+            seed=int(_env_float("REPRO_NET_FAULTS_SEED", 0)),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "drop_p": self.drop_p,
+            "delay_p": self.delay_p,
+            "dup_p": self.dup_p,
+            "partition_p": self.partition_p,
+            "delay_s": self.delay_s,
+            "partition_s": self.partition_s,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NetFaultPlan":
+        return cls(**data)
+
+
+class NetFaultInjector:
+    """Seeded per-frame delivery decisions for fabric links.
+
+    :meth:`fates` returns the *delivery schedule* for the next outgoing
+    frame on a site: a list of per-copy delays.  ``[]`` means the frame
+    is dropped, ``[0.0]`` is normal delivery, ``[0.0, 0.0]`` is a
+    duplicate, ``[delay_s]`` a delayed frame.  A ``partition`` fate
+    drops the frame *and* opens a window during which every later frame
+    on the same site is dropped too -- the closest a seeded, send-side
+    injector gets to yanking the cable.
+    """
+
+    def __init__(self, plan: NetFaultPlan, clock: "Callable[[], float]" = time.monotonic):
+        self.plan = plan
+        self._clock = clock
+        self._seq: "dict[str, int]" = {}
+        self._partition_until: "dict[str, float]" = {}
+        #: How many of each fate was actually injected.
+        self.injected = {
+            "drop": 0, "delay": 0, "dup": 0,
+            "partition": 0, "partition_drop": 0,
+        }
+
+    def fates(self, site: str) -> "list[float]":
+        """Delivery schedule (list of per-copy delays) for the next frame."""
+        seq = self._seq.get(site, 0) + 1
+        self._seq[site] = seq
+        now = self._clock()
+        until = self._partition_until.get(site)
+        if until is not None:
+            if now < until:
+                self.injected["partition_drop"] += 1
+                return []
+            del self._partition_until[site]
+        plan = self.plan
+        u = stable_seed(plan.seed, "net", site, seq) / float(1 << 64)
+        if u < plan.drop_p:
+            self.injected["drop"] += 1
+            return []
+        band = plan.drop_p
+        if u < band + plan.delay_p:
+            self.injected["delay"] += 1
+            return [plan.delay_s]
+        band += plan.delay_p
+        if u < band + plan.dup_p:
+            self.injected["dup"] += 1
+            return [0.0, 0.0]
+        band += plan.dup_p
+        if u < band + plan.partition_p:
+            self.injected["partition"] += 1
+            self._partition_until[site] = now + plan.partition_s
+            return []
+        return [0.0]
+
+
+#: Programmatically installed network injector (beats the env one).
+_NET_INSTALLED: "NetFaultInjector | None" = None
+#: Lazily built env-configured network injector (frame seqs persist).
+_NET_FROM_ENV: "NetFaultInjector | None" = None
+
+
+def install_network(injector: NetFaultInjector) -> NetFaultInjector:
+    """Install a network injector for this process (tests; returns it)."""
+    global _NET_INSTALLED
+    _NET_INSTALLED = injector
+    return injector
+
+
+def uninstall_network() -> None:
+    """Remove the programmatically installed network injector."""
+    global _NET_INSTALLED
+    _NET_INSTALLED = None
+
+
+def active_network() -> "NetFaultInjector | None":
+    """The network injector for fabric links, or None when disabled."""
+    global _NET_FROM_ENV
+    if _NET_INSTALLED is not None:
+        return _NET_INSTALLED
+    if not _env_flag("REPRO_NET_FAULTS"):
+        return None
+    if _NET_FROM_ENV is None:
+        _NET_FROM_ENV = NetFaultInjector(NetFaultPlan.from_env())
+    return _NET_FROM_ENV

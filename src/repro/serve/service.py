@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from threading import Event, RLock, Thread
@@ -174,6 +175,7 @@ class SimService:
             "cancelled": 0,
             "drained": 0,
             "intake_malformed": 0,
+            "intake_rotated": 0,
         }
         self._in_flight = 0
         self._threads: "list[Thread]" = []
@@ -357,12 +359,37 @@ class SimService:
         until :meth:`request_shutdown`.  Malformed lines are counted
         (``serve.intake_malformed``) and reported through ``on_line``,
         never silently swallowed and never fatal to the intake loop.
+
+        The tail survives log rotation: when the file's inode changes
+        (rotated and recreated) or its size shrinks below the read
+        position (truncated in place), the loop reopens from offset 0
+        instead of silently stalling at a seek position past EOF.  Each
+        such event is counted (``serve.intake_rotated``) and reported
+        through ``on_line``.
         """
         pos = 0
+        inode: "int | None" = None
         submitted = malformed = 0
         while True:
             try:
                 with open(path, "r") as handle:
+                    stat = os.fstat(handle.fileno())
+                    if inode is not None and (
+                        stat.st_ino != inode or stat.st_size < pos
+                    ):
+                        # Rotation (new inode) or truncation (shrunk):
+                        # the old offset points into a file that no
+                        # longer exists; start over at the top.
+                        pos = 0
+                        self._count("intake_rotated")
+                        self.telemetry.record_serve("intake_rotated")
+                        if on_line is not None:
+                            on_line(
+                                "jobs file rotated or truncated; "
+                                "re-reading from offset 0",
+                                None,
+                            )
+                    inode = stat.st_ino
                     handle.seek(pos)
                     chunk = handle.read()
             except OSError:

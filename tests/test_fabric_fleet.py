@@ -1,0 +1,175 @@
+"""Fleet rollup: per-node staleness, quorum health, the --fleet view.
+
+Clocks are injected everywhere, so a node "going silent" is one line of
+test code, not a sleep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.fabric.fleet import (
+    DEFAULT_NODE_STALE_S,
+    FleetRollup,
+    FleetSnapshot,
+    default_quorum,
+    fleet_path,
+    node_health_path,
+    read_fleet,
+    rollup,
+    write_fleet,
+)
+from repro.obs.top import render_fleet, run_top
+from repro.serve.health import HealthSnapshot, write_health
+
+
+def _snapshot(seq=1, alive=True, draining=False, **kwargs) -> HealthSnapshot:
+    return HealthSnapshot(
+        alive=alive, ready=alive, draining=draining,
+        queue_depth=kwargs.pop("queue_depth", 0), queue_capacity=8,
+        workers=1, in_flight=kwargs.pop("in_flight", 0),
+        isolation="thread", degraded=False, breakers={}, breakers_open=0,
+        counters=kwargs.pop("counters", {}), shed_reasons={},
+        pid=kwargs.pop("pid", 1234), seq=seq,
+        updated_at=kwargs.pop("updated_at", time.time()),
+    )
+
+
+# ---------------------------------------------------------------------
+# pure rollup
+# ---------------------------------------------------------------------
+
+def test_default_quorum_is_a_majority():
+    assert default_quorum(0) == 0
+    assert default_quorum(1) == 1
+    assert default_quorum(2) == 2
+    assert default_quorum(3) == 2
+    assert default_quorum(5) == 3
+
+
+def test_rollup_classifies_every_node_state():
+    dead = _snapshot(alive=False)
+    snap = rollup({
+        "a": (_snapshot(in_flight=2, queue_depth=3), 0.1),
+        "b": (dead, 9.0),
+        "c": (None, None),
+        "d": (_snapshot(draining=True), 0.2),
+    }, quorum=2)
+    assert snap.nodes["a"]["state"] == "alive"
+    assert snap.nodes["a"]["in_flight"] == 2
+    assert snap.nodes["b"]["state"] == "dead"
+    assert snap.nodes["c"]["state"] == "missing"
+    assert snap.nodes["d"]["state"] == "draining"
+    assert snap.total == 4
+    # missing is not counted alive; draining still is.
+    assert snap.alive == 2
+    assert snap.healthy  # quorum of 2 met
+
+
+def test_rollup_health_tracks_quorum():
+    live, dead = _snapshot(), _snapshot(alive=False)
+    degraded = rollup({"a": (live, 0.0), "b": (live, 0.0),
+                       "c": (dead, 9.0)})
+    assert degraded.quorum == 2
+    assert degraded.alive == 2 and degraded.healthy
+
+    outage = rollup({"a": (live, 0.0), "b": (dead, 9.0), "c": (dead, 9.0)})
+    assert outage.alive == 1 and not outage.healthy
+
+    assert not rollup({}).healthy  # an empty fleet is not a healthy one
+
+
+# ---------------------------------------------------------------------
+# FleetRollup: reader-monotonic staleness per node (satellite coverage
+# for HealthWatcher + rollup composition)
+# ---------------------------------------------------------------------
+
+def test_seq_stall_degrades_node_to_dead_within_staleness_budget(tmp_path):
+    now = [0.0]
+    fleet = FleetRollup(stale_after_s=5.0, clock=lambda: now[0])
+    a_path = node_health_path(tmp_path, "node-a")
+    b_path = node_health_path(tmp_path, "node-b")
+    fleet.watch("node-a", a_path)
+    fleet.watch("node-b", b_path)
+    fleet.watch("node-b", b_path)  # idempotent
+    assert fleet.names == ("node-a", "node-b")
+
+    write_health(a_path, _snapshot(seq=1))
+    write_health(b_path, _snapshot(seq=1))
+    snap = fleet.poll()
+    assert snap.seq == 1
+    assert {n["state"] for n in snap.nodes.values()} == {"alive"}
+
+    # node-b's heartbeats stall (its file claims perfect health, but the
+    # seq stops advancing); node-a keeps beating.
+    for step in range(1, 4):
+        now[0] += 3.0
+        write_health(a_path, _snapshot(seq=1 + step))
+        snap = fleet.poll()
+    assert now[0] >= 5.0  # past node-b's staleness budget
+    assert snap.nodes["node-a"]["state"] == "alive"
+    assert snap.nodes["node-b"]["state"] == "dead"
+    assert snap.nodes["node-b"]["silent_s"] >= 5.0
+    # With quorum 2-of-2 unreachable, the fleet is degraded...
+    assert snap.alive == 1 and not snap.healthy
+
+    # ...until a third live node keeps the majority, at which point one
+    # dead node is a degraded member, not an outage.
+    c_path = node_health_path(tmp_path, "node-c")
+    write_health(c_path, _snapshot(seq=1))
+    fleet.watch("node-c", c_path)
+    now[0] += 1.0
+    write_health(a_path, _snapshot(seq=99))
+    snap = fleet.poll()
+    assert snap.total == 3 and snap.alive == 2 and snap.quorum == 2
+    assert snap.healthy
+    assert snap.nodes["node-b"]["state"] == "dead"
+
+    fleet.forget("node-b")
+    assert "node-b" not in fleet.poll().nodes
+
+
+def test_fleet_rollup_default_staleness_matches_heartbeat_scale():
+    assert DEFAULT_NODE_STALE_S < 30.0  # much tighter than service default
+
+
+# ---------------------------------------------------------------------
+# fleet file + --fleet rendering
+# ---------------------------------------------------------------------
+
+def test_write_read_fleet_roundtrip(tmp_path):
+    snap = rollup({"a": (_snapshot(), 0.0), "b": (None, None)}, seq=7)
+    write_fleet(tmp_path, snap)
+    loaded = read_fleet(fleet_path(tmp_path))
+    assert isinstance(loaded, FleetSnapshot)
+    assert dataclasses.asdict(loaded) == dataclasses.asdict(snap)
+    assert read_fleet(tmp_path / "absent.json") is None
+    (tmp_path / "torn.json").write_text('{"nodes": ')
+    assert read_fleet(tmp_path / "torn.json") is None
+
+
+def test_node_health_path_sanitizes_names(tmp_path):
+    path = node_health_path(tmp_path, "evil/../node one")
+    assert path.parent == tmp_path
+    assert "/" not in path.name.replace(".health.json", "")
+
+
+def test_render_fleet_and_top_fleet_mode(tmp_path):
+    live, dead = _snapshot(in_flight=1, queue_depth=2), _snapshot(alive=False)
+    snap = rollup({"n1": (live, 0.4), "n2": (dead, 12.0)})
+    write_fleet(tmp_path, snap)
+
+    frame = render_fleet(snap)
+    assert "DEGRADED" in frame  # 1/2 alive misses the 2-of-2 quorum
+    assert "n1: alive, 1 in flight, queue 2" in frame
+    assert "n2: dead" in frame
+    assert "(no fleet file yet)" in render_fleet(None)
+
+    frames: "list[str]" = []
+    assert run_top(
+        str(fleet_path(tmp_path)), iterations=1, out=frames.append,
+        fleet=True,
+    ) == 1
+    assert "repro top (fleet)" in frames[0]
+    assert "n2: dead" in frames[0]

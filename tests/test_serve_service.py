@@ -356,6 +356,40 @@ def test_intake_follow_tails_until_shutdown(tmp_path):
     assert service.poll("f1") is not None
 
 
+def test_intake_follow_survives_rotation_and_truncation(tmp_path):
+    jobs_file = tmp_path / "jobs.jsonl"
+    jobs_file.write_text(json.dumps(job("r0")) + "\n")
+    service = make_service(capacity=16)  # not started: jobs stay queued
+    narrated = []
+
+    def feed():
+        time.sleep(0.15)
+        # Rotation: the tailed file is renamed away and a new file
+        # appears at the same path (new inode, fresh offset).
+        jobs_file.rename(tmp_path / "jobs.jsonl.1")
+        jobs_file.write_text(json.dumps(job("r1", "barnes")) + "\n")
+        time.sleep(0.15)
+        # Truncation: the file shrinks below the read position in place.
+        jobs_file.write_text(json.dumps(job("r2", "radix")) + "\n")
+        time.sleep(0.15)
+        service.request_shutdown()
+
+    feeder = threading.Thread(target=feed)
+    feeder.start()
+    submitted, malformed = service.intake(
+        str(jobs_file), follow=True, poll_s=0.02,
+        on_line=lambda line, adm: narrated.append(line),
+    )
+    feeder.join()
+    assert malformed == 0
+    # Every job in every incarnation of the file was picked up; without
+    # the reopen the tail would stall at an offset past the new EOF.
+    for job_id in ("r0", "r1", "r2"):
+        assert service.poll(job_id) is not None, job_id
+    assert service.counters["intake_rotated"] == 2
+    assert sum("rotated or truncated" in line for line in narrated) == 2
+
+
 # ---------------------------------------------------------------------
 # health snapshots
 # ---------------------------------------------------------------------

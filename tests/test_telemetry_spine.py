@@ -283,6 +283,32 @@ def test_top_session_computes_rates_between_snapshots(tmp_path):
     assert rates["instr/s"] == pytest.approx(2000.0)
 
 
+def test_top_rates_clamp_per_counter_on_writer_restart(tmp_path):
+    health = tmp_path / "svc.health.json"
+    write_health(health, HealthSnapshot(
+        alive=True, ready=True, draining=False, pid=1, updated_at=time.time(),
+        queue_depth=0, queue_capacity=8, in_flight=0, workers=1,
+        isolation="thread", degraded=False, counters={},
+        breakers={}, breakers_open=0, shed_reasons={}, seq=1,
+    ))
+    session = TopSession(str(health))
+    _write_top_fixture(tmp_path, runs=100, written_at=100.0, seq=1)
+    session.sample()
+
+    # The writer restarted: cumulative counters reset to a small value.
+    # The negative delta must clamp to zero, not render as a negative
+    # rate (and must not cancel positive deltas of sibling keys).
+    _write_top_fixture(tmp_path, runs=2, written_at=102.0, seq=2)
+    _health, _doc, rates = session.sample()
+    assert rates["runs/s"] == 0.0
+    assert rates["instr/s"] == 0.0
+
+    # From the post-restart baseline, progress reads normally again.
+    _write_top_fixture(tmp_path, runs=6, written_at=104.0, seq=3)
+    _health, _doc, rates = session.sample()
+    assert rates["runs/s"] == pytest.approx(2.0)
+
+
 def test_render_dashboard_covers_every_section(tmp_path):
     health = HealthSnapshot(
         alive=True, ready=True, draining=False, pid=77, updated_at=1.0,
