@@ -18,9 +18,9 @@ Commands
 ``trace CONFIG WORKLOAD --out FILE [--capacity N]``
     Run one pair with pipeline tracing enabled and write a Chrome
     trace-event JSON file (open in ``chrome://tracing`` or Perfetto).
-``sweep CONFIGS... [--gpu] [--checkpoint PATH] [--resume] [--timeout S]
-[--max-retries N] [--fail-fast] [--workers N] [--isolation
-{thread,process}] [--json]``
+``sweep CONFIGS... [--gpu] [--checkpoint PATH] [--resume] [--store DIR]
+[--timeout S] [--max-retries N] [--fail-fast] [--workers N]
+[--isolation {thread,process}] [--json]``
     Run a resilient (configuration x workload) sweep: failed cells
     degrade to recorded gaps (retried up to ``--max-retries`` times with
     backoff, killed after ``--timeout`` seconds each), the result caches
@@ -33,7 +33,10 @@ Commands
     run.  Exit status: 0 = complete, 3 = completed with gaps.
     SIGTERM (and SIGINT) flush the checkpoint before exiting: SIGTERM
     exits 3 (gaps), matching a sweep that completed with missing cells,
-    SIGINT exits 130.
+    SIGINT exits 130.  ``--store DIR`` (or ``$REPRO_STORE``) reads
+    cache misses through a durable content-addressed result store and
+    writes executed cells back: identical cells across runs, machines,
+    and entry points never touch a cycle engine twice.
 ``serve --jobs FILE [--follow] [--workers N] [--isolation {thread,process}]
 [--queue-capacity N] [--breaker-threshold N] [--breaker-recovery S]
 [--drain-deadline S] [--checkpoint PATH] [--resume] [--timeout S]
@@ -72,6 +75,15 @@ Commands
 ``top --fleet PATH``
     Render the fabric's fleet rollup (``<fleet-dir>/fleet.json``)
     instead of a single service's health file.
+``store fsck DIR [--no-quarantine] [--json]``
+    Verify every entry of a durable result store (``--store DIR`` /
+    ``$REPRO_STORE``): checksum, schema, and content address must all
+    match.  Damaged entries are quarantined (renamed aside) so the
+    store heals in place; exit 1 when damage was found this run, so an
+    immediately rerun fsck exits 0.
+``store gc DIR [--max-bytes N] [--keep-version V] [--json]``
+    Drop store entries written by stale simulator versions, then
+    enforce a total size budget oldest-first.
 ``bench [--json] [--baseline PATH] [--tolerance T] [--update-baseline]
 [--instructions N] [--repeats N]``
     Run the cycle-engine perf microbenchmarks (fast path vs
@@ -347,7 +359,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         fail_fast=args.fail_fast,
     )
     runner = SweepRunner(
-        policy=policy, checkpoint=args.checkpoint, resume=args.resume
+        policy=policy, checkpoint=args.checkpoint, resume=args.resume,
+        store=args.store,
     )
     workloads = runner.settings.kernels if args.gpu else runner.settings.apps
     interrupted = False
@@ -500,6 +513,7 @@ def _cmd_fabric_coordinator(args: argparse.Namespace) -> int:
         ),
         checkpoint=args.checkpoint,
         resume=args.resume,
+        store=args.store,
     )
     run_kind = "gpu" if args.gpu else "cpu"
     workloads = runner.settings.kernels if args.gpu else runner.settings.apps
@@ -626,6 +640,7 @@ def _cmd_fabric_node(args: argparse.Namespace) -> int:
         queue_capacity=args.queue_capacity,
         checkpoint=args.checkpoint,
         resume=args.resume,
+        store=args.store,
         health_file=args.health_file,
     ))
 
@@ -663,6 +678,41 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
     return _cmd_fabric_node(args)
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store.cas import ResultStore
+
+    store = ResultStore(args.root)
+    if args.store_command == "fsck":
+        report = store.fsck(quarantine=not args.no_quarantine)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(
+                f"store fsck: {report['checked']} checked, "
+                f"{report['ok']} ok, {len(report['damaged'])} damaged, "
+                f"{report['quarantined']} quarantined, "
+                f"{report['orphans_swept']} orphan temps swept"
+            )
+            for item in report["damaged"]:
+                print(f"  damaged [{item['reason']}] {item['path']}")
+        # Damage found *this run* fails the check; quarantining (the
+        # default) repairs the store, so an immediately rerun fsck is 0.
+        return 1 if report["damaged"] else 0
+
+    report = store.gc(
+        max_bytes=args.max_bytes, keep_sim_version=args.keep_version
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            f"store gc: {report['removed_stale']} stale-version removed, "
+            f"{report['removed_over_budget']} over-budget removed, "
+            f"{report['remaining']} remaining ({report['bytes']} bytes)"
+        )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import BreakerPolicy, ServiceConfig, SimService
     from repro.serve.health import read_health
@@ -696,7 +746,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         obs.set_enabled(True)
     policy = GuardPolicy(timeout_s=args.timeout, max_retries=args.max_retries)
     runner = SweepRunner(
-        policy=policy, checkpoint=args.checkpoint, resume=args.resume
+        policy=policy, checkpoint=args.checkpoint, resume=args.resume,
+        store=args.store,
     )
     config = ServiceConfig(
         capacity=args.queue_capacity,
@@ -890,6 +941,11 @@ def main(argv: "list[str] | None" = None) -> int:
         help="preload a matching checkpoint; only missing cells execute",
     )
     p_sweep.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="durable content-addressed result store: cache misses read "
+        "through it, executed cells write back (default $REPRO_STORE)",
+    )
+    p_sweep.add_argument(
         "--timeout", type=float, default=None, metavar="S",
         help="wall-clock budget per run attempt (seconds)",
     )
@@ -961,6 +1017,11 @@ def main(argv: "list[str] | None" = None) -> int:
     p_serve.add_argument(
         "--resume", action="store_true",
         help="preload a matching checkpoint; cached cells serve instantly",
+    )
+    p_serve.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="durable content-addressed result store: cache misses read "
+        "through it, executed cells write back (default $REPRO_STORE)",
     )
     p_serve.add_argument(
         "--timeout", type=float, default=None, metavar="S",
@@ -1054,6 +1115,11 @@ def main(argv: "list[str] | None" = None) -> int:
         "the coordinator",
     )
     p_coord.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="durable content-addressed result store: stored cells never "
+        "leave the coordinator either (default $REPRO_STORE)",
+    )
+    p_coord.add_argument(
         "--timeout", type=float, default=None, metavar="S",
         help="wall-clock budget per run attempt on each node (seconds)",
     )
@@ -1132,12 +1198,55 @@ def main(argv: "list[str] | None" = None) -> int:
         help="preload a matching checkpoint on startup",
     )
     p_node.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="durable content-addressed result store shared with the "
+        "fleet (default $REPRO_STORE)",
+    )
+    p_node.add_argument(
         "--health-file", metavar="PATH",
         help="also write this node's health snapshots locally",
     )
     p_node.add_argument(
         "--json", action="store_true",
         help="emit the node's counters as JSON on exit",
+    )
+
+    p_store = sub.add_parser(
+        "store",
+        help="inspect and maintain a durable content-addressed result store",
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_fsck = store_sub.add_parser(
+        "fsck",
+        help="verify every entry's checksum, schema, and address; "
+        "quarantine damage (exit 1 when damage was found this run)",
+    )
+    p_fsck.add_argument("root", metavar="DIR", help="store root directory")
+    p_fsck.add_argument(
+        "--no-quarantine", action="store_true",
+        help="report damaged entries but leave them in place",
+    )
+    p_fsck.add_argument(
+        "--json", action="store_true",
+        help="emit the fsck report as JSON",
+    )
+    p_gc = store_sub.add_parser(
+        "gc",
+        help="drop entries from stale simulator versions and enforce a "
+        "size budget (oldest entries first)",
+    )
+    p_gc.add_argument("root", metavar="DIR", help="store root directory")
+    p_gc.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="total size budget; oldest entries removed until under it",
+    )
+    p_gc.add_argument(
+        "--keep-version", default=None, metavar="V",
+        help="simulator version to keep (default: the current one)",
+    )
+    p_gc.add_argument(
+        "--json", action="store_true",
+        help="emit the gc report as JSON",
     )
 
     p_bench = sub.add_parser(
@@ -1185,6 +1294,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "serve": _cmd_serve,
         "top": _cmd_top,
         "fabric": _cmd_fabric,
+        "store": _cmd_store,
         "bench": _cmd_bench,
     }
     return handlers[args.command](args)

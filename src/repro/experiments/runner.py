@@ -148,6 +148,14 @@ class SweepRunner:
     fail-fast); ``checkpoint`` (a path or :class:`SweepCheckpoint`)
     persists the caches after every executed run, and ``resume=True``
     preloads whatever a matching checkpoint already holds.
+
+    ``store`` (a path or :class:`~repro.store.cas.ResultStore`; default
+    from ``REPRO_STORE``) plugs in the durable content-addressed result
+    store: cache misses read through it before touching a cycle engine,
+    and every executed result is written back, so identical cells are
+    served across processes, sweeps, and sessions.  Store I/O is
+    strictly best-effort -- a failed read is a miss, a failed write a
+    counter -- a broken disk degrades serving, never correctness.
     """
 
     def __init__(
@@ -157,12 +165,20 @@ class SweepRunner:
         policy: GuardPolicy | None = None,
         checkpoint: "str | os.PathLike | SweepCheckpoint | None" = None,
         resume: bool = False,
+        store=None,
     ):
         self.settings = settings or SweepSettings()
         self.policy = policy or GuardPolicy()
         self.telemetry = SweepTelemetry()
         if progress is not None:
             self.telemetry.on_progress(progress)
+        if store is None:
+            store = os.environ.get("REPRO_STORE") or None
+        if store is not None and not hasattr(store, "get"):
+            from repro.store.cas import ResultStore
+
+            store = ResultStore(store)
+        self.store = store
         self._cpu_cache: dict[tuple[str, str], CpuRunResult] = {}
         self._gpu_cache: dict[tuple[str, str], GpuRunResult] = {}
         self._dvfs_cache: dict[tuple[str, str, float, bool], CpuRunResult] = {}
@@ -201,25 +217,93 @@ class SweepRunner:
         self.telemetry.record_checkpoint("entries_loaded", data.entries)
 
     def save_checkpoint(self) -> int:
-        """Persist the caches now; returns entries written (0 = no path)."""
+        """Persist the caches now; returns entries written (0 = no path).
+
+        A write failure (full disk, injected EIO/ENOSPC, ...) degrades
+        to a recorded ``write_failed`` event: losing one flush costs
+        re-execution on resume, never the sweep in progress.
+        """
         if self.checkpoint is None:
             return 0
         with self._lock:
-            count = self.checkpoint.save(
-                self.settings.fingerprint(),
-                {
-                    "cpu": self._cpu_cache,
-                    "gpu": self._gpu_cache,
-                    "dvfs": self._dvfs_cache,
-                },
-                list(self.failures.values()),
-            )
+            try:
+                count = self.checkpoint.save(
+                    self.settings.fingerprint(),
+                    {
+                        "cpu": self._cpu_cache,
+                        "gpu": self._gpu_cache,
+                        "dvfs": self._dvfs_cache,
+                    },
+                    list(self.failures.values()),
+                )
+            except OSError as exc:
+                self.telemetry.record_checkpoint("write_failed")
+                get_event_log().emit(
+                    "checkpoint.write_failed", error=str(exc),
+                )
+                return 0
             self.telemetry.record_checkpoint("save")
             get_event_log().emit(
                 "checkpoint.flush", entries=count,
                 failures=len(self.failures),
             )
         return count
+
+    # -- durable result store ------------------------------------------
+    def _store_fetch(self, run_kind: str, key: tuple):
+        """Read one cell through the durable store; None on miss/error."""
+        if self.store is None:
+            return None
+        config_name, workload, *extra = key
+        try:
+            result = self.store.get(
+                self.settings.fingerprint(), run_kind, config_name,
+                workload, tuple(extra),
+            )
+        except OSError:
+            self.telemetry.record_store("errors")
+            return None
+        if result is None:
+            self.telemetry.record_store("misses")
+            return None
+        self.telemetry.record_store("hits")
+        return result
+
+    def _store_put(self, run_kind: str, key: tuple, result) -> None:
+        """Best-effort durable write-back of one executed cell."""
+        if self.store is None:
+            return
+        config_name, workload, *extra = key
+        try:
+            self.store.put(
+                self.settings.fingerprint(), run_kind, config_name,
+                workload, tuple(extra), result,
+            )
+        except OSError as exc:
+            self.telemetry.record_store("errors")
+            get_event_log().emit(
+                "store.write_failed", run_kind=run_kind,
+                config=config_name, workload=workload, error=str(exc),
+            )
+            return
+        self.telemetry.record_store("puts")
+
+    def lookup_cached(self, run_kind: str, key: tuple):
+        """The cached result for a cell, consulting the durable store.
+
+        Returns None when neither the in-memory cache nor the store has
+        it.  A store hit is promoted into the memory cache, so callers
+        (the fabric coordinator's pre-pass, the job service) can keep
+        reading the caches directly afterwards.
+        """
+        cache = self._cache_for(run_kind)
+        if key in cache:
+            return cache[key]
+        stored = self._store_fetch(run_kind, key)
+        if stored is not None:
+            with self._lock:
+                cache[key] = stored
+        return stored
 
     # -- guarded execution ---------------------------------------------
     def _validated(self, run_kind: str, config_name: str, workload: str):
@@ -307,6 +391,19 @@ class SweepRunner:
         """Cache lookup + guarded execution for one sweep cell."""
         cached = key in cache
         if not cached:
+            stored = self._store_fetch(run_kind, key)
+            if stored is not None:
+                with self._lock:
+                    cache[key] = stored
+                    # A durably stored success supersedes any recorded gap.
+                    self.failures.pop(
+                        (run_kind, config_name, workload, *extra), None
+                    )
+                    self.telemetry.record_run(
+                        run_kind, config_name, workload, 0.0,
+                        instructions_of(stored), cached=True,
+                    )
+                return stored
             elog = get_event_log()
 
             def on_retry(attempt: int, kind: str) -> None:
@@ -350,6 +447,7 @@ class SweepRunner:
                     instructions_of(outcome.result),
                     cached=False,
                 )
+                self._store_put(run_kind, key, outcome.result)
                 if self.checkpoint is not None:
                     self.save_checkpoint()
             return outcome.result
@@ -538,6 +636,14 @@ class SweepRunner:
         tasks: "list[CellTask]" = []
         for config_name, workload, extra in cells:
             key = (config_name, workload, *extra)
+            if key not in cache:
+                stored = self._store_fetch(run_kind, key)
+                if stored is not None:
+                    with self._lock:
+                        cache[key] = stored
+                        self.failures.pop(
+                            (run_kind, config_name, workload, *extra), None
+                        )
             if key in cache:
                 with self._lock:
                     self.telemetry.record_run(
@@ -601,6 +707,7 @@ class SweepRunner:
                     self._instructions_of(run_kind, outcome.result),
                     cached=False,
                 )
+                self._store_put(run_kind, task.key, outcome.result)
                 if self.checkpoint is not None:
                     self.save_checkpoint()
             else:

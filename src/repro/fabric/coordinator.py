@@ -56,7 +56,7 @@ from repro.fabric.protocol import (
     send_frame,
 )
 from repro.obs.events import get_event_log
-from repro.resilience import faults
+from repro.resilience import diskio, faults
 from repro.resilience.checkpoint import _CODECS
 from repro.resilience.errors import RunFailure
 from repro.resilience.guard import GuardOutcome
@@ -187,6 +187,9 @@ class FabricCoordinator:
             self._rollup = fleet_mod.FleetRollup(
                 stale_after_s=max(self.config.heartbeat_timeout_s, 1.0)
             )
+            # Writer-startup hygiene: a previous coordinator that died
+            # mid-snapshot leaves *.tmp.<pid> droppings here.
+            diskio.sweep_orphan_temps(self.config.fleet_dir, site="fleet")
         self.port: "int | None" = None
 
     # -- thread/signal-safe shutdown request ---------------------------
@@ -636,16 +639,17 @@ class FabricCoordinator:
         self._opened_at = self._clock()
 
         # Cells already satisfied by the runner's caches (a resumed
-        # checkpoint) are cache hits, exactly as in a local sweep; the
-        # rest must be validated before they travel.
+        # checkpoint) or by the durable result store are cache hits,
+        # exactly as in a local sweep; the rest must be validated
+        # before they travel.
         for cell in self.cells:
             run_kind, config_name, workload = cell[0], cell[1], cell[2]
             key = (config_name, workload, *cell[3:])
-            cache = self.runner._cache_for(run_kind)
-            if key in cache:
+            cached = self.runner.lookup_cached(run_kind, key)
+            if cached is not None:
                 self.runner.telemetry.record_run(
                     run_kind, config_name, workload, 0.0,
-                    self.runner._instructions_of(run_kind, cache[key]),
+                    self.runner._instructions_of(run_kind, cached),
                     cached=True,
                 )
                 self.done.add(cell)

@@ -19,12 +19,12 @@ fleet, not an outage.
 from __future__ import annotations
 
 import dataclasses
-import json
 import os
 import time
 from pathlib import Path
 from typing import Callable
 
+from repro.resilience import diskio
 from repro.serve.health import HealthSnapshot, HealthWatcher
 
 #: Default per-node staleness budget; fabric heartbeats are sub-second,
@@ -188,17 +188,16 @@ def node_health_path(fleet_dir: "str | os.PathLike", node: str) -> Path:
 
 
 def write_fleet(fleet_dir: "str | os.PathLike", snapshot: FleetSnapshot) -> None:
-    """Atomically replace the fleet rollup document."""
-    target = fleet_path(fleet_dir)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    tmp = target.with_name(target.name + f".tmp.{os.getpid()}")
-    tmp.write_text(json.dumps(snapshot.to_dict(), indent=1, sort_keys=True))
-    os.replace(tmp, target)
+    """Crash-consistently replace the fleet rollup document."""
+    diskio.write_record(fleet_path(fleet_dir), snapshot.to_dict(), site="fleet")
 
 
 def read_fleet(path: "str | os.PathLike") -> "FleetSnapshot | None":
-    """Load a fleet document; None when missing or torn."""
+    """Load a fleet document; None when missing or damaged."""
+    doc = diskio.read_record(path, site="fleet")
+    if doc is None:
+        return None
     try:
-        return FleetSnapshot.from_dict(json.loads(Path(path).read_text()))
-    except (OSError, ValueError, TypeError, KeyError):
+        return FleetSnapshot.from_dict(doc)
+    except (ValueError, TypeError, KeyError):
         return None

@@ -65,6 +65,8 @@ class NodeConfig:
     queue_capacity: int = 256
     checkpoint: "str | None" = None
     resume: bool = False
+    #: Durable result-store root (optional; ``REPRO_STORE`` otherwise).
+    store: "str | None" = None
     #: Local health file (optional; the coordinator also republishes
     #: heartbeat snapshots into its fleet directory).
     health_file: "str | None" = None
@@ -133,6 +135,7 @@ class FabricNode:
             ),
             checkpoint=self.config.checkpoint,
             resume=self.config.resume and self.config.checkpoint is not None,
+            store=self.config.store,
         )
         self._service = SimService(
             runner,

@@ -27,13 +27,20 @@ Three consumers pull from the metrics registry through this module:
 
 from __future__ import annotations
 
-import json
 import os
 import re
 import time
-from pathlib import Path
 
 from repro.obs.metrics import MetricsRegistry, get_registry
+
+
+def _diskio():
+    # Imported lazily: ``repro.obs`` loads during core-engine init,
+    # while ``repro.resilience`` pulls the engines back in -- a cycle
+    # at import time, harmless at call time.
+    from repro.resilience import diskio
+
+    return diskio
 
 #: Version of the metrics-snapshot file format.
 SNAPSHOT_SCHEMA = 1
@@ -55,6 +62,8 @@ NONDETERMINISTIC_MARKERS = (
     "pool.",         # worker lifecycle (spawns, heartbeats, requeues)
     "serve.",        # service-side accounting
     "fabric.",       # node membership / resubmission depends on timing
+    "store.",        # durable-store hit/miss split is cross-run state
+    "diskio",        # write/fsync counts depend on flush scheduling
     "zombie",
     "duration",
     "age",
@@ -307,7 +316,7 @@ def write_metrics_snapshot(
     seq: int = 0,
     extra: "dict | None" = None,
 ) -> dict:
-    """Atomically write the periodic metrics snapshot document."""
+    """Crash-consistently write the periodic metrics snapshot document."""
     doc = {
         "schema": SNAPSHOT_SCHEMA,
         "seq": seq,
@@ -317,20 +326,17 @@ def write_metrics_snapshot(
     }
     if extra:
         doc.update(extra)
-    target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    tmp = target.with_name(target.name + f".tmp.{os.getpid()}")
-    tmp.write_text(json.dumps(doc, indent=1, sort_keys=True, default=str))
-    os.replace(tmp, target)
+    _diskio().write_record(path, doc, site="metrics")
     return doc
 
 
 def read_metrics_snapshot(path: "str | os.PathLike") -> "dict | None":
-    """Load a metrics snapshot document; ``None`` if missing/torn."""
-    try:
-        doc = json.loads(Path(path).read_text())
-    except (OSError, ValueError):
-        return None
+    """Load a metrics snapshot document; ``None`` if missing/damaged.
+
+    A torn or checksum-failed snapshot is quarantined by the diskio
+    layer and reads as missing -- ``repro top`` shows a gap, not junk.
+    """
+    doc = _diskio().read_record(path, site="metrics")
     if not isinstance(doc, dict) or doc.get("schema") != SNAPSHOT_SCHEMA:
         return None
     return doc

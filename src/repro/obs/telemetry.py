@@ -84,6 +84,7 @@ class SweepTelemetry:
         self._serve: "dict[str, int]" = {}
         self._shed: "dict[str, int]" = {}
         self._fabric: "dict[str, int]" = {}
+        self._store: "dict[str, int]" = {}
         self.pool_utilization = 0.0
         self.zombie_threads = 0
         self.callback_errors = 0
@@ -106,6 +107,15 @@ class SweepTelemetry:
             self._scope.probe(
                 f"shm.{stat}",
                 lambda s=stat: transport_stats()[s],
+            )
+        # And for the durable-I/O layer (writes, quarantines, orphan
+        # sweeps): plain ints in repro.resilience.diskio.
+        from repro.resilience.diskio import stats as diskio_stats
+
+        for stat in sorted(diskio_stats()):
+            self._scope.probe(
+                f"diskio.{stat}",
+                lambda s=stat: diskio_stats()[s],
             )
 
     def trace_cache_counts(self) -> "dict[str, int]":
@@ -249,6 +259,12 @@ class SweepTelemetry:
         self._fabric[event] = self._fabric.get(event, 0) + count
         self._scope.counter(f"fabric.{event}").inc(count)
 
+    def record_store(self, event: str, count: int = 1) -> None:
+        """Account one durable result-store event (``hits`` / ``misses``
+        / ``puts`` / ``errors``)."""
+        self._store[event] = self._store.get(event, 0) + count
+        self._scope.counter(f"store.{event}").inc(count)
+
     def record_queue_depth(self, depth: int) -> None:
         """Record the service's current admitted-but-unstarted backlog."""
         self._scope.gauge("serve.queue_depth").set(depth)
@@ -296,6 +312,10 @@ class SweepTelemetry:
         """Distributed-fabric lifecycle events so far."""
         return dict(self._fabric)
 
+    def store_counts(self) -> "dict[str, int]":
+        """Durable result-store events (hits/misses/puts/errors) so far."""
+        return dict(self._store)
+
     @property
     def total_wall_s(self) -> float:
         return sum(r.wall_s for r in self.records)
@@ -328,6 +348,7 @@ class SweepTelemetry:
             "serve": dict(self._serve),
             "shed_reasons": dict(self._shed),
             "fabric": dict(self._fabric),
+            "store": dict(self._store),
             "pool_utilization": round(self.pool_utilization, 4),
             "zombie_threads": self.zombie_threads,
             "callback_errors": self.callback_errors,

@@ -171,6 +171,15 @@ def render_dashboard(
                 for label, _keys in RATE_ROWS
             )
         )
+        flat = snapshot_from_state(metrics_doc.get("state", {}))
+        store_hits = int(flat.get("sweep.store.hits", 0))
+        store_misses = int(flat.get("sweep.store.misses", 0))
+        quarantined = int(flat.get("sweep.diskio.quarantined", 0))
+        if store_hits or store_misses or quarantined:
+            lines.append(
+                f"store:   {store_hits} hits, {store_misses} misses, "
+                f"{quarantined} quarantined"
+            )
         age = None
         if health is not None and health.metrics_age_s is not None:
             age = health.metrics_age_s

@@ -27,7 +27,13 @@ point, not the sweep.  This package hardens
 * :mod:`repro.resilience.faults` -- a seeded, env-gated fault-injection
   harness (``REPRO_FAULTS``) that makes simulations crash, hang, return
   corrupted results, or hard-kill their own process at configurable
-  probabilities, used to test this layer itself and exercised from CI.
+  probabilities, used to test this layer itself and exercised from CI;
+* :mod:`repro.resilience.diskio` -- the single crash-consistent write
+  path to disk (temp + fsync + rename + directory fsync, per-record
+  checksums with quarantine-on-corruption, orphaned-temp sweeps) used
+  by checkpoints, the result store, and every snapshot writer, with
+  seeded disk faults (``REPRO_DISK_FAULTS``) injected at this one
+  choke point.
 
 Guards live in the *runner*, not in ``simulate_cpu``/``simulate_gpu``:
 the simulators stay deterministic pure functions (the property the whole

@@ -12,8 +12,13 @@ Loading is strictly *fail-soft*: a missing, truncated, corrupted, or
 tampered file, an unknown version, or a fingerprint minted under different
 :class:`~repro.experiments.runner.SweepSettings` all load as a cache miss
 (``None``) -- a bad checkpoint can cost re-execution, never correctness.
-Writes are atomic (temp file + ``os.replace``), so a sweep killed mid-save
-leaves the previous checkpoint intact.
+A zero-byte or unparsable file (a crash landed between truncate and
+write, or tore the data) additionally warns, since it means a previous
+writer died mid-save.
+Writes go through :mod:`repro.resilience.diskio`: temp file + file
+fsync + atomic rename + parent-directory fsync.  The rename makes a
+sweep killed mid-save leave the previous checkpoint intact; the fsyncs
+make that hold across power loss too, which a bare rename does not.
 
 Writes are additionally serialised through an advisory lock file
 (:class:`CheckpointLock`, ``<path>.lock``): two processes sharing a
@@ -36,6 +41,7 @@ import hashlib
 import json
 import os
 import time
+import warnings
 from pathlib import Path
 
 from repro.core.simulate import CpuRunResult, GpuRunResult
@@ -44,6 +50,7 @@ from repro.cpu.multicore import MulticoreResult
 from repro.gpu.cu import CUResult
 from repro.gpu.gpu import GpuResult
 from repro.power.model import EnergyBreakdown
+from repro.resilience import diskio
 from repro.resilience.errors import RunFailure
 
 #: Bump when the on-disk layout changes; older files load as misses.
@@ -298,11 +305,17 @@ class SweepCheckpoint:
         lock_timeout_s: float = 10.0,
     ):
         self.path = Path(path)
+        # The lock file is created before the first durable write gets
+        # a chance to make directories, so the parent must exist now.
+        self.path.parent.mkdir(parents=True, exist_ok=True)
         self.lock = CheckpointLock(
             self.path.with_name(self.path.name + ".lock"),
             stale_s=lock_stale_s,
             timeout_s=lock_timeout_s,
         )
+        # Writer-startup hygiene: collect temp droppings left by writers
+        # that died between temp-write and rename.
+        diskio.sweep_orphan_temps(self.path.parent, site="checkpoint")
 
     def save(
         self,
@@ -327,17 +340,42 @@ class SweepCheckpoint:
             "failures": [f.to_dict() for f in failures],
         }
         doc = {"integrity": _digest(payload), "payload": payload}
-        tmp = self.path.with_name(self.path.name + f".tmp.{os.getpid()}")
-        tmp.parent.mkdir(parents=True, exist_ok=True)
         with self.lock:
-            tmp.write_text(json.dumps(doc, indent=1, sort_keys=True))
-            os.replace(tmp, self.path)
+            diskio.durable_write_text(
+                self.path,
+                json.dumps(doc, indent=1, sort_keys=True),
+                site="checkpoint",
+            )
         return count
 
     def load(self, fingerprint: str) -> "CheckpointData | None":
         """Decode the checkpoint, or None for any invalid/mismatched file."""
         try:
-            doc = json.loads(self.path.read_text())
+            raw = self.path.read_text()
+        except OSError:
+            return None
+        if not raw.strip():
+            # A crash between open-truncate and write (pre-diskio
+            # writers) leaves a zero-byte file: missing, but worth a
+            # warning because it means a writer died mid-save.
+            warnings.warn(
+                f"checkpoint {self.path} is empty (crash-truncated?); "
+                "treating as missing",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        try:
+            doc = json.loads(raw)
+        except ValueError:
+            warnings.warn(
+                f"checkpoint {self.path} is not parseable JSON "
+                "(torn write?); treating as missing",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        try:
             payload = doc["payload"]
             if doc["integrity"] != _digest(payload):
                 return None

@@ -49,6 +49,20 @@ chaos run replays byte-for-byte with the same seed.  Env gating uses
 ``REPRO_NET_FAULTS=1`` plus ``REPRO_NET_FAULTS_DROP_P`` /
 ``_DELAY_P`` / ``_DELAY_S`` / ``_DUP_P`` / ``_PARTITION_P`` /
 ``_PARTITION_S`` / ``_SEED``.
+
+Disk faults (the storage tier)
+------------------------------
+:class:`DiskFaultInjector` is the storage-level sibling consumed by
+:mod:`repro.resilience.diskio`: every durable write draws once from a
+seeded RNG keyed on (seed, site, write sequence number) -- sites name
+the artifact family (``"checkpoint"``, ``"store"``, ``"health"``, ...)
+-- and either fails with ``EIO``, fails with ``ENOSPC`` after a partial
+temp write, *tears* the write (half the bytes land, the rename still
+happens, and only the per-record checksum catches it on read), loses
+the fsync (the write "succeeds" but durability is gone), or proceeds
+normally.  Env gating uses ``REPRO_DISK_FAULTS=1`` plus
+``REPRO_DISK_FAULTS_EIO_P`` / ``_ENOSPC_P`` / ``_TORN_P`` /
+``_LOST_FSYNC_P`` / ``_SEED``.
 """
 
 from __future__ import annotations
@@ -199,10 +213,13 @@ def uninstall() -> None:
 def reset() -> None:
     """Forget every installed/env-built injector (test hygiene)."""
     global _INSTALLED, _FROM_ENV, _NET_INSTALLED, _NET_FROM_ENV
+    global _DISK_INSTALLED, _DISK_FROM_ENV
     _INSTALLED = None
     _FROM_ENV = None
     _NET_INSTALLED = None
     _NET_FROM_ENV = None
+    _DISK_INSTALLED = None
+    _DISK_FROM_ENV = None
 
 
 def installed_plan() -> "FaultPlan | None":
@@ -364,3 +381,116 @@ def active_network() -> "NetFaultInjector | None":
     if _NET_FROM_ENV is None:
         _NET_FROM_ENV = NetFaultInjector(NetFaultPlan.from_env())
     return _NET_FROM_ENV
+
+
+@dataclass(frozen=True)
+class DiskFaultPlan:
+    """Per-write disk fault probabilities (disjoint bands: EIO, then
+    ENOSPC, then torn write, then lost fsync, from one uniform sample)."""
+
+    eio_p: float = 0.0
+    enospc_p: float = 0.0
+    torn_p: float = 0.0
+    lost_fsync_p: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("eio_p", "enospc_p", "torn_p", "lost_fsync_p"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.eio_p + self.enospc_p + self.torn_p + self.lost_fsync_p > 1.0:
+            raise ValueError("disk fault probabilities must sum to <= 1")
+
+    @classmethod
+    def from_env(cls) -> "DiskFaultPlan":
+        return cls(
+            eio_p=_env_float("REPRO_DISK_FAULTS_EIO_P", 0.0),
+            enospc_p=_env_float("REPRO_DISK_FAULTS_ENOSPC_P", 0.0),
+            torn_p=_env_float("REPRO_DISK_FAULTS_TORN_P", 0.0),
+            lost_fsync_p=_env_float("REPRO_DISK_FAULTS_LOST_FSYNC_P", 0.0),
+            seed=int(_env_float("REPRO_DISK_FAULTS_SEED", 0)),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "eio_p": self.eio_p,
+            "enospc_p": self.enospc_p,
+            "torn_p": self.torn_p,
+            "lost_fsync_p": self.lost_fsync_p,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DiskFaultPlan":
+        return cls(**data)
+
+
+class DiskFaultInjector:
+    """Seeded per-write fate decisions for durable storage.
+
+    :meth:`fate` returns what the next durable write at a site should
+    suffer: ``"eio"`` (fail before any bytes land), ``"enospc"`` (fail
+    mid-write, tearing the temp file), ``"torn"`` (half the payload is
+    written and the rename *succeeds* -- silent corruption only the
+    record checksum can catch), ``"lost_fsync"`` (the write completes
+    but no fsync is issued), or ``None`` for a normal write.  The fate
+    is a pure function of (plan, site, seq), so a failing chaos run
+    replays byte-for-byte with the same seed.
+    """
+
+    def __init__(self, plan: DiskFaultPlan):
+        self.plan = plan
+        self._seq: "dict[str, int]" = {}
+        #: How many of each fate was actually injected.
+        self.injected = {"eio": 0, "enospc": 0, "torn": 0, "lost_fsync": 0}
+
+    def fate(self, site: str) -> "str | None":
+        """The fate of the next durable write at ``site``."""
+        seq = self._seq.get(site, 0) + 1
+        self._seq[site] = seq
+        plan = self.plan
+        u = stable_seed(plan.seed, "disk", site, seq) / float(1 << 64)
+        band = 0.0
+        for kind, p in (
+            ("eio", plan.eio_p),
+            ("enospc", plan.enospc_p),
+            ("torn", plan.torn_p),
+            ("lost_fsync", plan.lost_fsync_p),
+        ):
+            if u < band + p:
+                self.injected[kind] += 1
+                return kind
+            band += p
+        return None
+
+
+#: Programmatically installed disk injector (beats the env one).
+_DISK_INSTALLED: "DiskFaultInjector | None" = None
+#: Lazily built env-configured disk injector (write seqs persist).
+_DISK_FROM_ENV: "DiskFaultInjector | None" = None
+
+
+def install_disk(injector: DiskFaultInjector) -> DiskFaultInjector:
+    """Install a disk injector for this process (tests; returns it)."""
+    global _DISK_INSTALLED
+    _DISK_INSTALLED = injector
+    return injector
+
+
+def uninstall_disk() -> None:
+    """Remove the programmatically installed disk injector."""
+    global _DISK_INSTALLED
+    _DISK_INSTALLED = None
+
+
+def active_disk() -> "DiskFaultInjector | None":
+    """The disk injector for durable writes, or None when disabled."""
+    global _DISK_FROM_ENV
+    if _DISK_INSTALLED is not None:
+        return _DISK_INSTALLED
+    if not _env_flag("REPRO_DISK_FAULTS"):
+        return None
+    if _DISK_FROM_ENV is None:
+        _DISK_FROM_ENV = DiskFaultInjector(DiskFaultPlan.from_env())
+    return _DISK_FROM_ENV

@@ -280,17 +280,19 @@ def attach_traces(meta) -> int:
         if entry["kind"] == "cpu":
             from repro.cpu.trace import Trace
             from repro.workloads.profiles import cpu_app
+            from repro.workloads.trace_cache import trace_key
 
             profile = cpu_app(entry["workload"])
             value = Trace(**arrays)
-            key = ("cpu", profile, entry["n"], entry["seed"])
+            key = trace_key(profile, entry["n"], entry["seed"])
         else:
             from repro.workloads.gpu_generator import KernelTrace
             from repro.workloads.gpu_profiles import gpu_kernel
+            from repro.workloads.trace_cache import kernel_key
 
             profile = gpu_kernel(entry["workload"])
             value = KernelTrace(profile=profile, **arrays)
-            key = ("gpu", profile, entry["seed"])
+            key = kernel_key(profile, entry["seed"])
         cache.put(key, value)
         seeded += 1
     _stats["seeded_traces"] += seeded

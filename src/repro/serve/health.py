@@ -21,10 +21,10 @@ shed-by-reason counters, so "is it shedding and why" is one file read.
 from __future__ import annotations
 
 import dataclasses
-import json
 import os
 import time
-from pathlib import Path
+
+from repro.resilience import diskio
 
 #: A snapshot older than this is reported as not alive by readers.
 DEFAULT_STALE_AFTER_S = 30.0
@@ -109,12 +109,18 @@ class HealthSnapshot:
 
 
 def write_health(path: "str | os.PathLike", snapshot: HealthSnapshot) -> None:
-    """Atomically replace the health file (readers never see a torn doc)."""
-    target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    tmp = target.with_name(target.name + f".tmp.{os.getpid()}")
-    tmp.write_text(json.dumps(snapshot.to_dict(), indent=1, sort_keys=True))
-    os.replace(tmp, target)
+    """Crash-consistently replace the health file (never a torn doc)."""
+    diskio.write_record(path, snapshot.to_dict(), site="health")
+
+
+def _load_snapshot(path) -> "HealthSnapshot | None":
+    doc = diskio.read_record(path, site="health")
+    if doc is None:
+        return None
+    try:
+        return HealthSnapshot.from_dict(doc)
+    except (ValueError, TypeError, KeyError):
+        return None
 
 
 def read_health(
@@ -128,9 +134,8 @@ def read_health(
     shutdown) is returned with ``alive``/``ready`` forced false rather
     than hidden -- the counters are still the best available evidence.
     """
-    try:
-        snapshot = HealthSnapshot.from_dict(json.loads(Path(path).read_text()))
-    except (OSError, ValueError, TypeError, KeyError):
+    snapshot = _load_snapshot(path)
+    if snapshot is None:
         return None
     # Clamp negative ages: the writer's wall clock may be ahead of ours
     # (NTP step, container clock skew); a snapshot from "the future" is
@@ -167,11 +172,8 @@ class HealthWatcher:
 
     def poll(self) -> "HealthSnapshot | None":
         """The current snapshot, staleness-checked monotonically."""
-        try:
-            snapshot = HealthSnapshot.from_dict(
-                json.loads(Path(self.path).read_text())
-            )
-        except (OSError, ValueError, TypeError, KeyError):
+        snapshot = _load_snapshot(self.path)
+        if snapshot is None:
             return None
         now = self._clock()
         marker = (snapshot.seq, snapshot.updated_at)

@@ -59,6 +59,7 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from threading import Event, RLock, Thread
 from typing import Callable
 
@@ -66,6 +67,7 @@ from repro import obs
 from repro.experiments.runner import SweepRunner
 from repro.obs.events import get_event_log
 from repro.obs.export import metrics_snapshot_path, write_metrics_snapshot
+from repro.resilience import diskio
 from repro.resilience.errors import RunFailure
 from repro.resilience.pool import PoolAborted
 from repro.serve.breaker import BreakerPolicy, BreakerRegistry
@@ -432,6 +434,13 @@ class SimService:
         if self._started:
             raise RuntimeError("service already started")
         self._started = True
+        if self.config.health_file is not None:
+            # Writer-startup hygiene: a predecessor that died mid-write
+            # leaves *.tmp.<pid> droppings next to the health/metrics
+            # files.
+            diskio.sweep_orphan_temps(
+                Path(self.config.health_file).parent, site="health"
+            )
         for i in range(self.config.workers):
             thread = Thread(
                 target=self._dispatch_loop,
@@ -754,7 +763,12 @@ class SimService:
                     self._last_metrics_write = self._clock()
             except OSError:
                 pass
-        write_health(self.config.health_file, self.health_snapshot())
+        try:
+            write_health(self.config.health_file, self.health_snapshot())
+        except OSError:
+            # Same contract as the metrics snapshot: a full or faulty
+            # disk costs one heartbeat, never the service.
+            pass
 
     def summary(self) -> dict:
         """Machine-readable final report (the CLI's ``--json`` payload)."""

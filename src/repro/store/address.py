@@ -1,0 +1,40 @@
+"""The one content-addressing scheme for every cache and store keying.
+
+Before this module each tier hashed (or tupled) its keys its own way:
+the trace LRU used ad-hoc tuples, checkpoints a settings fingerprint,
+the serve/fabric caches (config, workload, *extra) tuples.
+:func:`content_address` replaces all of them: a sha256 over the
+canonical JSON form of a namespaced part-dict.  Two call sites that
+hash the same parts get the same address -- across processes, hosts,
+and sessions -- which is what lets the durable result store serve a
+cell computed by a different run entirely.
+
+Dataclass parts (workload profiles, configs) are serialised field-wise
+via :func:`dataclasses.asdict`, so an address changes exactly when a
+field that feeds the simulation changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+
+def _jsonable(obj):
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return dataclasses.asdict(obj)
+    raise TypeError(
+        f"unhashable part of type {type(obj).__name__}: {obj!r}"
+    )
+
+
+def content_address(namespace: str, parts: dict) -> str:
+    """sha256 hex digest of the canonical form of (namespace, parts)."""
+    canon = json.dumps(
+        {"namespace": namespace, "parts": parts},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=_jsonable,
+    )
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()

@@ -6,7 +6,10 @@ trace -- generation is pure and deterministic, so the result can be shared.
 The cache keys on exactly the determinism contract of the generators
 (:func:`repro.workloads.generator.generate_trace` and
 :func:`repro.workloads.gpu_generator.generate_kernel`): the frozen profile
-dataclass, the trace length, and the seed.
+dataclass, the trace length, and the seed -- hashed through the repo-wide
+addressing scheme (:func:`repro.store.address.content_address`), the same
+one the durable result store keys on, so "what identifies a trace" is
+defined in exactly one place (:func:`trace_key` / :func:`kernel_key`).
 
 Entries are returned by reference, not copied: the cycle engines treat
 trace arrays as read-only (they unbox them with ``tolist()`` and never
@@ -28,6 +31,7 @@ import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Hashable
 
+from repro.store.address import content_address
 from repro.workloads.generator import generate_trace
 from repro.workloads.gpu_generator import generate_kernel
 
@@ -156,15 +160,34 @@ def reset_shared_cache(capacity: int | None = None) -> TraceCache:
     return _shared
 
 
+def trace_key(profile: "AppProfile", n: int, seed: int = 0) -> str:
+    """The canonical cache key of one CPU trace.
+
+    Shared by this cache and the shm trace transport; built on the same
+    content-addressing scheme as the durable result store.
+    """
+    return content_address(
+        "trace", {"kind": "cpu", "profile": profile, "n": n, "seed": seed}
+    )
+
+
+def kernel_key(profile: "KernelProfile", seed: int = 0) -> str:
+    """The canonical cache key of one GPU kernel trace."""
+    return content_address(
+        "trace", {"kind": "gpu", "profile": profile, "seed": seed}
+    )
+
+
 def cached_trace(profile: "AppProfile", n: int, seed: int = 0) -> "Trace":
     """`generate_trace` through the shared LRU cache."""
     return _shared.get(
-        ("cpu", profile, n, seed), lambda: generate_trace(profile, n, seed=seed)
+        trace_key(profile, n, seed),
+        lambda: generate_trace(profile, n, seed=seed),
     )
 
 
 def cached_kernel(profile: "KernelProfile", seed: int = 0) -> "KernelTrace":
     """`generate_kernel` through the shared LRU cache."""
     return _shared.get(
-        ("gpu", profile, seed), lambda: generate_kernel(profile, seed=seed)
+        kernel_key(profile, seed), lambda: generate_kernel(profile, seed=seed)
     )

@@ -7,7 +7,7 @@ import pytest
 from repro.core.simulate import simulate_cpu, simulate_gpu
 from repro.core.configs import cpu_config, gpu_config
 from repro.experiments.runner import SweepRunner, SweepSettings, reset_shared_runner
-from repro.resilience import faults
+from repro.resilience import diskio, faults
 
 #: Small-but-converged sizes for integration tests.
 TEST_INSTRUCTIONS = 24_000
@@ -29,6 +29,7 @@ def _isolate_process_state():
     yield
     reset_shared_runner()
     faults.reset()
+    diskio.reset_stats()
 
 
 @pytest.fixture(scope="session")

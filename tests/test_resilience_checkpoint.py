@@ -82,7 +82,25 @@ def test_truncated_file_loads_as_miss(ck_path):
     make_runner(ck_path).cpu_run("BaseCMOS", "lu")
     text = ck_path.read_text()
     ck_path.write_text(text[: len(text) // 2])
-    assert SweepCheckpoint(ck_path).load(SweepSettings(**SMALL).fingerprint()) is None
+    with pytest.warns(RuntimeWarning, match="torn write"):
+        assert (
+            SweepCheckpoint(ck_path).load(SweepSettings(**SMALL).fingerprint())
+            is None
+        )
+
+
+def test_zero_byte_checkpoint_warns_and_loads_as_missing(ck_path):
+    ck_path.write_text("")
+    with pytest.warns(RuntimeWarning, match="empty"):
+        assert (
+            SweepCheckpoint(ck_path).load(SweepSettings(**SMALL).fingerprint())
+            is None
+        )
+    # And the runner path: resume over the empty file re-executes fine.
+    with pytest.warns(RuntimeWarning, match="empty"):
+        runner = make_runner(ck_path, resume=True)
+    assert runner.telemetry.checkpoint_counts() == {"invalid": 1}
+    assert runner.cpu_run("BaseCMOS", "lu") is not None
 
 
 def test_tampered_payload_fails_integrity_check(ck_path):
@@ -315,3 +333,64 @@ def test_break_stale_skips_a_lock_that_changed_hands(tmp_path):
     assert lock_path.exists()
     assert json.loads(lock_path.read_text()) == json.loads(fresh)
     assert lock.takeovers == 0
+
+
+# ---------------------------------------------------------------------
+# SIGKILL in the exact crash window: after temp fsync, before rename
+# ---------------------------------------------------------------------
+
+def test_sigkill_mid_checkpoint_flush_resumes_byte_identical(tmp_path):
+    """A writer killed between temp-file fsync and rename loses exactly
+    one flush: the previous checkpoint stays intact, the orphaned temp
+    is swept on the next startup, and the resumed sweep's report is
+    byte-identical to an uninterrupted serial run."""
+    import os as _os
+    import subprocess
+    import sys
+
+    src = str(__import__("pathlib").Path(__file__).resolve().parents[1] / "src")
+    env = dict(_os.environ)
+    env["PYTHONPATH"] = src + _os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_INSTRUCTIONS"] = "2000"
+    env["REPRO_APPS"] = "lu"
+    env.pop("REPRO_DISKIO_CRASH_AFTER_TMP", None)
+    configs = ["BaseCMOS", "AdvHet"]
+    base = [sys.executable, "-m", "repro", "sweep", *configs, "--json"]
+
+    serial = subprocess.run(
+        base, env=env, capture_output=True, text=True, timeout=300
+    )
+    assert serial.returncode == 0, serial.stderr
+    baseline = json.loads(serial.stdout)
+    baseline.pop("telemetry")
+
+    ck = tmp_path / "sweep.ckpt.json"
+    chaos_env = dict(env)
+    # The 2nd checkpoint write at this site dies after its temp file is
+    # fsynced but before the rename -- the worst-possible instant.
+    chaos_env["REPRO_DISKIO_CRASH_AFTER_TMP"] = "checkpoint:2"
+    crashed = subprocess.run(
+        base + ["--checkpoint", str(ck)],
+        env=chaos_env, capture_output=True, text=True, timeout=300,
+    )
+    assert crashed.returncode == -9  # SIGKILLed itself in the window
+    assert ck.exists()  # flush 1 survived the crash of flush 2
+    orphans = [p.name for p in tmp_path.iterdir() if ".tmp." in p.name]
+    assert orphans, "the crash window must strand the temp file"
+
+    resumed = subprocess.run(
+        base + ["--checkpoint", str(ck), "--resume"],
+        env=env, capture_output=True, text=True, timeout=300,
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    report = json.loads(resumed.stdout)
+    loaded = report["telemetry"]["checkpoint"]["entries_loaded"]
+    cache = report["telemetry"]["cache"]["cpu"]
+    assert loaded == 1  # exactly the pre-crash flush
+    assert cache["hits"] == 1 and cache["misses"] == 1
+    report.pop("telemetry")
+    assert json.dumps(report, sort_keys=True) == json.dumps(
+        baseline, sort_keys=True
+    )
+    # The resumed writer's startup sweep collected the stranded temp.
+    assert not [p.name for p in tmp_path.iterdir() if ".tmp." in p.name]

@@ -418,11 +418,13 @@ def test_stale_health_snapshot_reports_dead(tmp_path):
     service = make_service(health_file=str(health_file))
     service.start()
     service.shutdown(drain_deadline_s=0.1)
-    doc = json.loads(health_file.read_text())
+    from repro.resilience import diskio
+
+    doc = diskio.read_record(health_file, site="test")
     doc["alive"] = True
     doc["ready"] = True
     doc["updated_at"] = doc["updated_at"] - 3600.0  # an hour ago
-    health_file.write_text(json.dumps(doc))
+    diskio.write_record(health_file, doc, site="test")
     snap = read_health(health_file)
     assert snap.alive is False and snap.ready is False
     assert read_health(tmp_path / "missing.json") is None

@@ -22,7 +22,7 @@ from repro.obs.export import (
 )
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.top import TopSession, render_dashboard, run_top
-from repro.resilience import FaultInjector, FaultPlan, GuardPolicy, faults
+from repro.resilience import FaultInjector, FaultPlan, GuardPolicy, diskio, faults
 from repro.resilience.errors import RunFailure
 from repro.serve import ServiceConfig, SimService
 from repro.serve.health import HealthSnapshot, HealthWatcher, write_health
@@ -171,7 +171,7 @@ def test_serve_writes_metrics_snapshot_and_job_spans(tmp_path):
     service.shutdown(drain_deadline_s=5.0)
 
     # Health snapshots carry a monotonically advancing seq.
-    final = HealthSnapshot.from_dict(json.loads(health_file.read_text()))
+    final = HealthSnapshot.from_dict(diskio.read_record(health_file, site="test"))
     assert final.seq >= 2
     assert final.metrics_age_s is not None and final.metrics_age_s >= 0.0
 
@@ -256,10 +256,9 @@ def _write_top_fixture(tmp_path, runs: int, written_at: float, seq: int):
     )
     # Pin written_at so the rate denominator is deterministic.
     path = metrics_snapshot_path(tmp_path / "svc.health.json")
-    doc = json.loads(open(path).read())
+    doc = diskio.read_record(path, site="test")
     doc["written_at"] = written_at
-    with open(path, "w") as fh:
-        json.dump(doc, fh)
+    diskio.write_record(path, doc, site="test")
 
 
 def test_top_session_computes_rates_between_snapshots(tmp_path):
