@@ -548,8 +548,40 @@ def _cmd_fabric_coordinator(args: argparse.Namespace) -> int:
             old_handlers.append((signum, signal.signal(signum, _on_signal)))
         except ValueError:  # not the main thread (embedded callers)
             pass
+    async def _serve_with_status_front():
+        # A status-only front door next to the fabric listener: no job
+        # routes, just healthz/readyz/metrics and GET /v1/fleet from
+        # the coordinator's live summary.
+        from repro.serve.http import HttpConfig, HttpFrontDoor
+
+        http_host, http_port = _parse_hostport(args.http, default_port=8080)
+
+        def _status() -> dict:
+            doc = dict(coordinator.summary())
+            doc.setdefault("alive", True)
+            doc.setdefault("ready", True)
+            return doc
+
+        front = HttpFrontDoor(
+            None,
+            HttpConfig(host=http_host, port=http_port),
+            status_provider=_status,
+            telemetry=runner.telemetry,
+        )
+        await front.start()
+        print(f"fabric: http status on {front.url}",
+              file=sys.stderr, flush=True)
+        try:
+            return await coordinator.serve()
+        finally:
+            front.request_shutdown()
+            await front.drain()
+
     try:
-        fabric_summary = asyncio.run(coordinator.serve())
+        if args.http:
+            fabric_summary = asyncio.run(_serve_with_status_front())
+        else:
+            fabric_summary = asyncio.run(coordinator.serve())
     finally:
         for signum, handler in old_handlers:
             signal.signal(signum, handler)
@@ -734,8 +766,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(snapshot.describe())
         return 0
 
-    if not args.jobs:
-        print("serve requires --jobs FILE (or --health)", file=sys.stderr)
+    if not args.jobs and not args.http:
+        print("serve requires --jobs FILE (or --http HOST:PORT, or --health)",
+              file=sys.stderr)
         return 2
     if args.resume and not args.checkpoint:
         print("--resume requires --checkpoint PATH", file=sys.stderr)
@@ -763,8 +796,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     service = SimService(runner, config)
 
+    front = None
+    if args.http:
+        from repro.serve.http import HttpConfig, HttpFrontDoor
+
+        http_host, http_port = _parse_hostport(args.http, default_port=8080)
+        front = HttpFrontDoor(service, HttpConfig(
+            host=http_host,
+            port=http_port,
+            read_timeout_s=args.read_timeout,
+            max_connections=args.max_connections,
+            rate_per_s=args.rate_limit,
+            rate_burst=args.rate_burst,
+            drain_deadline_s=args.drain_deadline,
+        ))
+
     def _on_signal(_signum, _frame):
-        service.request_shutdown()
+        # With a front door the drain order matters: stop accepting
+        # HTTP first; the service drains after the loop exits.
+        if front is not None:
+            front.request_shutdown()
+        else:
+            service.request_shutdown()
 
     old_handlers = []
     for signum in (signal.SIGTERM, signal.SIGINT):
@@ -785,11 +838,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     try:
         service.start()
-        submitted, malformed = service.intake(
-            args.jobs, follow=args.follow, on_line=_narrate
-        )
-        if not args.follow:
-            service.wait_idle()
+        submitted = malformed = 0
+        if front is None:
+            if args.jobs:
+                submitted, malformed = service.intake(
+                    args.jobs, follow=args.follow, on_line=_narrate
+                )
+            if not args.follow:
+                service.wait_idle()
+        else:
+            import asyncio
+            import threading
+
+            intake_done = {}
+            intake_thread = None
+            if args.jobs:
+                def _intake() -> None:
+                    try:
+                        intake_done["result"] = service.intake(
+                            args.jobs, follow=args.follow, on_line=_narrate
+                        )
+                    except Exception as exc:  # surfaced, never silent
+                        print(f"serve: intake failed: {exc}",
+                              file=sys.stderr)
+
+                intake_thread = threading.Thread(
+                    target=_intake, name="serve-intake", daemon=True
+                )
+
+            async def _serve_http() -> None:
+                await front.start()
+                print(f"serve: http listening on {front.url}",
+                      file=sys.stderr, flush=True)
+                if intake_thread is not None:
+                    intake_thread.start()
+                try:
+                    await front.wait_shutdown()
+                finally:
+                    await front.drain()
+
+            asyncio.run(_serve_http())
+            service.request_shutdown()
+            if intake_thread is not None:
+                intake_thread.join(timeout=args.drain_deadline)
+                submitted, malformed = intake_done.get("result", (0, 0))
         summary = service.shutdown()
     finally:
         for signum, handler in old_handlers:
@@ -837,6 +929,102 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.checkpoint:
             print(f"checkpoint: {args.checkpoint}")
     return 3 if service.gap_count() else 0
+
+
+def _make_client(args: argparse.Namespace):
+    from repro.serve.client import ClientConfig, ServeClient
+
+    return ServeClient(args.url, ClientConfig(
+        max_attempts=args.max_attempts,
+        backoff_base_s=args.backoff,
+        timeout_s=args.http_timeout,
+        seed=args.seed,
+    ))
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeError
+
+    client = _make_client(args)
+    specs = [
+        {
+            "run_kind": args.run_kind,
+            "config": config,
+            "workload": workload,
+            "priority": args.priority,
+            **({"deadline_s": args.deadline_s}
+               if args.deadline_s is not None else {}),
+        }
+        for config in args.configs
+        for workload in (args.workloads or ["lu"])
+    ]
+    responses = []
+    exit_code = 0
+    for spec in specs:
+        cell = f"{spec['config']}/{spec['workload']}"
+        try:
+            body = client.submit(
+                spec, idempotency_key=args.idempotency_key
+            )
+            if args.wait and body.get("status") not in (
+                "served", "failed", "shed", "cancelled"
+            ):
+                body = client.wait(
+                    body["job_id"], timeout_s=args.wait_timeout
+                )
+            responses.append({"cell": cell, **body})
+            if body.get("status") in ("failed", "shed", "cancelled"):
+                exit_code = 1
+            if not args.json:
+                note = " (deduplicated)" if body.get("deduplicated") else (
+                    " (cache)" if body.get("served_from") == "cache" else ""
+                )
+                print(f"{cell}: {body.get('job_id')} "
+                      f"{body.get('status')}{note}")
+        except ServeError as exc:
+            responses.append({"cell": cell, "error": str(exc)})
+            exit_code = 1
+            if not args.json:
+                print(f"{cell}: ERROR {exc}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(responses, indent=2, sort_keys=True))
+    return exit_code
+
+
+def _cmd_poll(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeError
+
+    client = _make_client(args)
+    records = []
+    exit_code = 0
+    for job_id in args.job_ids:
+        try:
+            record = (
+                client.wait(job_id, timeout_s=args.wait_timeout)
+                if args.wait else client.poll(job_id)
+            )
+        except ServeError as exc:
+            records.append({"job_id": job_id, "error": str(exc)})
+            exit_code = 1
+            if not args.json:
+                print(f"{job_id}: ERROR {exc}", file=sys.stderr)
+            continue
+        if record is None:
+            records.append({"job_id": job_id, "error": "unknown_job"})
+            exit_code = 1
+            if not args.json:
+                print(f"{job_id}: unknown job", file=sys.stderr)
+            continue
+        records.append(record)
+        if record.get("status") in ("failed", "shed", "cancelled"):
+            exit_code = 1
+        if not args.json:
+            detail = record.get("detail") or ""
+            print(f"{job_id}: {record.get('status')}"
+                  + (f" ({detail})" if detail else ""))
+    if args.json:
+        print(json.dumps(records, indent=2, sort_keys=True))
+    return exit_code
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -1053,6 +1241,110 @@ def main(argv: "list[str] | None" = None) -> int:
         help="enable observability and write the merged spans as a Chrome "
         "trace-event file at shutdown",
     )
+    p_serve.add_argument(
+        "--http", metavar="HOST:PORT",
+        help="run the overload-hardened HTTP front door (POST /v1/jobs, "
+        "poll/cancel, healthz/readyz/metrics); port 0 binds ephemeral",
+    )
+    p_serve.add_argument(
+        "--rate-limit", type=float, default=0.0, metavar="N",
+        help="per-client HTTP token-bucket rate (requests/second); "
+        "0 disables (default)",
+    )
+    p_serve.add_argument(
+        "--rate-burst", type=float, default=20.0, metavar="N",
+        help="per-client HTTP burst allowance (default 20 requests)",
+    )
+    p_serve.add_argument(
+        "--max-connections", type=int, default=64, metavar="N",
+        help="concurrent HTTP connection ceiling; beyond it new "
+        "connections get an immediate 503 (default 64)",
+    )
+    p_serve.add_argument(
+        "--read-timeout", type=float, default=5.0, metavar="S",
+        help="HTTP header/body read deadline against slow-loris clients "
+        "(default 5)",
+    )
+
+    def _add_client_options(p) -> None:
+        p.add_argument(
+            "--url", required=True, metavar="URL",
+            help="front-door endpoint, e.g. http://127.0.0.1:8080",
+        )
+        p.add_argument(
+            "--max-attempts", type=int, default=6, metavar="N",
+            help="attempts per request before giving up (default 6)",
+        )
+        p.add_argument(
+            "--backoff", type=float, default=0.25, metavar="S",
+            help="base retry backoff; doubles per attempt with "
+            "deterministic jitter, Retry-After overrides (default 0.25)",
+        )
+        p.add_argument(
+            "--http-timeout", type=float, default=10.0, metavar="S",
+            help="per-request socket timeout (default 10)",
+        )
+        p.add_argument(
+            "--seed", type=int, default=0, metavar="N",
+            help="seed for the deterministic backoff jitter (default 0)",
+        )
+        p.add_argument(
+            "--wait-timeout", type=float, default=300.0, metavar="S",
+            help="--wait budget per job before giving up (default 300)",
+        )
+        p.add_argument(
+            "--json", action="store_true",
+            help="emit the structured responses as JSON",
+        )
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit jobs to a running HTTP front door (idempotent retries)",
+    )
+    p_submit.add_argument(
+        "configs", nargs="+", metavar="CONFIG",
+        help="configuration names to submit",
+    )
+    p_submit.add_argument(
+        "--workload", dest="workloads", action="append", metavar="NAME",
+        help="workload(s) per config (repeatable; default lu)",
+    )
+    p_submit.add_argument(
+        "--run-kind", choices=("cpu", "gpu", "dvfs"), default="cpu",
+        help="simulation kind (default cpu)",
+    )
+    p_submit.add_argument(
+        "--priority", type=int, default=10, metavar="N",
+        help="queue priority, lower is more urgent (default 10)",
+    )
+    p_submit.add_argument(
+        "--deadline-s", type=float, default=None, metavar="S",
+        help="latest useful start; expired jobs shed past_deadline",
+    )
+    p_submit.add_argument(
+        "--idempotency-key", metavar="KEY",
+        help="explicit idempotency key (default: content-addressed "
+        "from each spec)",
+    )
+    p_submit.add_argument(
+        "--wait", action="store_true",
+        help="poll each accepted job until it reaches a terminal state",
+    )
+    _add_client_options(p_submit)
+
+    p_poll = sub.add_parser(
+        "poll",
+        help="poll job records on a running HTTP front door",
+    )
+    p_poll.add_argument(
+        "job_ids", nargs="+", metavar="JOB_ID",
+        help="job id(s) returned by submit",
+    )
+    p_poll.add_argument(
+        "--wait", action="store_true",
+        help="block until each job reaches a terminal state",
+    )
+    _add_client_options(p_poll)
 
     p_top = sub.add_parser(
         "top",
@@ -1161,6 +1453,11 @@ def main(argv: "list[str] | None" = None) -> int:
         "--json", action="store_true",
         help="emit the sweep report (sweep --json shape) plus a "
         "'fabric' summary as JSON",
+    )
+    p_coord.add_argument(
+        "--http", metavar="HOST:PORT",
+        help="also serve a status-only HTTP front (healthz/readyz/"
+        "metrics plus GET /v1/fleet from the live coordinator summary)",
     )
     p_node = fabric_sub.add_parser(
         "node",
@@ -1292,6 +1589,8 @@ def main(argv: "list[str] | None" = None) -> int:
         "trace": _cmd_trace,
         "sweep": _cmd_sweep,
         "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "poll": _cmd_poll,
         "top": _cmd_top,
         "fabric": _cmd_fabric,
         "store": _cmd_store,

@@ -46,6 +46,10 @@ KINDS = ("cpu", "gpu", "dvfs")
 #: Wall-time histogram buckets (seconds).
 _WALL_BOUNDS = (0.05, 0.2, 0.5, 1.0, 2.0, 5.0, 15.0, 60.0)
 
+#: HTTP request latency buckets (seconds) -- an API tier lives three
+#: orders of magnitude below simulation wall times.
+_HTTP_LATENCY_BOUNDS = (0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 1.0, 5.0)
+
 
 @dataclass(frozen=True)
 class RunRecord:
@@ -85,6 +89,7 @@ class SweepTelemetry:
         self._shed: "dict[str, int]" = {}
         self._fabric: "dict[str, int]" = {}
         self._store: "dict[str, int]" = {}
+        self._http: "dict[str, int]" = {}
         self.pool_utilization = 0.0
         self.zombie_threads = 0
         self.callback_errors = 0
@@ -265,6 +270,26 @@ class SweepTelemetry:
         self._store[event] = self._store.get(event, 0) + count
         self._scope.counter(f"store.{event}").inc(count)
 
+    def record_http(self, event: str, count: int = 1) -> None:
+        """Account one HTTP front-door event (``requests`` /
+        ``status.<code>`` / ``accept_dropped`` / ``over_capacity`` /
+        ``rate_limited`` / ``malformed`` / ``timeouts`` /
+        ``disconnects`` / ``internal_error`` / ``write_dropped``)."""
+        self._http[event] = self._http.get(event, 0) + count
+        self._scope.counter(f"serve.http.{event}").inc(count)
+
+    def record_http_latency(self, seconds: float) -> None:
+        """Observe one request's wall time in the latency histogram
+        (``sweep.serve.http.latency_s``; ``repro top`` derives p50/p99
+        from its buckets)."""
+        self._scope.histogram(
+            "serve.http.latency_s", bounds=_HTTP_LATENCY_BOUNDS
+        ).observe(seconds)
+
+    def record_http_in_flight(self, count: int) -> None:
+        """Record the number of HTTP requests currently being handled."""
+        self._scope.gauge("serve.http.in_flight").set(count)
+
     def record_queue_depth(self, depth: int) -> None:
         """Record the service's current admitted-but-unstarted backlog."""
         self._scope.gauge("serve.queue_depth").set(depth)
@@ -316,6 +341,10 @@ class SweepTelemetry:
         """Durable result-store events (hits/misses/puts/errors) so far."""
         return dict(self._store)
 
+    def http_counts(self) -> "dict[str, int]":
+        """HTTP front-door events (requests/status.<code>/...) so far."""
+        return dict(self._http)
+
     @property
     def total_wall_s(self) -> float:
         return sum(r.wall_s for r in self.records)
@@ -349,6 +378,7 @@ class SweepTelemetry:
             "shed_reasons": dict(self._shed),
             "fabric": dict(self._fabric),
             "store": dict(self._store),
+            "http": dict(self._http),
             "pool_utilization": round(self.pool_utilization, 4),
             "zombie_threads": self.zombie_threads,
             "callback_errors": self.callback_errors,

@@ -48,6 +48,59 @@ RATE_ROWS = (
     ("shed/s", ("sweep.serve.shed",)),
 )
 
+#: HTTP front-door rate rows, rendered on their own ``http:`` line so
+#: the classic ``rates:`` line stays byte-stable for services that never
+#: started a front door.
+HTTP_RATE_ROWS = (
+    ("req/s", ("sweep.serve.http.requests",)),
+    ("429/s", ("sweep.serve.http.status.429",)),
+    ("503/s", ("sweep.serve.http.status.503",)),
+)
+
+#: Flat-key prefix of the HTTP latency histogram buckets.
+_HTTP_LATENCY = "sweep.serve.http.latency_s"
+
+
+def _histogram_quantile(flat: dict, name: str, q: float) -> "float | None":
+    """A quantile estimate from a flat cumulative-bucket histogram.
+
+    ``flat`` holds ``<name>.le_<bound>`` cumulative counts plus
+    ``<name>.le_inf`` and ``<name>.count`` (the export layer's flat
+    encoding).  Returns the upper bound of the first bucket whose
+    cumulative count reaches the target rank -- None when the histogram
+    is absent or empty (a server that never started must render ``--``,
+    not raise).
+    """
+    total = flat.get(f"{name}.count")
+    if not total:
+        return None
+    prefix = f"{name}.le_"
+    buckets: "list[tuple[float, float]]" = []
+    for key, value in flat.items():
+        if not key.startswith(prefix):
+            continue
+        raw = key[len(prefix):]
+        bound = float("inf") if raw == "inf" else float(raw)
+        buckets.append((bound, float(value)))
+    if not buckets:
+        return None
+    buckets.sort()
+    rank = q * float(total)
+    for bound, cumulative in buckets:
+        if cumulative >= rank:
+            return bound
+    return buckets[-1][0]
+
+
+def _fmt_latency(value: "float | None") -> str:
+    if value is None:
+        return "--"
+    if value == float("inf"):
+        return ">5s"
+    if value >= 1.0:
+        return f"{value:.1f}s"
+    return f"{value * 1000:.0f}ms"
+
 
 def _fmt_rate(value: "float | None") -> str:
     if value is None:
@@ -89,7 +142,8 @@ class TopSession:
         health = self.watcher.poll()
         doc = read_metrics_snapshot(self.metrics_file)
         rates: "dict[str, float | None]" = {
-            label: None for label, _keys in RATE_ROWS
+            label: None
+            for label, _keys in RATE_ROWS + HTTP_RATE_ROWS
         }
         if doc is not None:
             flat = snapshot_from_state(doc.get("state", {}))
@@ -98,7 +152,7 @@ class TopSession:
                 prev_at, prev_flat = self._prev
                 dt = written_at - prev_at
                 if dt > 0:
-                    for label, keys in RATE_ROWS:
+                    for label, keys in RATE_ROWS + HTTP_RATE_ROWS:
                         # Clamp each counter's delta individually: a
                         # restarted writer resets its cumulative
                         # counters to zero, and that one negative delta
@@ -172,6 +226,16 @@ def render_dashboard(
             )
         )
         flat = snapshot_from_state(metrics_doc.get("state", {}))
+        in_flight = flat.get("sweep.serve.http.in_flight")
+        lines.append(
+            "http:    " + "  ".join(
+                f"{label} {_fmt_rate(rates.get(label))}"
+                for label, _keys in HTTP_RATE_ROWS
+            )
+            + f"  in-flight {int(in_flight) if in_flight is not None else '--'}"
+            + f"  p50 {_fmt_latency(_histogram_quantile(flat, _HTTP_LATENCY, 0.5))}"
+            + f"  p99 {_fmt_latency(_histogram_quantile(flat, _HTTP_LATENCY, 0.99))}"
+        )
         store_hits = int(flat.get("sweep.store.hits", 0))
         store_misses = int(flat.get("sweep.store.misses", 0))
         quarantined = int(flat.get("sweep.diskio.quarantined", 0))

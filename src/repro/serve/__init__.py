@@ -23,7 +23,16 @@ repeated faults, and termination:
   unfinished jobs as gaps;
 * :mod:`repro.serve.health` -- liveness/readiness snapshots (queue
   depth, breaker states, shed/served counters) written atomically to a
-  health file and dumped by ``repro serve --health``.
+  health file and dumped by ``repro serve --health``;
+* :mod:`repro.serve.http` -- an overload-hardened asyncio HTTP/1.1
+  front door (``POST /v1/jobs`` with idempotency keys, poll/cancel,
+  healthz/readyz/metrics) that maps every admission outcome to a
+  structured 429/503 with ``Retry-After``, bounds header/body sizes and
+  read deadlines, rate-limits per client
+  (:mod:`repro.serve.ratelimit`), and drains gracefully on SIGTERM;
+* :mod:`repro.serve.client` -- the matching retrying client: seeded
+  jittered backoff honoring ``Retry-After``, idempotency-key
+  resubmission, and a client-side circuit breaker.
 
 Everything executes through the existing
 :class:`~repro.experiments.runner.SweepRunner`, so served jobs share the
@@ -38,13 +47,29 @@ from repro.serve.breaker import (
     BreakerRegistry,
     CircuitBreaker,
 )
+from repro.serve.client import (
+    ClientBreakerOpen,
+    ClientConfig,
+    ServeClient,
+    ServeError,
+    ServeRejected,
+    ServeUnavailable,
+)
 from repro.serve.health import HealthSnapshot, read_health, write_health
+from repro.serve.http import (
+    DEFAULT_RETRY_AFTER,
+    SHED_STATUS,
+    HttpConfig,
+    HttpFrontDoor,
+    serve_front_door,
+)
 from repro.serve.queue import (
     SHED_REASONS,
     Admission,
     Job,
     JobQueue,
 )
+from repro.serve.ratelimit import RateLimiter, TokenBucket
 from repro.serve.service import JobRecord, ServiceConfig, SimService
 
 __all__ = [
@@ -53,13 +78,26 @@ __all__ = [
     "BreakerPolicy",
     "BreakerRegistry",
     "CircuitBreaker",
+    "ClientBreakerOpen",
+    "ClientConfig",
+    "DEFAULT_RETRY_AFTER",
     "HealthSnapshot",
+    "HttpConfig",
+    "HttpFrontDoor",
     "Job",
     "JobQueue",
     "JobRecord",
+    "RateLimiter",
     "SHED_REASONS",
+    "SHED_STATUS",
+    "ServeClient",
+    "ServeError",
+    "ServeRejected",
+    "ServeUnavailable",
     "ServiceConfig",
     "SimService",
+    "TokenBucket",
     "read_health",
+    "serve_front_door",
     "write_health",
 ]

@@ -160,6 +160,24 @@ class CircuitBreaker:
         finally:
             self._deliver_transitions()
 
+    def probe_eta_s(self) -> "float | None":
+        """Seconds until a hard-open breaker would admit a probe, else None.
+
+        A *non-mutating* admission peek for the HTTP front door: unlike
+        :meth:`allow` it never transitions state or claims the probe
+        slot, so a submit-time rejection costs the breaker nothing.
+        ``None`` means dispatch may proceed (closed, recovery elapsed,
+        or half-open -- the dispatch-side :meth:`allow` still arbitrates
+        the single probe slot).
+        """
+        with self._lock:
+            if self._state != OPEN:
+                return None
+            remaining = self._open_interval_s() - (
+                self._clock() - self._opened_at
+            )
+            return remaining if remaining > 0 else None
+
     def reject_detail(self) -> str:
         """Human-readable detail for a shed (state + probe ETA)."""
         with self._lock:

@@ -1,0 +1,392 @@
+"""``repro.serve.client``: a retrying, breaker-guarded HTTP job client.
+
+The front door (:mod:`repro.serve.http`) promises that every overload
+outcome is a *structured* 429/503 with a ``Retry-After`` hint.  This
+client is the other half of that contract:
+
+* **Idempotent resubmission** -- every submit carries an
+  ``Idempotency-Key`` header (caller-supplied, or content-addressed from
+  the spec exactly as the server would compute it), and the *same* key
+  is reused across every retry of that submit.  A 202 whose response
+  bytes were lost on the wire is therefore safe to resend: the server
+  answers with the original job id instead of queueing a duplicate.
+* **Seeded, jittered exponential backoff** -- retry delays are
+  ``min(cap, base * 2^attempt)`` scaled by a deterministic uniform draw
+  from :func:`repro.resilience.guard.stable_seed`, so two clients with
+  different seeds never thundering-herd in lockstep and a test with a
+  fixed seed replays the exact same schedule.  A server ``Retry-After``
+  overrides the computed backoff (capped at ``backoff_cap_s``): the
+  server knows its own recovery horizon better than the client does.
+* **Client-side circuit breaker** -- ``breaker_threshold`` consecutive
+  *transport* failures (connection refused/reset, malformed response --
+  not structured 4xx/5xx, which prove the server is alive) open the
+  breaker for ``breaker_reset_s``; calls in that window fail fast with
+  :class:`ClientBreakerOpen` instead of hammering a dead endpoint.  The
+  first call after the window is the probe; its success closes the
+  breaker.
+
+Requests propagate trace context (``X-Trace-Id``/``X-Span-Id``) from the
+ambient event log, so a client-side span and the server's
+``http.request`` span stitch into one trace.
+
+Transport is injectable (``transport=`` callable) so the retry/breaker
+logic is tested against scripted fake servers without sockets.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+from urllib.parse import urlsplit
+
+from repro.obs.events import get_event_log
+from repro.resilience.guard import stable_seed
+from repro.serve.service import SimService
+
+
+class ServeError(RuntimeError):
+    """Base class for client-visible service errors."""
+
+
+class ServeUnavailable(ServeError):
+    """Retries exhausted against 429/503/transport failures.
+
+    ``last_status`` / ``last_body`` carry the final structured answer
+    (None when the last failure was transport-level).
+    """
+
+    def __init__(self, detail, last_status=None, last_body=None):
+        super().__init__(detail)
+        self.last_status = last_status
+        self.last_body = last_body
+
+
+class ServeRejected(ServeError):
+    """The server answered with a non-retryable error (400/404/409)."""
+
+    def __init__(self, status, body):
+        detail = body.get("detail") or body.get("error") if isinstance(
+            body, dict
+        ) else str(body)
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.body = body
+
+
+class ClientBreakerOpen(ServeError):
+    """The client-side breaker is open; the endpoint looks dead."""
+
+
+#: Structured statuses worth retrying: overload (429), not-ready /
+#: draining / breaker (503), slow-read timeout (408).  Contained
+#: internal errors (500) are retried too -- the server promised they
+#: are counted, not fatal.
+RETRYABLE_STATUSES = (408, 429, 500, 503)
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Retry, backoff, and breaker policy for one :class:`ServeClient`."""
+
+    max_attempts: int = 6
+    backoff_base_s: float = 0.25
+    backoff_cap_s: float = 10.0
+    #: Per-request socket timeout.
+    timeout_s: float = 10.0
+    #: Seed for the deterministic jitter draws.
+    seed: int = 0
+    #: Consecutive transport failures that open the client breaker.
+    breaker_threshold: int = 5
+    #: How long the breaker stays open before the next probe call.
+    breaker_reset_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError("need 0 <= backoff_base_s <= backoff_cap_s")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+
+
+class ServeClient:
+    """One front-door endpoint plus retry/breaker state.
+
+    ``transport(method, path, body_bytes, headers) -> (status,
+    headers_dict, body_bytes)`` may be injected for tests; transport
+    failures must surface as ``OSError`` or
+    ``http.client.HTTPException``.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        config: "ClientConfig | None" = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        transport=None,
+    ):
+        self.config = config or ClientConfig()
+        self._clock = clock
+        self._sleep = sleep
+        parsed = urlsplit(url if "//" in url else f"http://{url}")
+        if parsed.scheme not in ("", "http"):
+            raise ValueError(f"only http:// endpoints supported, got {url!r}")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 80
+        self._transport = transport or self._http_transport
+        # -- client breaker state --
+        self._consecutive_transport_failures = 0
+        self._breaker_opened_at: "float | None" = None
+        #: Plain-int counters for tests and the chaos harness.
+        self.counters = {
+            "attempts": 0,
+            "retries": 0,
+            "transport_errors": 0,
+            "retryable_statuses": 0,
+            "breaker_fast_fails": 0,
+        }
+
+    # -- transport -----------------------------------------------------
+    def _http_transport(self, method, path, body, headers):
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.config.timeout_s
+        )
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            return (
+                response.status,
+                {k.lower(): v for k, v in response.getheaders()},
+                data,
+            )
+        finally:
+            conn.close()
+
+    # -- breaker -------------------------------------------------------
+    def _breaker_check(self) -> None:
+        if self._breaker_opened_at is None:
+            return
+        elapsed = self._clock() - self._breaker_opened_at
+        if elapsed < self.config.breaker_reset_s:
+            self.counters["breaker_fast_fails"] += 1
+            raise ClientBreakerOpen(
+                f"client breaker open for endpoint {self.host}:{self.port} "
+                f"(probe in {self.config.breaker_reset_s - elapsed:.1f}s)"
+            )
+        # Window elapsed: this call is the probe; breaker half-resets so
+        # one more transport failure re-opens it immediately.
+        self._breaker_opened_at = None
+        self._consecutive_transport_failures = (
+            self.config.breaker_threshold - 1
+        )
+
+    def _record_transport_failure(self) -> None:
+        self.counters["transport_errors"] += 1
+        self._consecutive_transport_failures += 1
+        if (
+            self._consecutive_transport_failures
+            >= self.config.breaker_threshold
+        ):
+            self._breaker_opened_at = self._clock()
+
+    def _record_transport_success(self) -> None:
+        self._consecutive_transport_failures = 0
+        self._breaker_opened_at = None
+
+    @property
+    def breaker_open(self) -> bool:
+        return (
+            self._breaker_opened_at is not None
+            and self._clock() - self._breaker_opened_at
+            < self.config.breaker_reset_s
+        )
+
+    # -- backoff -------------------------------------------------------
+    def _backoff_s(self, key: str, attempt: int) -> float:
+        """Deterministic full-jitter backoff for retry ``attempt``."""
+        ceiling = min(
+            self.config.backoff_cap_s,
+            self.config.backoff_base_s * (2 ** attempt),
+        )
+        draw = stable_seed(
+            self.config.seed, "client", key, attempt
+        ) / float(1 << 64)
+        return ceiling * draw
+
+    @staticmethod
+    def _retry_after_from(headers: dict, body) -> "float | None":
+        value = headers.get("retry-after")
+        if value is None and isinstance(body, dict):
+            value = body.get("retry_after_s")
+        if value is None:
+            return None
+        try:
+            return max(float(value), 0.0)
+        except (TypeError, ValueError):
+            return None
+
+    # -- the request loop ----------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        doc: "dict | None" = None,
+        *,
+        headers: "dict | None" = None,
+        retry_key: str = "",
+    ):
+        """One logical request with retries; returns (status, body).
+
+        ``retry_key`` keys the jitter draws (submits use the
+        idempotency key so each job gets an independent schedule).
+        """
+        base_headers = dict(headers or {})
+        payload = None
+        if doc is not None:
+            payload = json.dumps(doc, sort_keys=True).encode("utf-8")
+            base_headers["content-type"] = "application/json"
+        last_status, last_body, last_error = None, None, None
+        elog = get_event_log()
+        for attempt in range(self.config.max_attempts):
+            self._breaker_check()
+            self.counters["attempts"] += 1
+            delay = None
+            with elog.span(
+                "http.client.request",
+                method=method, path=path, attempt=attempt,
+            ) as (trace_id, span_id):
+                send_headers = dict(base_headers)
+                if trace_id is not None:
+                    send_headers["x-trace-id"] = trace_id
+                    send_headers["x-span-id"] = span_id
+                try:
+                    status, resp_headers, raw = self._transport(
+                        method, path, payload, send_headers
+                    )
+                except (OSError, http.client.HTTPException) as exc:
+                    self._record_transport_failure()
+                    last_error = f"{type(exc).__name__}: {exc}"
+                    last_status, last_body = None, None
+                else:
+                    self._record_transport_success()
+                    body = self._decode(raw)
+                    if status not in RETRYABLE_STATUSES:
+                        return status, body
+                    self.counters["retryable_statuses"] += 1
+                    last_status, last_body = status, body
+                    last_error = None
+                    delay = self._retry_after_from(resp_headers, body)
+            if attempt + 1 >= self.config.max_attempts:
+                break
+            if delay is None:
+                delay = self._backoff_s(retry_key or path, attempt)
+            self.counters["retries"] += 1
+            self._sleep(min(delay, self.config.backoff_cap_s))
+        raise ServeUnavailable(
+            f"{method} {path} failed after {self.config.max_attempts} "
+            f"attempts (last: "
+            f"{last_error or f'HTTP {last_status}'})",
+            last_status=last_status,
+            last_body=last_body,
+        )
+
+    @staticmethod
+    def _decode(raw: bytes):
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return raw.decode("utf-8", "replace")
+
+    # -- the API -------------------------------------------------------
+    def submit(
+        self,
+        spec: dict,
+        *,
+        idempotency_key: "str | None" = None,
+    ) -> dict:
+        """Submit one job spec; returns the structured response body.
+
+        The idempotency key (content-addressed from the spec unless
+        supplied) rides every retry, so lost 202s never double-submit.
+        """
+        key = idempotency_key or SimService.idempotency_key_for(spec)
+        status, body = self._request(
+            "POST", "/v1/jobs", spec,
+            headers={"idempotency-key": key},
+            retry_key=key,
+        )
+        if status in (200, 202):
+            return body if isinstance(body, dict) else {"raw": body}
+        raise ServeRejected(status, body)
+
+    def poll(self, job_id: str) -> "Optional[dict]":
+        """The job record, or None for an unknown id."""
+        status, body = self._request("GET", f"/v1/jobs/{job_id}")
+        if status == 200:
+            return body
+        if status == 404:
+            return None
+        raise ServeRejected(status, body)
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout_s: float = 60.0,
+        poll_interval_s: float = 0.2,
+    ) -> dict:
+        """Poll until the job reaches a terminal state."""
+        deadline = self._clock() + timeout_s
+        while True:
+            record = self.poll(job_id)
+            if record is None:
+                raise ServeRejected(404, {"error": "unknown_job",
+                                          "detail": job_id})
+            if record.get("status") in ("served", "failed", "shed",
+                                        "cancelled"):
+                return record
+            if self._clock() >= deadline:
+                raise ServeUnavailable(
+                    f"job {job_id} not terminal after {timeout_s:g}s "
+                    f"(status {record.get('status')!r})"
+                )
+            self._sleep(poll_interval_s)
+
+    def cancel(self, job_id: str) -> dict:
+        status, body = self._request("DELETE", f"/v1/jobs/{job_id}")
+        if status in (200, 409):
+            return body
+        raise ServeRejected(status, body)
+
+    def health(self, *, ready: bool = False) -> dict:
+        """The /healthz (or /readyz) document regardless of status.
+
+        A 503 here is an *answer* (not ready), not an outage -- so an
+        unhealthy body from the retry loop's last attempt is returned
+        rather than raised.
+        """
+        try:
+            status, body = self._request(
+                "GET", "/readyz" if ready else "/healthz"
+            )
+        except ServeUnavailable as exc:
+            if exc.last_status is None:
+                raise
+            status, body = exc.last_status, exc.last_body
+        doc = body if isinstance(body, dict) else {"raw": body}
+        doc["http_status"] = status
+        return doc
+
+    def metrics(self) -> str:
+        status, body = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServeRejected(status, body)
+        return body if isinstance(body, str) else json.dumps(body)

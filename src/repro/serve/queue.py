@@ -46,18 +46,30 @@ class Admission:
     admitted: bool
     reason: "str | None" = None
     detail: str = ""
+    #: Suggested client wait before resubmitting (seconds); carried to
+    #: the HTTP tier as a ``Retry-After`` header.  ``None`` means the
+    #: decider had no better hint than the reason's default.
+    retry_after_s: "float | None" = None
 
     @classmethod
     def ok(cls) -> "Admission":
         return cls(admitted=True)
 
     @classmethod
-    def shed(cls, reason: str, detail: str = "") -> "Admission":
+    def shed(
+        cls,
+        reason: str,
+        detail: str = "",
+        retry_after_s: "float | None" = None,
+    ) -> "Admission":
         if reason not in SHED_REASONS:
             raise ValueError(
                 f"unknown shed reason {reason!r} (expected {SHED_REASONS})"
             )
-        return cls(admitted=False, reason=reason, detail=detail)
+        return cls(
+            admitted=False, reason=reason, detail=detail,
+            retry_after_s=retry_after_s,
+        )
 
 
 @dataclass
@@ -150,6 +162,7 @@ class JobQueue:
                     "queue_full",
                     f"queue at capacity ({self.capacity}); retry later "
                     f"or raise --queue-capacity",
+                    retry_after_s=1.0,
                 )
             job.submitted_at = now
             job.deadline = (

@@ -1,0 +1,110 @@
+"""Per-client token-bucket rate limiting for the HTTP front door.
+
+One :class:`TokenBucket` is one client's budget: ``rate_per_s`` tokens
+refill continuously up to a ``burst`` ceiling, and each request spends
+one token.  A spent bucket answers *when* the next token lands, so the
+front door can turn every rejection into a structured 429 with an
+honest ``Retry-After`` instead of a silent drop -- the same
+never-silent contract the job queue's :class:`~repro.serve.queue.Admission`
+records established.
+
+:class:`RateLimiter` keys buckets by client identity (the peer address
+at the HTTP tier) with a bounded table: least-recently-seen clients are
+evicted once ``max_clients`` is exceeded, so an address-spraying client
+cannot grow server memory without bound.  Eviction forgets at most one
+idle client's partial debt -- a fresh bucket starts full -- which is
+the safe direction: overload protection degrades toward admitting, not
+toward starving well-behaved clients.
+
+Time is an injected monotonic ``clock`` throughout, so tests drive
+refill deterministically without sleeping.  The limiter is used from a
+single event loop; it takes no locks.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable
+
+
+class TokenBucket:
+    """One client's refillable request budget."""
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._updated = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(now - self._updated, 0.0)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate_per_s)
+        self._updated = now
+
+    def allow(self, cost: float = 1.0) -> "tuple[bool, float]":
+        """Spend ``cost`` tokens; returns (allowed, retry_after_s).
+
+        ``retry_after_s`` is 0 on success, otherwise the time until the
+        missing tokens will have refilled -- the honest wait, not a
+        guess.
+        """
+        now = self._clock()
+        self._refill(now)
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return True, 0.0
+        return False, (cost - self._tokens) / self.rate_per_s
+
+    @property
+    def tokens(self) -> float:
+        self._refill(self._clock())
+        return self._tokens
+
+
+class RateLimiter:
+    """Per-client token buckets with a bounded, LRU-evicted table."""
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: float,
+        *,
+        max_clients: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_clients < 1:
+            raise ValueError("max_clients must be >= 1")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self.max_clients = max_clients
+        self._clock = clock
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self.evicted = 0
+
+    def allow(self, client: str, cost: float = 1.0) -> "tuple[bool, float]":
+        """Spend one request from ``client``'s bucket (created on first use)."""
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self.rate_per_s, self.burst, clock=self._clock)
+            self._buckets[client] = bucket
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+                self.evicted += 1
+        else:
+            self._buckets.move_to_end(client)
+        return bucket.allow(cost)
+
+    def __len__(self) -> int:
+        return len(self._buckets)

@@ -73,6 +73,7 @@ from repro.resilience.pool import PoolAborted
 from repro.serve.breaker import BreakerPolicy, BreakerRegistry
 from repro.serve.health import HealthSnapshot, write_health
 from repro.serve.queue import Admission, Job, JobQueue
+from repro.store.address import content_address
 
 #: Run kinds a job may carry (the runner's cache/figure kinds).
 RUN_KINDS = ("cpu", "gpu", "dvfs")
@@ -176,9 +177,13 @@ class SimService:
             "shed": 0,
             "cancelled": 0,
             "drained": 0,
+            "deduplicated": 0,
             "intake_malformed": 0,
             "intake_rotated": 0,
         }
+        #: idempotency key -> job id, shared by every intake path (JSONL
+        #: and HTTP), so a resubmitted request finds its original job.
+        self._idempotency: "dict[str, str]" = {}
         self._in_flight = 0
         self._threads: "list[Thread]" = []
         self._stop = Event()
@@ -309,6 +314,143 @@ class SimService:
         self._write_health()
         return job.job_id, admission
 
+    @staticmethod
+    def idempotency_key_for(spec: dict) -> str:
+        """The content-addressed idempotency key of one job spec.
+
+        A pure function of the request's meaningful fields (explicit id,
+        cell coordinates, priority, deadline), via the same
+        :func:`~repro.store.address.content_address` scheme the result
+        store keys with -- so identical requests collide across
+        processes, reconnects, and intake paths, and different requests
+        never do.  Auto-assigned ids are *not* part of the key (the
+        caller never saw them), which is why the key is computed from
+        the spec, not the built :class:`Job`.
+        """
+        return content_address("serve.job", {
+            "id": spec.get("id"),
+            "run_kind": str(spec.get("run_kind", spec.get("kind", "cpu"))),
+            "config": spec.get("config"),
+            "workload": spec.get("workload"),
+            "extra": list(spec.get("extra", ())),
+            "priority": int(spec.get("priority", 10)),
+            "deadline_s": spec.get("deadline_s"),
+        })
+
+    def submit_idempotent(
+        self,
+        spec: "Job | dict",
+        *,
+        idempotency_key: "str | None" = None,
+        admission_breaker: bool = False,
+    ) -> "tuple[str, Admission, str]":
+        """Admit one job with duplicate suppression and store read-through.
+
+        Returns ``(job_id, admission, outcome)`` where ``outcome`` is
+
+        * ``"deduplicated"`` -- the idempotency key already maps to a
+          live or served job; its original id is returned and nothing
+          is enqueued (re-POSTing after a reconnect cannot double-run);
+        * ``"cached"`` -- the result store / memo cache already holds
+          this cell; the job is recorded as served immediately, without
+          ever occupying a queue slot or a worker;
+        * ``"admitted"`` / ``"shed"`` -- the normal :meth:`submit`
+          decision.
+
+        A key mapped to a *failed* terminal job (failed / shed /
+        cancelled) is dropped and the job resubmitted fresh: idempotency
+        protects against duplicate execution, not against retrying a
+        failure.  With ``admission_breaker=True`` a hard-open
+        (run_kind, config) breaker sheds at admission time (reason
+        ``breaker_open``, ``retry_after_s`` = the probe ETA) instead of
+        after queueing -- the HTTP tier's backpressure shape.
+        """
+        if isinstance(spec, dict):
+            key = idempotency_key or self.idempotency_key_for(spec)
+            job = self.job_from_spec(spec)
+        else:
+            key = idempotency_key
+            job = spec
+        if job.run_kind not in RUN_KINDS:
+            raise ValueError(
+                f"unknown run kind {job.run_kind!r} (expected {RUN_KINDS})"
+            )
+        if key is not None:
+            with self._lock:
+                existing = self._idempotency.get(key)
+                record = (
+                    self._records.get(existing)
+                    if existing is not None else None
+                )
+                if record is not None and record.status in (
+                    "pending", "running", "served"
+                ):
+                    self._counters["deduplicated"] += 1
+                else:
+                    # Stale mapping (failure terminal, or record gone):
+                    # forget it and admit the resubmission fresh.
+                    record = None
+                    self._idempotency.pop(key, None)
+            if record is not None:
+                self.telemetry.record_serve("deduplicated")
+                return existing, Admission.ok(), "deduplicated"
+        if admission_breaker:
+            breaker = self.breakers.breaker_for(job.run_kind, job.config)
+            eta = breaker.probe_eta_s()
+            if eta is not None:
+                self._count("submitted")
+                self.telemetry.record_serve("submitted")
+                self._count("shed")
+                self.telemetry.record_shed("breaker_open")
+                self._write_health()
+                return job.job_id, Admission.shed(
+                    "breaker_open", breaker.reject_detail(),
+                    retry_after_s=eta,
+                ), "shed"
+        cached = self.runner.lookup_cached(
+            job.run_kind, (job.config, job.workload, *job.extra)
+        )
+        if cached is not None:
+            with self._lock:
+                previous = self._records.get(job.job_id)
+                live = (
+                    previous is not None
+                    and previous.status not in TERMINAL_STATES
+                )
+                if not live:
+                    self._records[job.job_id] = JobRecord(
+                        job=job,
+                        status="served",
+                        result=self._result_summary(cached),
+                        detail="served from result cache",
+                    )
+                    if key is not None:
+                        self._idempotency[key] = job.job_id
+            if live:
+                # Same duplicate-id contract as submit(), without
+                # touching the queue.
+                job_id, admission = self.submit(job)
+                return job_id, admission, "shed"
+            self._count("submitted")
+            self.telemetry.record_serve("submitted")
+            self._count("served")
+            self.telemetry.record_serve("served")
+            self.telemetry.record_serve("served_from_cache")
+            # The same cache-hit accounting run_cell would have done had
+            # the job been dispatched -- resume flows assert on it.
+            self.telemetry.record_run(
+                job.run_kind, job.config, job.workload, 0.0, 0, cached=True
+            )
+            self._write_health()
+            return job.job_id, Admission.ok(), "cached"
+        job_id, admission = self.submit(job)
+        if admission.admitted and key is not None:
+            with self._lock:
+                self._idempotency[key] = job_id
+        return job_id, admission, (
+            "admitted" if admission.admitted else "shed"
+        )
+
     def job_from_spec(self, spec: dict) -> Job:
         """Build a :class:`Job` from a JSONL-style dict (auto id)."""
         job_id = str(spec.get("id") or f"job-{next(self._auto_ids)}")
@@ -421,10 +563,15 @@ class SimService:
                         if on_line is not None:
                             on_line(f"malformed job line skipped: {exc}", None)
                         continue
-                    _, admission = self.submit(job)
+                    _, admission, outcome = self.submit_idempotent(
+                        job, idempotency_key=self.idempotency_key_for(spec)
+                    )
                     submitted += 1
                     if on_line is not None:
-                        on_line(job.describe(), admission)
+                        line = job.describe()
+                        if outcome == "deduplicated":
+                            line += " (deduplicated)"
+                        on_line(line, admission)
             if not follow or self._stop.is_set():
                 return submitted, malformed
             self._stop.wait(poll_s)

@@ -1,0 +1,194 @@
+"""ServeClient retry/backoff/breaker logic against scripted transports.
+
+No sockets: the transport is injected, the clock and sleep are fakes,
+so every schedule assertion is exact and instant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.client import (
+    ClientBreakerOpen,
+    ClientConfig,
+    ServeClient,
+    ServeRejected,
+    ServeUnavailable,
+)
+from repro.serve.service import SimService
+
+
+class FakeTransport:
+    """Scripted responses; an OSError instance in the script is raised."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.calls = []
+
+    def __call__(self, method, path, body, headers):
+        self.calls.append((method, path, body, dict(headers)))
+        if not self.script:
+            raise AssertionError("transport called more than scripted")
+        step = self.script.pop(0)
+        if isinstance(step, Exception):
+            raise step
+        return step
+
+
+def make_client(script, **cfg):
+    sleeps = []
+    now = [0.0]
+    transport = FakeTransport(script)
+    client = ServeClient(
+        "http://127.0.0.1:9",
+        ClientConfig(**cfg),
+        clock=lambda: now[0],
+        sleep=sleeps.append,
+        transport=transport,
+    )
+    return client, transport, sleeps, now
+
+
+def ok(status=202, body=b'{"job_id": "j1", "status": "pending"}',
+       headers=None):
+    return (status, headers or {}, body)
+
+
+SPEC = {"run_kind": "cpu", "config": "BaseCMOS", "workload": "lu"}
+
+
+def test_retry_honors_server_retry_after_over_backoff():
+    client, transport, sleeps, _now = make_client([
+        (429, {"retry-after": "2"}, b'{"error": "shed"}'),
+        ok(),
+    ], backoff_base_s=100.0, backoff_cap_s=200.0)  # dwarfs 2s if used
+    body = client.submit(SPEC)
+    assert body["job_id"] == "j1"
+    assert sleeps == [2.0]
+    assert len(transport.calls) == 2
+
+
+def test_retry_after_json_hint_used_when_header_missing():
+    client, _t, sleeps, _now = make_client([
+        (503, {}, b'{"error": "shed", "retry_after_s": 0.75}'),
+        ok(),
+    ])
+    client.submit(SPEC)
+    assert sleeps == [0.75]
+
+
+def test_backoff_is_seeded_jittered_and_deterministic():
+    client_a, _, _, _ = make_client([], seed=7)
+    client_b, _, _, _ = make_client([], seed=7)
+    client_c, _, _, _ = make_client([], seed=8)
+    schedule_a = [client_a._backoff_s("k", i) for i in range(4)]
+    schedule_b = [client_b._backoff_s("k", i) for i in range(4)]
+    schedule_c = [client_c._backoff_s("k", i) for i in range(4)]
+    assert schedule_a == schedule_b  # same seed => same schedule
+    assert schedule_a != schedule_c  # different seed => decorrelated
+    # Full jitter stays inside the exponential ceiling.
+    for attempt, delay in enumerate(schedule_a):
+        assert 0.0 <= delay <= 0.25 * (2 ** attempt)
+
+
+def test_unstructured_backoff_used_when_no_retry_after():
+    client, _t, sleeps, _now = make_client([
+        (503, {}, b'{"error": "shed"}'),
+        ok(),
+    ], seed=3)
+    client.submit(SPEC)
+    key = SimService.idempotency_key_for(SPEC)
+    assert sleeps == [client._backoff_s(key, 0)]
+
+
+def test_same_idempotency_key_rides_every_retry():
+    client, transport, _sleeps, _now = make_client([
+        (503, {}, b'{"error": "shed"}'),
+        ConnectionResetError("peer vanished"),
+        ok(),
+    ])
+    client.submit(SPEC)
+    keys = {
+        headers["idempotency-key"]
+        for _m, _p, _b, headers in transport.calls
+    }
+    assert keys == {SimService.idempotency_key_for(SPEC)}
+    assert len(transport.calls) == 3
+
+
+def test_non_retryable_rejection_raises_without_retrying():
+    client, transport, sleeps, _now = make_client([
+        (400, {}, b'{"error": "bad_job", "detail": "nope"}'),
+    ])
+    with pytest.raises(ServeRejected) as info:
+        client.submit(SPEC)
+    assert info.value.status == 400
+    assert sleeps == []
+    assert len(transport.calls) == 1
+
+
+def test_exhausted_retries_raise_serve_unavailable_with_last_answer():
+    client, _t, _sleeps, _now = make_client(
+        [(429, {"retry-after": "0"}, b'{"error": "shed"}')] * 3,
+        max_attempts=3,
+    )
+    with pytest.raises(ServeUnavailable) as info:
+        client.submit(SPEC)
+    assert info.value.last_status == 429
+    assert info.value.last_body == {"error": "shed"}
+
+
+def test_client_breaker_opens_on_consecutive_transport_failures():
+    client, transport, _sleeps, now = make_client(
+        [ConnectionRefusedError("down")] * 6 + [ok()],
+        max_attempts=3, breaker_threshold=5, breaker_reset_s=4.0,
+        backoff_base_s=0.0,
+    )
+    with pytest.raises(ServeUnavailable):
+        client.submit(SPEC)  # 3 transport failures
+    # Failures 4 and 5 trip the breaker mid-request.
+    with pytest.raises((ServeUnavailable, ClientBreakerOpen)):
+        client.submit(SPEC)
+    assert client.breaker_open
+    calls_so_far = len(transport.calls)
+    # While open: fail fast, no socket traffic.
+    with pytest.raises(ClientBreakerOpen):
+        client.submit(SPEC)
+    assert len(transport.calls) == calls_so_far
+    assert client.counters["breaker_fast_fails"] >= 1
+    # After the reset window the next call probes -- and one more
+    # transport failure re-opens immediately (half-open semantics).
+    now[0] += 4.0
+    with pytest.raises((ServeUnavailable, ClientBreakerOpen)):
+        client.submit(SPEC)
+    assert len(transport.calls) == calls_so_far + 1
+    assert client.breaker_open
+    # A successful probe after the next window closes it fully.
+    now[0] += 4.0
+    assert client.submit(SPEC)["job_id"] == "j1"
+    assert not client.breaker_open
+    assert client._consecutive_transport_failures == 0
+
+
+def test_poll_and_wait_reach_terminal_state():
+    records = [
+        (200, {}, b'{"job_id": "j1", "status": "pending"}'),
+        (200, {}, b'{"job_id": "j1", "status": "running"}'),
+        (200, {}, b'{"job_id": "j1", "status": "served"}'),
+    ]
+    client, transport, _sleeps, _now = make_client(records)
+    record = client.wait("j1", timeout_s=60.0, poll_interval_s=0.0)
+    assert record["status"] == "served"
+    assert len(transport.calls) == 3
+    client2, _t, _s, _n = make_client([(404, {}, b'{}')])
+    assert client2.poll("ghost") is None
+
+
+def test_health_returns_unready_body_instead_of_raising():
+    client, _t, _sleeps, _now = make_client(
+        [(503, {}, b'{"ready": false, "alive": true}')] * 2,
+        max_attempts=2,
+    )
+    doc = client.health(ready=True)
+    assert doc["http_status"] == 503
+    assert doc["ready"] is False

@@ -1,0 +1,370 @@
+"""The HTTP front door end to end: routes, backpressure, idempotency.
+
+Each test runs a real :class:`HttpFrontDoor` on an ephemeral port in a
+background event-loop thread and speaks real HTTP at it with
+``http.client``.  Services are deliberately *not* started in most tests
+so queue/admission states are controllable without sleeping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.experiments.runner import SweepRunner, SweepSettings
+from repro.resilience import GuardPolicy
+from repro.serve import ServiceConfig, SimService
+from repro.serve.http import HttpConfig, HttpFrontDoor
+from repro.serve.ratelimit import RateLimiter, TokenBucket
+
+SMALL = dict(instructions=2_000, apps=["lu"], kernels=["DCT"])
+
+
+def make_runner(**kwargs) -> SweepRunner:
+    policy = kwargs.pop(
+        "policy",
+        GuardPolicy(max_retries=0, backoff_base_s=0.0, jitter=0.0),
+    )
+    return SweepRunner(SweepSettings(**SMALL), policy=policy, **kwargs)
+
+
+def make_service(runner=None, **cfg_kwargs) -> SimService:
+    cfg = ServiceConfig(
+        workers=cfg_kwargs.pop("workers", 1),
+        poll_s=cfg_kwargs.pop("poll_s", 0.01),
+        **cfg_kwargs,
+    )
+    return SimService(runner or make_runner(), cfg)
+
+
+def spec(job_id=None, workload="lu", config="BaseCMOS", **kwargs) -> dict:
+    doc = {"run_kind": "cpu", "config": config, "workload": workload}
+    if job_id is not None:
+        doc["id"] = job_id
+    doc.update(kwargs)
+    return doc
+
+
+class Harness:
+    """Run one front door in a background event loop for a test."""
+
+    def __init__(self, service, config=None, **kwargs):
+        self.front = HttpFrontDoor(
+            service, config or HttpConfig(), **kwargs
+        )
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        await self.front.start()
+        self._ready.set()
+        try:
+            await self.front.wait_shutdown()
+        finally:
+            await self.front.drain()
+
+    def __enter__(self) -> HttpFrontDoor:
+        self._thread.start()
+        assert self._ready.wait(10.0), "front door never started"
+        return self.front
+
+    def __exit__(self, *_exc) -> None:
+        self.front.request_shutdown()
+        self._thread.join(timeout=10.0)
+        assert not self._thread.is_alive(), "front door failed to drain"
+
+
+def request(front, method, path, doc=None, headers=None):
+    """One real HTTP request; returns (status, headers, parsed body)."""
+    conn = http.client.HTTPConnection(front.host, front.port, timeout=10.0)
+    try:
+        body = None
+        send_headers = dict(headers or {})
+        if doc is not None:
+            body = json.dumps(doc).encode()
+            send_headers["content-type"] = "application/json"
+        conn.request(method, path, body=body, headers=send_headers)
+        response = conn.getresponse()
+        raw = response.read()
+        resp_headers = {k.lower(): v for k, v in response.getheaders()}
+        try:
+            parsed = json.loads(raw.decode())
+        except ValueError:
+            parsed = raw.decode("utf-8", "replace")
+        return response.status, resp_headers, parsed
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------
+# token buckets (pure unit tests, fake clock)
+# ---------------------------------------------------------------------
+
+def test_token_bucket_allows_burst_then_sheds_with_honest_retry_after():
+    now = [0.0]
+    bucket = TokenBucket(2.0, burst=3.0, clock=lambda: now[0])
+    assert all(bucket.allow()[0] for _ in range(3))
+    allowed, retry_after = bucket.allow()
+    assert not allowed
+    # 1 token at 2/s is 0.5s away.
+    assert retry_after == pytest.approx(0.5)
+    now[0] += 0.5
+    assert bucket.allow()[0]
+
+
+def test_rate_limiter_tracks_clients_independently_and_evicts_lru():
+    now = [0.0]
+    limiter = RateLimiter(
+        1.0, burst=1.0, max_clients=2, clock=lambda: now[0]
+    )
+    assert limiter.allow("a")[0]
+    assert limiter.allow("b")[0]
+    # a's bucket is empty, b's was untouched by a's spending.
+    assert not limiter.allow("a")[0]
+    # The shed still counts as client activity, so "b" (not "a") is now
+    # least recently used and gets evicted by a third client.
+    limiter.allow("c")
+    assert limiter.evicted == 1
+    assert len(limiter) == 2
+    # An evicted client returns with a fresh (full) bucket (and its
+    # arrival evicts the next LRU in turn -- the table stays bounded).
+    assert limiter.allow("b")[0]
+    assert limiter.evicted == 2
+    assert len(limiter) == 2
+
+
+# ---------------------------------------------------------------------
+# routes
+# ---------------------------------------------------------------------
+
+def test_healthz_readyz_and_metrics_routes():
+    service = make_service().start()
+    try:
+        with Harness(service) as front:
+            status, _headers, body = request(front, "GET", "/healthz")
+            assert status == 200
+            assert body["alive"] is True
+            status, _headers, body = request(front, "GET", "/readyz")
+            assert status == 200
+            status, headers, text = request(front, "GET", "/metrics")
+            assert status == 200
+            assert headers["content-type"].startswith("text/plain")
+            assert isinstance(text, str)
+            status, _headers, body = request(front, "GET", "/nope")
+            assert status == 404 and body["error"] == "not_found"
+    finally:
+        service.shutdown()
+
+
+def test_not_started_service_reports_unhealthy_with_retry_after():
+    service = make_service()  # never started
+    with Harness(service) as front:
+        status, headers, body = request(front, "GET", "/readyz")
+        assert status == 503
+        assert body["ready"] is False
+        assert "retry-after" in headers
+
+
+def test_submit_poll_serve_lifecycle():
+    service = make_service().start()
+    try:
+        with Harness(service) as front:
+            status, _h, body = request(
+                front, "POST", "/v1/jobs", spec("h1")
+            )
+            assert status == 202 and body["job_id"] == "h1"
+            assert body["idempotency_key"]
+            assert service.wait_idle(timeout=60.0)
+            status, _h, record = request(front, "GET", "/v1/jobs/h1")
+            assert status == 200
+            assert record["status"] == "served"
+            assert record["result"]["energy_j"] > 0
+            status, _h, body = request(front, "GET", "/v1/jobs/ghost")
+            assert status == 404 and body["error"] == "unknown_job"
+    finally:
+        service.shutdown()
+
+
+def test_duplicate_post_returns_original_job_id_without_requeue():
+    service = make_service()  # never started: job stays pending
+    with Harness(service) as front:
+        doc = spec("dup1")
+        status, _h, first = request(front, "POST", "/v1/jobs", doc)
+        assert status == 202
+        status, _h, again = request(front, "POST", "/v1/jobs", doc)
+        assert status == 200
+        assert again["job_id"] == first["job_id"] == "dup1"
+        assert again["deduplicated"] is True
+        assert service.counters["submitted"] == 1
+        assert service.counters["deduplicated"] == 1
+        assert service.queue.depth == 1  # nothing re-queued
+
+
+def test_explicit_idempotency_key_header_wins():
+    service = make_service()
+    with Harness(service) as front:
+        headers = {"Idempotency-Key": "my-key"}
+        status, _h, first = request(
+            front, "POST", "/v1/jobs", spec(), headers=headers
+        )
+        assert status == 202 and first["idempotency_key"] == "my-key"
+        # A *different* spec under the same key is still the same job.
+        status, _h, again = request(
+            front, "POST", "/v1/jobs", spec(workload="barnes"),
+            headers=headers,
+        )
+        assert status == 200
+        assert again["job_id"] == first["job_id"]
+
+
+def test_store_read_through_serves_cached_cell_without_queueing():
+    runner = make_runner()
+    runner.run_cell("cpu", "BaseCMOS", "lu")  # warm the memo cache
+    service = make_service(runner)  # not started: queueing would hang
+    with Harness(service) as front:
+        status, _h, body = request(front, "POST", "/v1/jobs", spec("c1"))
+        assert status == 200
+        assert body["status"] == "served"
+        assert body["served_from"] == "cache"
+        assert body["result"]["time_s"] > 0
+        assert service.queue.depth == 0
+        assert service.counters["served"] == 1
+
+
+def test_cancel_route_and_too_late_conflict():
+    service = make_service()
+    with Harness(service) as front:
+        request(front, "POST", "/v1/jobs", spec("z1"))
+        status, _h, body = request(front, "DELETE", "/v1/jobs/z1")
+        assert status == 200 and body["status"] == "cancelled"
+        status, _h, body = request(front, "DELETE", "/v1/jobs/z1")
+        assert status == 409 and body["error"] == "too_late"
+        status, _h, _ = request(front, "DELETE", "/v1/jobs/ghost")
+        assert status == 404
+
+
+# ---------------------------------------------------------------------
+# backpressure: every shed is a structured 429/503 with Retry-After
+# ---------------------------------------------------------------------
+
+def test_queue_full_is_429_with_retry_after():
+    service = make_service(capacity=1)
+    with Harness(service) as front:
+        assert request(front, "POST", "/v1/jobs", spec("q1"))[0] == 202
+        status, headers, body = request(
+            front, "POST", "/v1/jobs", spec("q2")
+        )
+        assert status == 429
+        assert body["reason"] == "queue_full"
+        assert int(headers["retry-after"]) >= 1
+        assert body["retry_after_s"] == pytest.approx(1.0)
+
+
+def test_draining_service_is_503_with_retry_after():
+    service = make_service()
+    service.request_shutdown()
+    with Harness(service) as front:
+        status, headers, body = request(
+            front, "POST", "/v1/jobs", spec("d1")
+        )
+        assert status == 503
+        assert body["reason"] == "draining"
+        assert "retry-after" in headers
+
+
+def test_open_breaker_sheds_at_admission_with_probe_eta():
+    service = make_service()
+    breaker = service.breakers.breaker_for("cpu", "BaseCMOS")
+    for _ in range(breaker.policy.failure_threshold):
+        breaker.record_failure("crash")
+    assert breaker.state == "open"
+    with Harness(service) as front:
+        status, headers, body = request(
+            front, "POST", "/v1/jobs", spec("b1")
+        )
+        assert status == 503
+        assert body["reason"] == "breaker_open"
+        # Retry-After reflects the probe ETA, not a canned default.
+        assert float(headers["retry-after"]) >= 1
+        # Nothing was queued, but accounting still closed the loop.
+        assert service.queue.depth == 0
+        assert service.counters["shed"] == 1
+        # A different config is unaffected.
+        status, _h, _b = request(
+            front, "POST", "/v1/jobs", spec("b2", config="BaseTFET")
+        )
+        assert status == 202
+
+
+def test_duplicate_live_id_is_409():
+    service = make_service()
+    with Harness(service) as front:
+        assert request(front, "POST", "/v1/jobs", spec("same"))[0] == 202
+        # Same id, different cell => different idempotency key, but the
+        # id is live: the duplicate_id shed maps to a conflict.
+        status, _h, body = request(
+            front, "POST", "/v1/jobs", spec("same", workload="barnes")
+        )
+        assert status == 409
+        assert body["reason"] == "duplicate_id"
+
+
+def test_per_client_rate_limit_is_429():
+    service = make_service()
+    config = HttpConfig(rate_per_s=1.0, rate_burst=2.0)
+    with Harness(service, config) as front:
+        codes = [
+            request(front, "POST", "/v1/jobs", spec(f"r{i}"))[0]
+            for i in range(4)
+        ]
+        assert codes[:2] == [202, 202]
+        assert 429 in codes[2:]
+        status, headers, body = request(
+            front, "POST", "/v1/jobs", spec("r9")
+        )
+        assert status == 429 and body["error"] == "rate_limited"
+        assert "retry-after" in headers
+        # Reads are not rate limited -- polls must survive a flood.
+        assert request(front, "GET", "/v1/jobs/r0")[0] == 200
+
+
+def test_drained_front_door_rejects_new_connections():
+    with Harness(None) as front:
+        host, port = front.host, front.port
+        assert request(front, "GET", "/healthz")[0] == 200
+    # After drain the listener is gone entirely.
+    with pytest.raises(OSError):
+        conn = http.client.HTTPConnection(host, port, timeout=2.0)
+        try:
+            conn.request("GET", "/healthz")
+            conn.getresponse()
+        finally:
+            conn.close()
+
+
+# ---------------------------------------------------------------------
+# status-only mode (the fabric coordinator's front)
+# ---------------------------------------------------------------------
+
+def test_status_only_front_serves_fleet_and_rejects_job_routes():
+    provider_calls = []
+
+    def provider():
+        provider_calls.append(1)
+        return {"alive": True, "ready": True, "nodes": 3}
+
+    with Harness(None, status_provider=provider) as front:
+        status, _h, body = request(front, "GET", "/v1/fleet")
+        assert status == 200 and body["nodes"] == 3
+        status, _h, body = request(front, "GET", "/healthz")
+        assert status == 200
+        status, _h, body = request(front, "POST", "/v1/jobs", spec("x"))
+        assert status == 503 and body["error"] == "no_job_service"
+        assert provider_calls

@@ -1,0 +1,290 @@
+"""Fuzz-style malformed-wire tests for the HTTP front door.
+
+Raw sockets, no HTTP library: truncated requests, oversized headers,
+bad content-lengths, non-JSON bodies, binary garbage, slow-loris
+dribbles, and abrupt disconnects.  The server must answer each with a
+structured status (or a counted close) -- never a traceback down the
+socket, never a leaked connection, and the service accounting invariant
+(``submitted == served + failed + shed + cancelled + pending``) must
+hold afterwards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.experiments.runner import SweepRunner, SweepSettings
+from repro.resilience import GuardPolicy
+from repro.serve import ServiceConfig, SimService
+from repro.serve.http import HttpConfig, HttpFrontDoor
+
+SMALL = dict(instructions=2_000, apps=["lu"], kernels=["DCT"])
+
+
+def make_service() -> SimService:
+    runner = SweepRunner(
+        SweepSettings(**SMALL),
+        policy=GuardPolicy(max_retries=0, backoff_base_s=0.0, jitter=0.0),
+    )
+    return SimService(runner, ServiceConfig(workers=1, poll_s=0.01))
+
+
+class Harness:
+    def __init__(self, service, config=None):
+        self.front = HttpFrontDoor(service, config or HttpConfig())
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        await self.front.start()
+        self._ready.set()
+        try:
+            await self.front.wait_shutdown()
+        finally:
+            await self.front.drain()
+
+    def __enter__(self) -> HttpFrontDoor:
+        self._thread.start()
+        assert self._ready.wait(10.0)
+        return self.front
+
+    def __exit__(self, *_exc) -> None:
+        self.front.request_shutdown()
+        self._thread.join(timeout=10.0)
+
+
+def raw_exchange(front, payload: bytes, *, read=True, timeout=5.0) -> bytes:
+    """Send raw bytes, optionally read the full response, always close."""
+    with socket.create_connection(
+        (front.host, front.port), timeout=timeout
+    ) as sock:
+        if payload:
+            sock.sendall(payload)
+        if not read:
+            return b""
+        chunks = []
+        try:
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        except socket.timeout:
+            pass
+        return b"".join(chunks)
+
+
+def status_of(response: bytes) -> "int | None":
+    if not response.startswith(b"HTTP/1.1 "):
+        return None
+    return int(response.split(b" ", 2)[1])
+
+
+def wait_no_open_connections(front, deadline_s=5.0) -> None:
+    deadline = time.monotonic() + deadline_s
+    while front.open_connections and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert front.open_connections == 0, "leaked connections"
+
+
+def assert_accounting_closed(service: SimService) -> None:
+    c = service.counters
+    pending = sum(
+        1 for r in service.records() if r.status in ("pending", "running")
+    )
+    assert (
+        c["submitted"]
+        == c["served"] + c["failed"] + c["shed"] + c["cancelled"] + pending
+    )
+
+
+GOOD = (
+    b"POST /v1/jobs HTTP/1.1\r\ncontent-length: %d\r\n\r\n%s"
+    % (
+        len(b'{"id": "ok", "run_kind": "cpu", "config": "BaseCMOS", '
+           b'"workload": "lu"}'),
+        b'{"id": "ok", "run_kind": "cpu", "config": "BaseCMOS", '
+        b'"workload": "lu"}',
+    )
+)
+
+#: (name, wire bytes, expected statuses -- empty set means "connection
+#: closed without a response is acceptable").
+MALFORMED = [
+    ("empty_close", b"", set()),
+    ("truncated_request_line", b"GET /v1", set()),
+    ("truncated_headers", b"GET /healthz HTTP/1.1\r\nhost: x", set()),
+    ("bad_request_line", b"NONSENSE\r\n\r\n", {400}),
+    ("bad_version", b"GET / FTP/9\r\n\r\n", {400}),
+    ("header_without_colon", b"GET / HTTP/1.1\r\nbroken\r\n\r\n", {400}),
+    (
+        "bad_content_length",
+        b"POST /v1/jobs HTTP/1.1\r\ncontent-length: banana\r\n\r\n",
+        {400},
+    ),
+    (
+        "negative_content_length",
+        b"POST /v1/jobs HTTP/1.1\r\ncontent-length: -5\r\n\r\n",
+        {400},
+    ),
+    (
+        "oversized_content_length",
+        b"POST /v1/jobs HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n",
+        {413},
+    ),
+    (
+        "post_without_length",
+        b"POST /v1/jobs HTTP/1.1\r\n\r\n",
+        {411},
+    ),
+    (
+        "non_json_body",
+        b"POST /v1/jobs HTTP/1.1\r\ncontent-length: 9\r\n\r\nnot json!",
+        {400},
+    ),
+    (
+        "json_but_not_object",
+        b"POST /v1/jobs HTTP/1.1\r\ncontent-length: 7\r\n\r\n[1,2,3]",
+        {400},
+    ),
+    (
+        "too_many_headers",
+        b"GET /healthz HTTP/1.1\r\n"
+        + b"".join(b"x-h%d: v\r\n" % i for i in range(80))
+        + b"\r\n",
+        {431},
+    ),
+    (
+        "oversized_header_block",
+        b"GET /healthz HTTP/1.1\r\nx-big: " + b"a" * 9000 + b"\r\n\r\n",
+        {431},
+    ),
+]
+
+
+def test_malformed_wire_input_never_crashes_or_leaks():
+    service = make_service()
+    # A short read deadline keeps the truncation cases fast: payloads
+    # without a header terminator resolve as 408s, not 5s stalls.
+    config = HttpConfig(
+        max_header_bytes=8192, max_body_bytes=4096, read_timeout_s=0.3
+    )
+    with Harness(service, config) as front:
+        for name, payload, expected in MALFORMED:
+            response = raw_exchange(front, payload)
+            code = status_of(response)
+            if expected:
+                assert code in expected, (
+                    f"{name}: expected {expected}, got {code!r} "
+                    f"({response[:80]!r})"
+                )
+            elif response:
+                # If the server chose to answer a truncation, the
+                # answer must still be structured HTTP.
+                assert code is not None and 400 <= code < 500, name
+        wait_no_open_connections(front)
+        # After the barrage, the front door still serves cleanly.
+        response = raw_exchange(front, GOOD)
+        assert status_of(response) == 202
+        wait_no_open_connections(front)
+    assert_accounting_closed(service)
+    assert service.counters["submitted"] == 1
+
+
+def test_deterministic_binary_garbage_barrage():
+    service = make_service()
+    with Harness(service, HttpConfig(read_timeout_s=0.3)) as front:
+        for i in range(12):
+            garbage = hashlib.sha256(f"fuzz-{i}".encode()).digest() * 7
+            response = raw_exchange(front, garbage)
+            code = status_of(response)
+            # Any response must be structured; silence means the server
+            # (not a traceback) closed the connection.
+            assert code is None or 400 <= code < 500
+        wait_no_open_connections(front)
+        assert status_of(raw_exchange(front, b"GET /healthz HTTP/1.1\r\n\r\n")) in (200, 503)
+    assert_accounting_closed(service)
+
+
+def test_abrupt_disconnect_mid_body_is_counted_not_fatal():
+    service = make_service()
+    with Harness(service) as front:
+        # Declare 40 bytes, send 5, slam the connection shut.
+        with socket.create_connection(
+            (front.host, front.port), timeout=5.0
+        ) as sock:
+            sock.sendall(
+                b"POST /v1/jobs HTTP/1.1\r\ncontent-length: 40\r\n\r\nhello"
+            )
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER,
+                b"\x01\x00\x00\x00\x00\x00\x00\x00",
+            )
+        wait_no_open_connections(front)
+        assert status_of(raw_exchange(front, GOOD)) == 202
+    assert_accounting_closed(service)
+    telemetry = service.telemetry.http_counts()
+    assert telemetry.get("disconnects", 0) >= 1
+
+
+def test_slow_loris_dribble_gets_408_within_deadline():
+    service = make_service()
+    config = HttpConfig(read_timeout_s=0.3)
+    with Harness(service, config) as front:
+        started = time.monotonic()
+        with socket.create_connection(
+            (front.host, front.port), timeout=10.0
+        ) as sock:
+            sock.sendall(b"GET /healthz HT")  # ...and then dribble stops
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        elapsed = time.monotonic() - started
+        assert status_of(b"".join(chunks)) == 408
+        assert elapsed < 5.0  # bounded by the read deadline, not forever
+        wait_no_open_connections(front)
+    assert service.telemetry.http_counts().get("timeouts", 0) >= 1
+
+
+def test_pipelined_second_request_is_ignored_one_request_per_connection():
+    service = make_service()
+    with Harness(service) as front:
+        response = raw_exchange(
+            front,
+            b"GET /nope HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n",
+        )
+        # Exactly one response; the connection closes after it.
+        assert response.count(b"HTTP/1.1 ") == 1
+        assert status_of(response) == 404
+        wait_no_open_connections(front)
+
+
+def test_connection_ceiling_sheds_structured_503():
+    service = make_service()
+    config = HttpConfig(max_connections=1, read_timeout_s=2.0)
+    with Harness(service, config) as front:
+        hog = socket.create_connection((front.host, front.port), timeout=5.0)
+        try:
+            hog.sendall(b"GET /healthz HT")  # hold the one slot open
+            time.sleep(0.05)
+            response = raw_exchange(
+                front, b"GET /healthz HTTP/1.1\r\n\r\n"
+            )
+            assert status_of(response) == 503
+            assert b"retry-after" in response.lower()
+        finally:
+            hog.close()
+        wait_no_open_connections(front)
