@@ -60,6 +60,7 @@ GUARDED = (
     "cells.gpu.speedup",
     "trace_cache.amortization",
     "sweep.speedup",
+    "batched_sweep.speedup",
     "obs.efficiency",
 )
 
@@ -234,6 +235,72 @@ def bench_sweep_latency(instructions: int, warmup: int) -> dict:
     }
 
 
+def bench_batched_sweep(repeats: int = 2) -> dict:
+    """Batch=1 vs batch=N over the paper's full GPU matrix, traces cached.
+
+    The batched engine's win is driver + lockstep-scoreboard amortization,
+    so both arms run against a warm trace cache (and warm per-trace memos)
+    and time only the simulate layer: batch=1 is the single-cell fast path
+    with ``REPRO_NO_BATCH=1`` (the pre-batching engine), batch=N is one
+    ``simulate_gpu_batch`` call over all cells.  Per-cell results are
+    compared field-for-field, so the speedup cannot be bought by breaking
+    batch exactness.
+    """
+    from repro.core.configs import GPU_MAIN_CONFIGS, gpu_config
+    from repro.core.simulate import simulate_gpu, simulate_gpu_batch
+    from repro.workloads.gpu_profiles import GPU_KERNELS
+
+    cells = [(gpu_config(c), k) for c in GPU_MAIN_CONFIGS for k in GPU_KERNELS]
+    warm = simulate_gpu_batch(cells)  # warm traces + timing-free memos
+    work = sum(out.result.gpu.cu_result.instructions for out in warm)
+
+    hatch = "REPRO_NO_BATCH"
+    t_single = r_single = None
+    t_batch = r_batch = None
+    # Interleave the arms (as bench_obs_overhead does) so machine-state
+    # drift hits both equally; best-of-N per arm cancels transients out
+    # of the guarded ratio.  Three rounds minimum: the single arm walks
+    # 80 python-level cells, so one noisy round skews it far more than
+    # it skews the single fused batch call.
+    for _ in range(max(repeats, 3)):
+        prior = os.environ.get(hatch)
+        os.environ[hatch] = "1"
+        try:
+            t0 = time.perf_counter()
+            outs = [simulate_gpu(d, k) for d, k in cells]
+            dt = time.perf_counter() - t0
+        finally:
+            if prior is None:
+                del os.environ[hatch]
+            else:
+                os.environ[hatch] = prior
+        if t_single is None or dt < t_single:
+            t_single, r_single = dt, outs
+
+        t0 = time.perf_counter()
+        outs = simulate_gpu_batch(cells)
+        dt = time.perf_counter() - t0
+        if t_batch is None or dt < t_batch:
+            t_batch, r_batch = dt, outs
+
+    equivalent = all(
+        out.error is None
+        and dataclasses.asdict(out.result) == dataclasses.asdict(single)
+        for out, single in zip(r_batch, r_single)
+    )
+    return {
+        "cells": len(cells),
+        "instructions": work,
+        "single_instr_per_s": round(work / t_single, 1),
+        "batch_instr_per_s": round(work / t_batch, 1),
+        "single_s": round(t_single, 4),
+        "batch_s": round(t_batch, 4),
+        "speedup": round(t_single / t_batch, 4),
+        "vectorized_cells": sum(int(out.vectorized) for out in r_batch),
+        "equivalent": equivalent,
+    }
+
+
 def bench_obs_overhead(instructions: int, warmup: int,
                        repeats: int = 2) -> dict:
     """Engine timing with observability off vs on (the ≤5% band).
@@ -301,6 +368,7 @@ def run_bench(instructions: int = 30000, warmup: int = 5000,
         },
         "trace_cache": bench_trace_cache(instructions),
         "sweep": bench_sweep_latency(instructions, warmup),
+        "batched_sweep": bench_batched_sweep(repeats=repeats),
         "obs": bench_obs_overhead(instructions, warmup, repeats=repeats),
     }
     return report
@@ -334,6 +402,12 @@ def compare(report: dict, baseline: dict, tolerance: float = 0.25) -> "list[str]
         problems.append(
             "obs: simulation result differs with observability enabled "
             "(instrumentation must never perturb the simulation)"
+        )
+    bs = report.get("batched_sweep")
+    if bs is not None and not bs.get("equivalent", True):
+        problems.append(
+            "batched_sweep: batched results differ from single-cell "
+            "results (batch exactness broken)"
         )
     for path in GUARDED:
         measured = _lookup(report, path)
@@ -374,6 +448,16 @@ def format_report(report: dict, problems: "list[str] | None" = None) -> str:
         f"  {sw['configs']}-config sweep: cold {sw['cold_s']:.2f} s vs warm "
         f"{sw['warm_s']:.2f} s ({sw['speedup']:.2f}x)"
     )
+    bs = report.get("batched_sweep")
+    if bs is not None:
+        lines.append(
+            f"  batched sweep: {bs['cells']} cells  "
+            f"{bs['single_instr_per_s']:>12,.0f} instr/s batch=1   "
+            f"{bs['batch_instr_per_s']:>12,.0f} batch=N   "
+            f"{bs['speedup']:.2f}x   "
+            f"vectorized={bs['vectorized_cells']}   "
+            f"{'exact' if bs['equivalent'] else 'MISMATCH'}"
+        )
     ob = report.get("obs")
     if ob is not None:
         lines.append(

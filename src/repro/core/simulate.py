@@ -18,7 +18,7 @@ from repro.core.hetcore import CpuDesign, GpuDesign
 from repro.cpu.core import CoreConfig, CoreResult, OutOfOrderCore
 from repro.cpu.multicore import MulticoreResult, run_multicore
 from repro.gpu.cu import CUConfig
-from repro.gpu.gpu import GpuConfig, GpuResult, run_gpu
+from repro.gpu.gpu import GpuConfig, GpuResult, run_gpu, run_gpu_batch
 from repro.power.metrics import ed2_product, ed_product
 from repro.power.model import EnergyBreakdown, cpu_energy, gpu_energy
 from repro.workloads.gpu_profiles import KernelProfile, gpu_kernel
@@ -171,21 +171,50 @@ def simulate_cpu(
     )
 
 
-def simulate_gpu(
-    design: GpuDesign,
-    kernel: "str | KernelProfile",
-    seed: int = 0,
-    tracer=None,
-) -> GpuRunResult:
-    """Run one GPU configuration on one kernel.
+@dataclass
+class CpuCellOutcome:
+    """One cell's outcome from :func:`simulate_cpu_batch`."""
 
-    Energy is chip-level: dynamic for the fixed total work (the reference
-    8-CU machine's), leakage for all ``design.n_cus`` compute units over
-    the parallel runtime.
+    result: "CpuRunResult | None"
+    error: "Exception | None"
+
+
+def simulate_cpu_batch(
+    cells: "list[tuple[CpuDesign, str | AppProfile]]",
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    warmup: int = DEFAULT_WARMUP,
+    seed: int = 0,
+) -> "list[CpuCellOutcome]":
+    """Run many (design, app) cells with per-cell failure containment.
+
+    The CPU engine's per-uop control flow cannot run multiple cells in
+    SIMT lockstep the way the GPU scoreboard can, so cells execute
+    sequentially -- but the batch still amortises what is shareable:
+    the trace cache hands every cell of an app the same trace objects
+    and the SoA decode (:mod:`repro.cpu.soa`) memoised on them, so the
+    per-run unboxing PR 5 paid once per (config, core) is paid once per
+    app.  Results are byte-identical to calling :func:`simulate_cpu`
+    per cell; a raising cell yields ``error`` while its siblings
+    complete.
     """
-    profile = gpu_kernel(kernel) if isinstance(kernel, str) else kernel
-    trace = cached_kernel(profile, seed=seed)
-    gpu_cfg = GpuConfig(
+    outcomes: "list[CpuCellOutcome]" = []
+    for design, app in cells:
+        try:
+            result = simulate_cpu(
+                design, app, instructions=instructions, warmup=warmup,
+                seed=seed,
+            )
+        except Exception as exc:
+            outcomes.append(CpuCellOutcome(result=None, error=exc))
+        else:
+            outcomes.append(CpuCellOutcome(result=result, error=None))
+    return outcomes
+
+
+def _gpu_config(design: GpuDesign) -> GpuConfig:
+    """The whole-GPU config a design resolves to (shared by the serial
+    and batched paths so they cannot drift)."""
+    return GpuConfig(
         cu=CUConfig(
             freq_ghz=design.freq_ghz,
             fma_depth=design.fma_depth(),
@@ -194,7 +223,12 @@ def simulate_gpu(
         ),
         n_cus=design.n_cus,
     )
-    result = run_gpu(gpu_cfg, trace, tracer=tracer)
+
+
+def _gpu_run_result(
+    design: GpuDesign, profile: KernelProfile, result: GpuResult
+) -> GpuRunResult:
+    """Energy/ED bookkeeping shared by the serial and batched paths."""
     knobs = design.energy_knobs()
     # The detailed CU executed one CU's share of the reference machine's
     # work; the whole job is 8 such shares regardless of this design's CU
@@ -214,3 +248,93 @@ def simulate_gpu(
         energy=energy,
         gpu=result,
     )
+
+
+@dataclass
+class GpuCellOutcome:
+    """One cell's outcome from :func:`simulate_gpu_batch`."""
+
+    result: "GpuRunResult | None"
+    error: "Exception | None"
+    vectorized: bool = False
+    #: Idle cycles the event-driven skip jumped over (telemetry only).
+    skipped_cycles: int = 0
+    skip_events: int = 0
+
+
+def simulate_gpu_batch(
+    cells: "list[tuple[GpuDesign, str | KernelProfile]]",
+    seed: int = 0,
+) -> "list[GpuCellOutcome]":
+    """Run many (design, kernel) cells through the batched GPU engine.
+
+    The batch driver amortises trace-cache lookups and engine
+    construction across the batch while producing per-cell results
+    byte-identical to :func:`simulate_gpu`.  A cell that raises --
+    during setup, inside the engine, or in the energy model -- yields an
+    outcome with ``error`` set; the other cells complete normally.
+    """
+    resolved: "list[tuple[GpuDesign, KernelProfile] | None]" = []
+    engine_cells = []
+    outcomes: "list[GpuCellOutcome | None]" = [None] * len(cells)
+    for idx, (design, kernel) in enumerate(cells):
+        try:
+            profile = gpu_kernel(kernel) if isinstance(kernel, str) else kernel
+            trace = cached_kernel(profile, seed=seed)
+            engine_cells.append((_gpu_config(design), trace))
+            resolved.append((design, profile))
+        except Exception as exc:
+            outcomes[idx] = GpuCellOutcome(result=None, error=exc)
+            resolved.append(None)
+    engine_outcomes = iter(run_gpu_batch(engine_cells))
+    for idx, pair in enumerate(resolved):
+        if pair is None:
+            continue
+        design, profile = pair
+        out = next(engine_outcomes)
+        if out.error is not None:
+            outcomes[idx] = GpuCellOutcome(
+                result=None,
+                error=out.error,
+                vectorized=out.vectorized,
+                skipped_cycles=out.skipped_cycles,
+                skip_events=out.skip_events,
+            )
+            continue
+        try:
+            run_result = _gpu_run_result(design, profile, out.result)
+        except Exception as exc:
+            outcomes[idx] = GpuCellOutcome(
+                result=None,
+                error=exc,
+                vectorized=out.vectorized,
+                skipped_cycles=out.skipped_cycles,
+                skip_events=out.skip_events,
+            )
+            continue
+        outcomes[idx] = GpuCellOutcome(
+            result=run_result,
+            error=None,
+            vectorized=out.vectorized,
+            skipped_cycles=out.skipped_cycles,
+            skip_events=out.skip_events,
+        )
+    return outcomes
+
+
+def simulate_gpu(
+    design: GpuDesign,
+    kernel: "str | KernelProfile",
+    seed: int = 0,
+    tracer=None,
+) -> GpuRunResult:
+    """Run one GPU configuration on one kernel.
+
+    Energy is chip-level: dynamic for the fixed total work (the reference
+    8-CU machine's), leakage for all ``design.n_cus`` compute units over
+    the parallel runtime.
+    """
+    profile = gpu_kernel(kernel) if isinstance(kernel, str) else kernel
+    trace = cached_kernel(profile, seed=seed)
+    result = run_gpu(_gpu_config(design), trace, tracer=tracer)
+    return _gpu_run_result(design, profile, result)

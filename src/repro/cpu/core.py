@@ -33,9 +33,10 @@ from functools import partial
 from heapq import heappop, heappush
 
 from repro import obs
-from repro.obs import cycle_skip_disabled
+from repro.obs import batch_disabled, cycle_skip_disabled
 from repro.cpu.branch import BranchTargetBuffer, ReturnAddressStack, TournamentPredictor
 from repro.cpu.resources import CoreResources, ResourceConfig
+from repro.cpu.soa import decode_trace, decode_trace_uncached
 from repro.cpu.steering import DualSpeedSteering
 from repro.cpu.trace import Trace
 from repro.cpu.units import FunctionalUnitPool
@@ -317,14 +318,22 @@ class OutOfOrderCore:
         # Tracing is opt-in per run; a None local keeps the guard to a
         # single truth test per event site (zero-overhead-when-off).
         tracer = self.tracer
-        # Unbox the trace once: indexing a numpy array allocates a boxed
-        # scalar per access, which dominates the per-uop cost of the loop.
-        op_l = trace.op.tolist()
-        src1_l = trace.src1_dist.tolist()
-        src2_l = trace.src2_dist.tolist()
-        addr_l = trace.addr.tolist()
-        pc_l = trace.pc.tolist()
-        taken_l = trace.taken.tolist()
+        # The SoA decode (hot trace fields unboxed to plain lists, plus
+        # precomputed producer indices and fetch-line flags) is memoised
+        # on the trace and shared by every run/config/core touching it;
+        # the REPRO_NO_BATCH hatch pins PR 5's per-run rebuild instead.
+        soa = (
+            decode_trace_uncached(trace)
+            if batch_disabled()
+            else decode_trace(trace)
+        )
+        op_l = soa.op
+        prod1_l = soa.prod1
+        prod2_l = soa.prod2
+        addr_l = soa.addr
+        pc_l = soa.pc
+        taken_l = soa.taken
+        new_line_l = soa.new_line
 
         steer_on = cfg.steering_enabled
         steering = (
@@ -363,7 +372,11 @@ class OutOfOrderCore:
         next_fetch = 0
         fetch_blocked_until = 0
         pending_redirect = -1  # trace idx of an unresolved mispredicted branch
-        last_fetch_line = -1
+        #: Last trace index whose IL1 line access already happened --
+        #: fetch is strictly in-order, so the precomputed ``new_line``
+        #: flag plus this revisit guard (an IL1 miss breaks *after* the
+        #: access) replaces the per-uop line comparison.
+        line_done = -1
 
         cycle = 0
         committed = 0
@@ -468,9 +481,8 @@ class OutOfOrderCore:
                                 survivors = eligible[:pos]
                             survivors.extend(eligible[pos:])
                             break
-                        d1 = src1_l[idx]
-                        if d1:
-                            p = idx - d1
+                        p = prod1_l[idx]
+                        if p >= 0:
                             w = ready[p]
                             if w > cycle:
                                 if survivors is None:
@@ -484,9 +496,8 @@ class OutOfOrderCore:
                                     else:
                                         wl.append(idx)
                                 continue
-                        d2 = src2_l[idx]
-                        if d2:
-                            p = idx - d2
+                        p = prod2_l[idx]
+                        if p >= 0:
                             w = ready[p]
                             if w > cycle:
                                 if survivors is None:
@@ -577,12 +588,12 @@ class OutOfOrderCore:
                         while left_iq[iq_order[0]]:
                             iq_order.popleft()
                         oldest = iq_order[0]
-                        d1 = src1_l[oldest]
-                        d2 = src2_l[oldest]
-                        if d1 and ready[oldest - d1] > cycle:
-                            producer = oldest - d1
-                        elif d2 and ready[oldest - d2] > cycle:
-                            producer = oldest - d2
+                        p1 = prod1_l[oldest]
+                        p2 = prod2_l[oldest]
+                        if p1 >= 0 and ready[p1] > cycle:
+                            producer = p1
+                        elif p2 >= 0 and ready[p2] > cycle:
+                            producer = p2
                         else:
                             producer = -1
                         if producer >= 0:
@@ -651,12 +662,12 @@ class OutOfOrderCore:
                     act.loads += 1
                 elif o == _STORE:
                     act.stores += 1
-                if src1_l[idx]:
+                if prod1_l[idx] >= 0:
                     if is_fp_t[o]:
                         act.fp_reg_reads += 1
                     else:
                         act.int_reg_reads += 1
-                if src2_l[idx]:
+                if prod2_l[idx] >= 0:
                     if is_fp_t[o]:
                         act.fp_reg_reads += 1
                     else:
@@ -684,9 +695,8 @@ class OutOfOrderCore:
                 ):
                     idx = next_fetch
                     pc = pc_l[idx]
-                    line = pc >> 6
-                    if line != last_fetch_line:
-                        last_fetch_line = line
+                    if new_line_l[idx] and idx != line_done:
+                        line_done = idx
                         access = fetch_access(pc)
                         act.il1_accesses += 1
                         if access.latency > il1_rt:

@@ -52,14 +52,24 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import threading
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import obs
 from repro.core.configs import cpu_config, gpu_config
-from repro.core.simulate import CpuRunResult, GpuRunResult, simulate_cpu, simulate_gpu
+from repro.core.simulate import (
+    CpuRunResult,
+    GpuRunResult,
+    simulate_cpu,
+    simulate_cpu_batch,
+    simulate_gpu,
+    simulate_gpu_batch,
+)
 from repro.obs.events import get_event_log
 from repro.obs.telemetry import SweepTelemetry
 from repro.resilience import faults
@@ -117,6 +127,12 @@ class SweepSettings:
         }
         canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
+#: Largest cell batch handed to one pool worker attempt.  Bounds both the
+#: blast radius of a worker death (the whole batch requeues as single-cell
+#: attempts) and the padded array footprint of the lockstep GPU engine.
+POOL_BATCH_MAX = 16
 
 
 def _resolve_isolation(workers: int, isolation: "str | None") -> str:
@@ -594,6 +610,148 @@ class SweepRunner:
             self.failures[failure.cell] = failure
             self.telemetry.record_failure(failure)
 
+    # -- batched in-process execution ----------------------------------
+    def _batched_cells(self, run_kind: str, cells: "list[tuple]") -> None:
+        """Execute a sweep's missing cells through the batched drivers.
+
+        One :func:`~repro.core.simulate.simulate_gpu_batch` /
+        ``simulate_cpu_batch`` invocation covers every cell the caches,
+        the durable store, and name validation leave over; each
+        batch-computed cell is then *replayed* through exactly the
+        per-cell guard path the serial sweep uses -- fault injector,
+        ``validate_result`` self-check, retry/backoff budget, failure
+        taxonomy, store write-back, incremental checkpoint flush -- so
+        batched and unbatched sweeps produce byte-identical result
+        mappings and failure records.  A cell whose engine run raised
+        re-raises inside its own replay: the guard degrades it to a
+        recorded gap for that cell only, its batch siblings keep their
+        results.
+        """
+        cache = self._cache_for(run_kind)
+        todo: "list[tuple]" = []  # (key, config, workload, extra, design)
+        for config_name, workload, extra in cells:
+            key = (config_name, workload, *extra)
+            if key not in cache:
+                stored = self._store_fetch(run_kind, key)
+                if stored is not None:
+                    with self._lock:
+                        cache[key] = stored
+                        self.failures.pop(
+                            (run_kind, config_name, workload, *extra), None
+                        )
+            if key in cache:
+                with self._lock:
+                    self.telemetry.record_run(
+                        run_kind,
+                        config_name,
+                        workload,
+                        0.0,
+                        self._instructions_of(run_kind, cache[key]),
+                        cached=True,
+                    )
+                continue
+            try:
+                design = self._validated(run_kind, config_name, workload)
+            except KeyError:
+                if self.policy.fail_fast:
+                    raise
+                continue  # recorded as a config/workload gap
+            todo.append((key, config_name, workload, extra, design))
+        if not todo:
+            return
+
+        start = time.perf_counter()
+        if run_kind == "gpu":
+            outcomes = simulate_gpu_batch(
+                [(design, workload) for _, _, workload, _, design in todo]
+            )
+        else:
+            outcomes = simulate_cpu_batch(
+                [(design, workload) for _, _, workload, _, design in todo],
+                instructions=self.settings.instructions,
+                warmup=self.settings.warmup,
+            )
+        batch_wall = time.perf_counter() - start
+        per_cell_wall = batch_wall / len(todo)
+
+        elog = get_event_log()
+        instructions = cycles = skipped = vectorized = 0
+        for (key, config_name, workload, extra, _), out in zip(todo, outcomes):
+            vectorized += int(getattr(out, "vectorized", False))
+            skipped += getattr(out, "skipped_cycles", 0)
+
+            def replay(out=out):
+                if out.error is not None:
+                    raise out.error
+                return out.result
+
+            def on_retry(attempt: int, kind: str) -> None:
+                self.telemetry.record_retry(run_kind, kind)
+                elog.emit(
+                    "guard.retry", run_kind=run_kind, config=config_name,
+                    workload=workload, attempt=attempt, failure_kind=kind,
+                )
+
+            with elog.span(
+                "cell.attempt", run_kind=run_kind, config=config_name,
+                workload=workload, batched=True,
+            ):
+                outcome = run_guarded(
+                    lambda: self._execute(run_kind, key, replay),
+                    policy=self.policy,
+                    run_kind=run_kind,
+                    config=config_name,
+                    workload=workload,
+                    extra=extra,
+                    validate=lambda result: validate_result(run_kind, result),
+                    on_retry=on_retry,
+                )
+            self._note_zombies()
+            if outcome.failure is not None:
+                with self._lock:
+                    self.failures[outcome.failure.cell] = outcome.failure
+                    self.telemetry.record_failure(outcome.failure)
+                if self.policy.fail_fast:
+                    raise SweepError(outcome.failure)
+                continue
+            with self._lock:
+                cache[key] = outcome.result
+                self.failures.pop(
+                    (run_kind, config_name, workload, *extra), None
+                )
+                n = self._instructions_of(run_kind, outcome.result)
+                instructions += n
+                if run_kind == "gpu":
+                    cycles += outcome.result.gpu.cu_result.cycles
+                else:
+                    cycles += outcome.result.core.cycles
+                self.telemetry.record_run(
+                    run_kind,
+                    config_name,
+                    workload,
+                    per_cell_wall + outcome.wall_s,
+                    n,
+                    cached=False,
+                )
+                self._store_put(run_kind, key, outcome.result)
+                if self.checkpoint is not None:
+                    self.save_checkpoint()
+        with self._lock:
+            self.telemetry.record_batch(
+                run_kind,
+                cells=len(todo),
+                vectorized=vectorized,
+                wall_s=batch_wall,
+                instructions=instructions,
+                cycles=cycles,
+                skipped_cycles=skipped,
+            )
+        get_event_log().emit(
+            "sweep.batch", run_kind=run_kind, cells=len(todo),
+            vectorized=vectorized, wall_s=batch_wall,
+            instructions=instructions,
+        )
+
     # -- process-isolated parallel execution ---------------------------
     def _cache_for(self, run_kind: str) -> dict:
         return {
@@ -612,6 +770,19 @@ class SweepRunner:
         """Map pool lifecycle events onto the telemetry counters."""
         if event == "utilization":
             self.telemetry.record_pool_utilization(info["value"])
+            return
+        if event == "batch_completed":
+            stats = info.get("stats") or {}
+            with self._lock:
+                self.telemetry.record_batch(
+                    info["run_kind"],
+                    cells=stats.get("cells", info.get("cells", 0)),
+                    vectorized=stats.get("vectorized", 0),
+                    wall_s=stats.get("wall_s", 0.0),
+                    instructions=stats.get("instructions", 0),
+                    cycles=stats.get("cycles", 0),
+                    skipped_cycles=stats.get("skipped_cycles", 0),
+                )
             return
         self.telemetry.record_pool(event)
         if event == "requeued":
@@ -665,11 +836,22 @@ class SweepRunner:
         if not tasks:
             return
 
+        # Hand each worker attempt a *batch* of cells (amortising process
+        # start-up, trace decode, and -- for the GPU -- the lockstep
+        # engine across the batch) unless batching is hatched off.  The
+        # batch splits evenly across the worker slots so parallelism is
+        # never traded away for batch depth.
+        batch_cells = 1
+        if not obs.batch_disabled():
+            batch_cells = min(
+                POOL_BATCH_MAX, math.ceil(len(tasks) / workers)
+            )
         pool = SweepPool(
             policy=self.policy,
             instructions=self.settings.instructions,
             warmup=self.settings.warmup,
             workers=workers,
+            batch_cells=batch_cells,
             on_event=self._pool_event,
         )
         with self._lock:
@@ -740,18 +922,19 @@ class SweepRunner:
         (``workers`` of them in parallel).
         """
         apps = self.settings.apps
+        cells = [(name, app, ()) for name in config_names for app in apps]
         if _resolve_isolation(workers, isolation) == "process":
-            self._pool_cells(
-                "cpu",
-                [(name, app, ()) for name in config_names for app in apps],
-                workers,
-            )
+            self._pool_cells("cpu", cells, workers)
+        elif obs.batch_disabled():
+            # REPRO_NO_BATCH=1: the single-cell differential hatch.
             return {
-                name: {app: self._cpu_cache.get((name, app)) for app in apps}
+                name: {app: self.cpu_cell(name, app) for app in apps}
                 for name in config_names
             }
+        else:
+            self._batched_cells("cpu", cells)
         return {
-            name: {app: self.cpu_cell(name, app) for app in apps}
+            name: {app: self._cpu_cache.get((name, app)) for app in apps}
             for name in config_names
         }
 
@@ -763,18 +946,19 @@ class SweepRunner:
         isolation: "str | None" = None,
     ) -> "dict[str, dict[str, GpuRunResult | None]]":
         kernels = self.settings.kernels
+        cells = [(name, k, ()) for name in config_names for k in kernels]
         if _resolve_isolation(workers, isolation) == "process":
-            self._pool_cells(
-                "gpu",
-                [(name, k, ()) for name in config_names for k in kernels],
-                workers,
-            )
+            self._pool_cells("gpu", cells, workers)
+        elif obs.batch_disabled():
+            # REPRO_NO_BATCH=1: the single-cell differential hatch.
             return {
-                name: {k: self._gpu_cache.get((name, k)) for k in kernels}
+                name: {k: self.gpu_cell(name, k) for k in kernels}
                 for name in config_names
             }
+        else:
+            self._batched_cells("gpu", cells)
         return {
-            name: {k: self.gpu_cell(name, k) for k in kernels}
+            name: {k: self._gpu_cache.get((name, k)) for k in kernels}
             for name in config_names
         }
 

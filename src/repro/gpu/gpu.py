@@ -62,6 +62,88 @@ def memory_contention_scale(n_cus: int, mem_intensity: float) -> float:
     return 1.0 + GPU_CONTENTION_ALPHA * extra * mem_intensity
 
 
+@dataclass
+class GpuBatchOutcome:
+    """One cell's outcome from :func:`run_gpu_batch`.
+
+    Exactly one of ``result``/``error`` is set; a failing cell never
+    takes its batch siblings down with it.
+    """
+
+    result: "GpuResult | None"
+    error: "Exception | None"
+    #: Whether the lockstep engine produced this cell (telemetry only).
+    vectorized: bool = False
+    #: Idle cycles the event-driven skip jumped over (telemetry only).
+    skipped_cycles: int = 0
+    skip_events: int = 0
+
+
+def run_gpu_batch(
+    cells: "list[tuple[GpuConfig, KernelTrace]]",
+) -> "list[GpuBatchOutcome]":
+    """Run many GPU cells through one batched engine invocation.
+
+    Per-cell results are byte-identical to :func:`run_gpu`: the same
+    contention-scaled per-CU config is built per cell, the batched
+    engine is exact by construction, and the CU-count scaling applied
+    here is plain per-cell arithmetic.
+    """
+    from repro.gpu.cu_batch import run_cu_batch
+
+    cu_cells: "list[tuple[CUConfig, KernelTrace]]" = []
+    for config, trace in cells:
+        profile = trace.profile
+        scale = memory_contention_scale(config.n_cus, profile.mem_intensity)
+        cu_cells.append(
+            (
+                CUConfig(
+                    freq_ghz=config.cu.freq_ghz,
+                    fma_depth=config.cu.fma_depth,
+                    rf_cycles=config.cu.rf_cycles,
+                    rf_cache_enabled=config.cu.rf_cache_enabled,
+                    rf_cache_entries=config.cu.rf_cache_entries,
+                    mem_latency_scale=config.cu.mem_latency_scale * scale,
+                ),
+                trace,
+            )
+        )
+    outcomes: "list[GpuBatchOutcome]" = []
+    for (config, trace), cu_out in zip(cells, run_cu_batch(cu_cells)):
+        if cu_out.error is not None:
+            outcomes.append(
+                GpuBatchOutcome(
+                    result=None,
+                    error=cu_out.error,
+                    vectorized=cu_out.vectorized,
+                    skipped_cycles=cu_out.skipped_cycles,
+                    skip_events=cu_out.skip_events,
+                )
+            )
+            continue
+        cu_result = cu_out.result
+        serial = trace.profile.serial_fraction
+        parallel_cycles = cu_result.cycles * (REFERENCE_CUS / config.n_cus)
+        effective = (
+            cu_result.cycles * serial + parallel_cycles * (1.0 - serial)
+        )
+        outcomes.append(
+            GpuBatchOutcome(
+                result=GpuResult(
+                    n_cus=config.n_cus,
+                    cu_result=cu_result,
+                    effective_cycles=effective,
+                    freq_ghz=config.cu.freq_ghz,
+                ),
+                error=None,
+                vectorized=cu_out.vectorized,
+                skipped_cycles=cu_out.skipped_cycles,
+                skip_events=cu_out.skip_events,
+            )
+        )
+    return outcomes
+
+
 def run_gpu(config: GpuConfig, trace: KernelTrace, tracer=None) -> GpuResult:
     """Run ``trace``'s kernel on the configured GPU at fixed total work.
 

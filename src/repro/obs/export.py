@@ -60,6 +60,7 @@ NONDETERMINISTIC_MARKERS = (
     "shm",           # shared-memory transport is parallel-only
     "checkpoint",    # flush timing/count depends on completion order
     "pool.",         # worker lifecycle (spawns, heartbeats, requeues)
+    "batch.",        # batch composition depends on worker chunking
     "serve.",        # service-side accounting
     "fabric.",       # node membership / resubmission depends on timing
     "store.",        # durable-store hit/miss split is cross-run state

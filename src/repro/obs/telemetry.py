@@ -90,6 +90,7 @@ class SweepTelemetry:
         self._fabric: "dict[str, int]" = {}
         self._store: "dict[str, int]" = {}
         self._http: "dict[str, int]" = {}
+        self._batch: "dict[str, float]" = {}
         self.pool_utilization = 0.0
         self.zombie_threads = 0
         self.callback_errors = 0
@@ -188,6 +189,67 @@ class SweepTelemetry:
             except Exception:
                 self.callback_errors += 1
                 self._scope.counter("progress_callback_errors").inc()
+
+    def record_batch(
+        self,
+        kind: str,
+        *,
+        cells: int,
+        vectorized: int,
+        wall_s: float,
+        instructions: int,
+        cycles: int = 0,
+        skipped_cycles: int = 0,
+    ) -> None:
+        """Account one batched-engine invocation.
+
+        A batch is one :func:`~repro.core.simulate.simulate_gpu_batch` /
+        ``simulate_cpu_batch`` call covering many sweep cells -- either
+        the in-process batched sweep path or one pool worker's cell
+        batch.  ``vectorized`` counts the cells the lockstep engine
+        produced (batch occupancy = vectorized / cells);
+        ``skipped_cycles`` are the idle cycles the engines' event-driven
+        skip jumped over (skip rate = skipped / (cycles + skipped)).
+        ``repro top`` derives its engine row from these counters.
+        """
+        if kind not in self._hits:
+            raise ValueError(f"unknown run kind {kind!r} (expected {KINDS})")
+        b = self._batch
+        for stat, value in (
+            ("batches", 1),
+            ("cells", cells),
+            ("vectorized_cells", vectorized),
+            ("instructions", instructions),
+            ("engine_cycles", cycles),
+            ("skipped_cycles", skipped_cycles),
+        ):
+            b[stat] = b.get(stat, 0) + value
+            self._scope.counter(f"batch.{stat}").inc(value)
+        b["wall_s"] = b.get("wall_s", 0.0) + wall_s
+        scope = self._scope
+        scope.gauge("batch.last_wall_s").set(wall_s)
+        scope.gauge("batch.last_cells").set(cells)
+        scope.gauge("batch.last_occupancy").set(
+            vectorized / cells if cells else 0.0
+        )
+        scope.gauge("batch.last_ips").set(
+            instructions / wall_s if wall_s > 0 else 0.0
+        )
+        self._fire(
+            {
+                "kind": kind,
+                "event": "batch",
+                "cells": cells,
+                "vectorized": vectorized,
+                "wall_s": wall_s,
+                "instructions": instructions,
+            }
+        )
+
+    def batch_counts(self) -> "dict[str, float]":
+        """Cumulative batched-engine stats (batches/cells/vectorized_cells
+        /instructions/engine_cycles/skipped_cycles/wall_s) so far."""
+        return dict(self._batch)
 
     # -- resilience accounting -----------------------------------------
     def record_retry(self, kind: str, failure_kind: str = "crash") -> None:
@@ -379,6 +441,7 @@ class SweepTelemetry:
             "fabric": dict(self._fabric),
             "store": dict(self._store),
             "http": dict(self._http),
+            "batch": dict(self._batch),
             "pool_utilization": round(self.pool_utilization, 4),
             "zombie_threads": self.zombie_threads,
             "callback_errors": self.callback_errors,

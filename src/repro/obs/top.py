@@ -57,6 +57,12 @@ HTTP_RATE_ROWS = (
     ("503/s", ("sweep.serve.http.status.503",)),
 )
 
+#: Batched-engine rate rows, rendered on their own ``engine:`` line (only
+#: once a batched sweep has run, so classic dashboards stay byte-stable).
+ENGINE_RATE_ROWS = (
+    ("engine instr/s", ("sweep.batch.instructions",)),
+)
+
 #: Flat-key prefix of the HTTP latency histogram buckets.
 _HTTP_LATENCY = "sweep.serve.http.latency_s"
 
@@ -143,7 +149,7 @@ class TopSession:
         doc = read_metrics_snapshot(self.metrics_file)
         rates: "dict[str, float | None]" = {
             label: None
-            for label, _keys in RATE_ROWS + HTTP_RATE_ROWS
+            for label, _keys in RATE_ROWS + HTTP_RATE_ROWS + ENGINE_RATE_ROWS
         }
         if doc is not None:
             flat = snapshot_from_state(doc.get("state", {}))
@@ -152,7 +158,9 @@ class TopSession:
                 prev_at, prev_flat = self._prev
                 dt = written_at - prev_at
                 if dt > 0:
-                    for label, keys in RATE_ROWS + HTTP_RATE_ROWS:
+                    for label, keys in (
+                        RATE_ROWS + HTTP_RATE_ROWS + ENGINE_RATE_ROWS
+                    ):
                         # Clamp each counter's delta individually: a
                         # restarted writer resets its cumulative
                         # counters to zero, and that one negative delta
@@ -236,6 +244,18 @@ def render_dashboard(
             + f"  p50 {_fmt_latency(_histogram_quantile(flat, _HTTP_LATENCY, 0.5))}"
             + f"  p99 {_fmt_latency(_histogram_quantile(flat, _HTTP_LATENCY, 0.99))}"
         )
+        batch_cells = flat.get("sweep.batch.cells", 0.0)
+        if batch_cells:
+            vectorized = flat.get("sweep.batch.vectorized_cells", 0.0)
+            cycles = flat.get("sweep.batch.engine_cycles", 0.0)
+            skipped = flat.get("sweep.batch.skipped_cycles", 0.0)
+            occupancy = vectorized / batch_cells
+            skip_rate = skipped / (cycles + skipped) if cycles + skipped else 0.0
+            lines.append(
+                f"engine:  instr/s {_fmt_rate(rates.get('engine instr/s'))}"
+                f"  batch occupancy {occupancy * 100:.0f}%"
+                f"  skip rate {skip_rate * 100:.0f}%"
+            )
         store_hits = int(flat.get("sweep.store.hits", 0))
         store_misses = int(flat.get("sweep.store.misses", 0))
         quarantined = int(flat.get("sweep.diskio.quarantined", 0))

@@ -30,6 +30,18 @@ can never poison a queue lock shared with siblings) and runs exactly one
 attempt, so the supervisor's SIGKILL is always safe.  Worker processes
 are spawned from a bounded pool of ``workers`` slots; cells queue until
 a slot frees.
+
+Cell batches: with ``batch_cells > 1`` first attempts hand each worker a
+*batch* of cells, executed through the batched engine drivers
+(:func:`repro.core.simulate.simulate_gpu_batch` and friends) with one
+terminal per-cell reply each -- amortising process start-up, trace
+decode, and the lockstep GPU engine across the batch.  Results still
+merge in task-submission order, so batched, serial, and ``--workers N``
+sweeps produce byte-identical reports.  The attempt's wall-clock budget
+scales with the batch size; a failed cell inside a healthy batch costs
+only itself (one per-cell ``fail`` entry), while a dead or hung worker
+costs every batch cell one attempt -- and every retry runs alone, so the
+retry/backoff budget stays per cell.
 """
 
 from __future__ import annotations
@@ -91,9 +103,15 @@ class CellTask:
 
 @dataclass
 class _Pending:
-    """A queued attempt, eligible to start at ``not_before`` (monotonic)."""
+    """A queued attempt, eligible to start at ``not_before`` (monotonic).
 
-    idx: int
+    ``idxs`` holds the task indices this attempt executes: one for a
+    classic single-cell attempt, several for a first-attempt cell batch.
+    Retries always requeue as single-cell attempts, so the retry/backoff
+    budget stays per cell.
+    """
+
+    idxs: tuple
     attempt: int
     not_before: float = 0.0
 
@@ -102,7 +120,7 @@ class _Pending:
 class _Live:
     """One running worker process under supervision."""
 
-    idx: int
+    idxs: tuple
     attempt: int
     proc: object
     conn: object
@@ -153,6 +171,7 @@ class SweepPool:
         instructions: int,
         warmup: int,
         workers: int = 2,
+        batch_cells: int = 1,
         mp_context=None,
         heartbeat_s: float = 0.5,
         heartbeat_timeout_s: float = 30.0,
@@ -160,10 +179,17 @@ class SweepPool:
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if batch_cells < 1:
+            raise ValueError("batch_cells must be >= 1")
         self.policy = policy or GuardPolicy()
         self.instructions = instructions
         self.warmup = warmup
         self.workers = workers
+        #: Cells handed to one worker attempt.  >1 routes first attempts
+        #: through the worker's batched execution path (one engine batch
+        #: per process); the per-attempt timeout budget scales with the
+        #: batch size, and any failed or lost cell requeues *alone*.
+        self.batch_cells = batch_cells
         self.ctx = mp_context or default_mp_context()
         self.heartbeat_s = heartbeat_s
         self.heartbeat_timeout_s = heartbeat_timeout_s
@@ -195,11 +221,12 @@ class SweepPool:
 
     # -- spawning ------------------------------------------------------
     def _spec(
-        self, task: CellTask, attempt: int, env: dict,
+        self, batch: "list[CellTask]", attempt: int, env: dict,
         sidecar: "str | None" = None,
     ) -> dict:
         plan = faults.installed_plan()
-        return {
+        task = batch[0]
+        spec = {
             "run_kind": task.run_kind,
             "config": task.config,
             "workload": task.workload,
@@ -221,19 +248,36 @@ class SweepPool:
             "trace": self._trace_ctx,
             "obs_sidecar": sidecar,
         }
+        if len(batch) > 1:
+            # Batched attempt: the worker runs the whole cell list through
+            # the batched engine drivers and replies per cell.
+            spec["cells"] = [
+                {
+                    "run_kind": t.run_kind,
+                    "config": t.config,
+                    "workload": t.workload,
+                    "extra": tuple(t.extra),
+                    "key": t.key,
+                }
+                for t in batch
+            ]
+        return spec
 
-    def _spawn(self, task: CellTask, item: _Pending, env: dict) -> _Live:
+    def _spawn(
+        self, tasks: "list[CellTask]", item: _Pending, env: dict
+    ) -> _Live:
+        batch = [tasks[i] for i in item.idxs]
         sidecar = None
         if self._obs_dir is not None:
             sidecar = os.path.join(
-                self._obs_dir, f"cell{item.idx}-a{item.attempt}.jsonl"
+                self._obs_dir, f"cell{item.idxs[0]}-a{item.attempt}.jsonl"
             )
         recv_conn, send_conn = self.ctx.Pipe(duplex=False)
         proc = self.ctx.Process(
             target=worker_main,
-            args=(send_conn, self._spec(task, item.attempt, env, sidecar)),
+            args=(send_conn, self._spec(batch, item.attempt, env, sidecar)),
             daemon=True,
-            name=f"repro-sweep-{item.idx}-a{item.attempt}",
+            name=f"repro-sweep-{item.idxs[0]}-a{item.attempt}",
         )
         try:
             proc.start()
@@ -246,8 +290,11 @@ class SweepPool:
         send_conn.close()  # parent's copy; worker holds the only writer
         now = time.monotonic()
         timeout_s = self.policy.timeout_s
+        if timeout_s is not None:
+            # One attempt now covers len(batch) cells' worth of work.
+            timeout_s = timeout_s * len(batch)
         live = _Live(
-            idx=item.idx,
+            idxs=item.idxs,
             attempt=item.attempt,
             proc=proc,
             conn=recv_conn,
@@ -259,9 +306,10 @@ class SweepPool:
         self._event(
             "spawned",
             pid=proc.pid,
-            cell=task.cell,
+            cell=batch[0].cell,
+            cells=len(batch),
             attempt=item.attempt,
-            run_kind=task.run_kind,
+            run_kind=batch[0].run_kind,
         )
         return live
 
@@ -298,7 +346,7 @@ class SweepPool:
                 pass
         if not payload:
             return
-        get_registry().merge_exported(payload.get("metrics"), order=live.idx)
+        get_registry().merge_exported(payload.get("metrics"), order=live.idxs[-1])
         events = payload.get("events")
         if events:
             get_event_log().absorb(events)
@@ -322,7 +370,7 @@ class SweepPool:
         get_event_log().absorb(events)
         get_event_log().emit(
             "pool.flight_recovered",
-            idx=live.idx,
+            idx=live.idxs[0],
             attempt=live.attempt,
             pid=getattr(live.proc, "pid", None),
             events=len(events),
@@ -369,8 +417,10 @@ class SweepPool:
                     traces=len(self._shm_meta["entries"]),
                 )
 
+        batch = max(1, int(self.batch_cells))
         pending: "list[_Pending]" = [
-            _Pending(idx=i, attempt=1) for i in range(len(tasks))
+            _Pending(idxs=tuple(range(i, min(i + batch, len(tasks)))), attempt=1)
+            for i in range(0, len(tasks), batch)
         ]
         live: "list[_Live]" = []
         results: "dict[int, GuardOutcome]" = {}
@@ -389,8 +439,10 @@ class SweepPool:
             task = tasks[idx]
             if attempt <= self.policy.max_retries:
                 delay = self.policy.backoff_s(attempt, task.cell)
+                # Retries always run alone: one cell, one worker, the
+                # classic per-cell timeout budget.
                 pending.append(
-                    _Pending(idx=idx, attempt=attempt + 1,
+                    _Pending(idxs=(idx,), attempt=attempt + 1,
                              not_before=time.monotonic() + delay)
                 )
                 self._event(
@@ -435,7 +487,7 @@ class SweepPool:
                     if slot is None:
                         break
                     pending.remove(slot)
-                    live.append(self._spawn(tasks[slot.idx], slot, env))
+                    live.append(self._spawn(tasks, slot, env))
 
                 if not live:
                     # Everything queued is backing off; sleep to the
@@ -479,7 +531,7 @@ class SweepPool:
                                 self._merge_obs(
                                     lv, msg[3] if len(msg) > 3 else None
                                 )
-                                task = tasks[lv.idx]
+                                task = tasks[lv.idxs[0]]
                                 self._event(
                                     "completed",
                                     cell=task.cell,
@@ -488,7 +540,7 @@ class SweepPool:
                                     wall_s=wall,
                                 )
                                 finalise(
-                                    lv.idx,
+                                    lv.idxs[0],
                                     GuardOutcome(
                                         result=result,
                                         failure=None,
@@ -496,14 +548,63 @@ class SweepPool:
                                         wall_s=wall,
                                     ),
                                 )
+                            elif msg[0] == "batch":
+                                # ("batch", entries, wall, stats, obs):
+                                # one terminal per-cell entry each, in
+                                # task order within the batch.
+                                _, entries, wall, stats = msg[:4]
+                                self._merge_obs(
+                                    lv, msg[4] if len(msg) > 4 else None
+                                )
+                                for idx, entry in zip(lv.idxs, entries):
+                                    task = tasks[idx]
+                                    if entry[0] == "ok":
+                                        _, result, cell_wall = entry[:3]
+                                        self._event(
+                                            "completed",
+                                            cell=task.cell,
+                                            attempt=lv.attempt,
+                                            run_kind=task.run_kind,
+                                            wall_s=cell_wall,
+                                        )
+                                        finalise(
+                                            idx,
+                                            GuardOutcome(
+                                                result=result,
+                                                failure=None,
+                                                attempts=lv.attempt,
+                                                wall_s=cell_wall,
+                                            ),
+                                        )
+                                    else:
+                                        (_, kind, message, tb,
+                                         cell_wall) = entry[:5]
+                                        retry_or_fail(
+                                            idx, lv.attempt, kind,
+                                            message, tb, cell_wall,
+                                        )
+                                self._event(
+                                    "batch_completed",
+                                    cells=len(entries),
+                                    attempt=lv.attempt,
+                                    run_kind=tasks[lv.idxs[0]].run_kind,
+                                    wall_s=wall,
+                                    stats=stats,
+                                )
                             else:  # ("fail", kind, message, tb, wall, obs)
                                 _, kind, message, tb, wall = msg[:5]
                                 self._merge_obs(
                                     lv, msg[5] if len(msg) > 5 else None
                                 )
-                                retry_or_fail(
-                                    lv.idx, lv.attempt, kind, message, tb, wall
-                                )
+                                # A whole-attempt failure from a batched
+                                # worker (batch setup died before the
+                                # per-cell loop) costs every cell of the
+                                # batch this one attempt.
+                                for idx in lv.idxs:
+                                    retry_or_fail(
+                                        idx, lv.attempt, kind, message,
+                                        tb, wall,
+                                    )
                             break
                     except (EOFError, OSError):
                         # The worker died without a terminal message:
@@ -513,24 +614,30 @@ class SweepPool:
                         live.remove(lv)
                         busy_s += time.monotonic() - lv.started
                         self._reap(lv)
-                        task = tasks[lv.idx]
+                        task = tasks[lv.idxs[0]]
                         detail = _describe_exit(lv.proc.exitcode)
                         self._event(
                             "crashed",
                             cell=task.cell,
+                            cells=len(lv.idxs),
                             attempt=lv.attempt,
                             run_kind=task.run_kind,
                             exit=detail,
                         )
-                        retry_or_fail(
-                            lv.idx,
-                            lv.attempt,
-                            "crash",
-                            f"worker died before reporting ({detail})",
-                            "",
-                            time.monotonic() - lv.started,
-                            flight=self._flight_recorder(lv),
-                        )
+                        # A dead batched worker costs every batch cell
+                        # this one attempt; each requeues alone.
+                        flight = self._flight_recorder(lv)
+                        wall = time.monotonic() - lv.started
+                        for idx in lv.idxs:
+                            retry_or_fail(
+                                idx,
+                                lv.attempt,
+                                "crash",
+                                f"worker died before reporting ({detail})",
+                                "",
+                                wall,
+                                flight=flight,
+                            )
                     if done:
                         continue
 
@@ -538,7 +645,7 @@ class SweepPool:
                 # whatever is still running.
                 now = time.monotonic()
                 for lv in list(live):
-                    task = tasks[lv.idx]
+                    task = tasks[lv.idxs[0]]
                     if lv.deadline is not None and now >= lv.deadline:
                         live.remove(lv)
                         busy_s += now - lv.started
@@ -546,20 +653,24 @@ class SweepPool:
                         self._event(
                             "killed",
                             cell=task.cell,
+                            cells=len(lv.idxs),
                             attempt=lv.attempt,
                             run_kind=task.run_kind,
                             pid=lv.proc.pid,
                         )
-                        retry_or_fail(
-                            lv.idx,
-                            lv.attempt,
-                            "timeout",
-                            f"GuardTimeout: run exceeded wall-clock timeout "
-                            f"of {self.policy.timeout_s:g}s (worker SIGKILLed)",
-                            "",
-                            now - lv.started,
-                            flight=self._flight_recorder(lv),
-                        )
+                        flight = self._flight_recorder(lv)
+                        budget = self.policy.timeout_s * len(lv.idxs)
+                        for idx in lv.idxs:
+                            retry_or_fail(
+                                idx,
+                                lv.attempt,
+                                "timeout",
+                                f"GuardTimeout: run exceeded wall-clock "
+                                f"timeout of {budget:g}s (worker SIGKILLed)",
+                                "",
+                                now - lv.started,
+                                flight=flight,
+                            )
                     elif now - lv.last_beat > self.heartbeat_timeout_s:
                         live.remove(lv)
                         busy_s += now - lv.started
@@ -567,20 +678,23 @@ class SweepPool:
                         self._event(
                             "heartbeat_lost",
                             cell=task.cell,
+                            cells=len(lv.idxs),
                             attempt=lv.attempt,
                             run_kind=task.run_kind,
                             silent_s=now - lv.last_beat,
                         )
-                        retry_or_fail(
-                            lv.idx,
-                            lv.attempt,
-                            "crash",
-                            f"worker lost heartbeat for "
-                            f"{now - lv.last_beat:.1f}s (SIGKILLed)",
-                            "",
-                            now - lv.started,
-                            flight=self._flight_recorder(lv),
-                        )
+                        flight = self._flight_recorder(lv)
+                        for idx in lv.idxs:
+                            retry_or_fail(
+                                idx,
+                                lv.attempt,
+                                "crash",
+                                f"worker lost heartbeat for "
+                                f"{now - lv.last_beat:.1f}s (SIGKILLed)",
+                                "",
+                                now - lv.started,
+                                flight=flight,
+                            )
         finally:
             # Abort path (fail-fast, KeyboardInterrupt, caller error):
             # leave zero live children behind, whatever happened.

@@ -19,6 +19,13 @@ killed worker can never poison a lock shared with its siblings):
   raised; ``kind`` is ``corrupt`` for self-check rejections, else
   ``crash``.  Timeouts never originate here: the supervisor kills
   overrunners.
+* ``("batch", entries, wall_s, stats, obs)`` -- a batched attempt
+  (``spec["cells"]`` present) finished; ``entries`` holds one terminal
+  per-cell tuple each (``("ok", result, wall_s)`` or
+  ``("fail", kind, message, traceback, wall_s)``) in cell order, and
+  ``stats`` the engine aggregates (cells, vectorized, instructions,
+  cycles, skipped_cycles, wall_s) the coordinator's batch telemetry
+  consumes.
 
 The trailing ``obs`` element is the worker's telemetry freight: ``None``
 while observability is off (zero overhead), else a dict carrying the
@@ -90,6 +97,92 @@ def execute_cell(
             warmup=warmup,
         )
     raise ValueError(f"unknown run kind {run_kind!r}")
+
+
+def execute_batch(cells: "list[dict]", instructions: int, warmup: int):
+    """Run one worker attempt's cell batch through the batched drivers.
+
+    Returns per-cell outcome objects (``result``/``error``) in cell
+    order.  CPU and GPU batches route through
+    :func:`repro.core.simulate.simulate_cpu_batch` /
+    ``simulate_gpu_batch`` (the GPU cells in SIMT lockstep); anything
+    else executes sequentially with the same per-cell containment.  A
+    cell whose configuration fails to resolve gets its error recorded
+    without taking the batch down -- names are validated coordinator-side,
+    so this is a belt-and-braces path.
+    """
+    from repro.core.configs import cpu_config, gpu_config
+    from repro.core.simulate import (
+        CpuCellOutcome,
+        simulate_cpu_batch,
+        simulate_gpu_batch,
+    )
+
+    kind = cells[0]["run_kind"]
+    if kind in ("cpu", "gpu"):
+        lookup = gpu_config if kind == "gpu" else cpu_config
+        designs = []
+        outcomes: "list" = [None] * len(cells)
+        for i, cell in enumerate(cells):
+            try:
+                designs.append(lookup(cell["config"]))
+            except Exception as exc:
+                designs.append(None)
+                outcomes[i] = CpuCellOutcome(result=None, error=exc)
+        batch = [
+            (design, cell["workload"])
+            for design, cell in zip(designs, cells)
+            if design is not None
+        ]
+        if kind == "gpu":
+            ready = iter(simulate_gpu_batch(batch))
+        else:
+            ready = iter(
+                simulate_cpu_batch(
+                    batch, instructions=instructions, warmup=warmup
+                )
+            )
+        for i, design in enumerate(designs):
+            if design is not None:
+                outcomes[i] = next(ready)
+        return outcomes
+    results = []
+    for cell in cells:
+        try:
+            result = execute_cell(
+                cell["run_kind"], cell["config"], cell["workload"],
+                tuple(cell["extra"]), instructions, warmup,
+            )
+        except Exception as exc:
+            results.append(CpuCellOutcome(result=None, error=exc))
+        else:
+            results.append(CpuCellOutcome(result=result, error=None))
+    return results
+
+
+def _batch_stats(kind: str, outcomes, wall_s: float) -> dict:
+    """Aggregate engine stats for one batch (``pool.batch_completed``)."""
+    instructions = cycles = skipped = vectorized = 0
+    for out in outcomes:
+        vectorized += int(getattr(out, "vectorized", False))
+        skipped += int(getattr(out, "skipped_cycles", 0))
+        result = out.result
+        if result is None:
+            continue
+        if kind == "gpu":
+            instructions += result.gpu.cu_result.instructions
+            cycles += result.gpu.cu_result.cycles
+        else:
+            instructions += result.core.committed
+            cycles += result.core.cycles
+    return {
+        "cells": len(outcomes),
+        "vectorized": vectorized,
+        "instructions": instructions,
+        "cycles": cycles,
+        "skipped_cycles": skipped,
+        "wall_s": wall_s,
+    }
 
 
 def _start_heartbeat(conn, lock: threading.Lock, interval_s: float):
@@ -177,46 +270,127 @@ def worker_main(conn, spec: dict) -> None:
             wlog.activate(trace_ctx.get("trace_id"), trace_ctx.get("span_id"))
         )
 
+    cells = spec.get("cells")
     try:
-        def execute():
-            inner = execute_cell
-            if wlog is not None:
-                with wlog.span(
-                    "engine.run",
-                    run_kind=spec["run_kind"],
-                    config=spec["config"],
-                    workload=spec["workload"],
-                ):
-                    return inner(
-                        spec["run_kind"], spec["config"], spec["workload"],
-                        tuple(spec.get("extra", ())),
-                        spec["instructions"], spec["warmup"],
+        if cells:
+            # Batched attempt: one engine batch, then each cell replayed
+            # through its own injector draw + self-check so failures
+            # stay per cell (an injected raise or a corrupt result costs
+            # exactly the cell it hit).
+            with span_stack:
+                if wlog is not None:
+                    span_stack.enter_context(
+                        wlog.span(
+                            "worker.batch",
+                            cells=len(cells),
+                            run_kind=spec["run_kind"],
+                            attempt=spec["attempt"],
+                        )
                     )
-            return inner(
-                spec["run_kind"], spec["config"], spec["workload"],
-                tuple(spec.get("extra", ())),
-                spec["instructions"], spec["warmup"],
-            )
-
-        with span_stack:
-            if wlog is not None:
-                span_stack.enter_context(
-                    wlog.span(
-                        "worker.attempt",
-                        cell=list(key),
+                engine_start = time.perf_counter()
+                if wlog is not None:
+                    with wlog.span(
+                        "engine.batch",
                         run_kind=spec["run_kind"],
-                        attempt=spec["attempt"],
+                        cells=len(cells),
+                    ):
+                        outcomes = execute_batch(
+                            cells, spec["instructions"], spec["warmup"]
+                        )
+                else:
+                    outcomes = execute_batch(
+                        cells, spec["instructions"], spec["warmup"]
                     )
+                engine_wall = time.perf_counter() - engine_start
+                share = engine_wall / len(cells)
+                entries = []
+                for cell, out in zip(cells, outcomes):
+                    cell_start = time.perf_counter()
+                    cell_key = tuple(cell["key"])
+                    if injector is not None:
+                        injector.prime(
+                            cell["run_kind"], cell_key, spec["attempt"]
+                        )
+
+                    def replay(out=out):
+                        if out.error is not None:
+                            raise out.error
+                        return out.result
+
+                    try:
+                        if injector is not None:
+                            result = injector.call(
+                                cell["run_kind"], cell_key, replay
+                            )
+                        else:
+                            result = replay()
+                        validate_result(cell["run_kind"], result)
+                    except Exception as exc:
+                        kind = (
+                            "corrupt"
+                            if isinstance(exc, CorruptResult)
+                            else "crash"
+                        )
+                        entries.append((
+                            "fail",
+                            kind,
+                            f"{type(exc).__name__}: {exc}",
+                            tb_module.format_exc(),
+                            share + time.perf_counter() - cell_start,
+                        ))
+                    else:
+                        entries.append((
+                            "ok",
+                            result,
+                            share + time.perf_counter() - cell_start,
+                        ))
+            message = (
+                "batch",
+                entries,
+                time.perf_counter() - start,
+                _batch_stats(spec["run_kind"], outcomes, engine_wall),
+                _obs_payload(wlog, base_state),
+            )
+        else:
+            def execute():
+                inner = execute_cell
+                if wlog is not None:
+                    with wlog.span(
+                        "engine.run",
+                        run_kind=spec["run_kind"],
+                        config=spec["config"],
+                        workload=spec["workload"],
+                    ):
+                        return inner(
+                            spec["run_kind"], spec["config"], spec["workload"],
+                            tuple(spec.get("extra", ())),
+                            spec["instructions"], spec["warmup"],
+                        )
+                return inner(
+                    spec["run_kind"], spec["config"], spec["workload"],
+                    tuple(spec.get("extra", ())),
+                    spec["instructions"], spec["warmup"],
                 )
-            if injector is not None:
-                result = injector.call(spec["run_kind"], key, execute)
-            else:
-                result = execute()
-            validate_result(spec["run_kind"], result)
-        message = (
-            "ok", result, time.perf_counter() - start,
-            _obs_payload(wlog, base_state),
-        )
+
+            with span_stack:
+                if wlog is not None:
+                    span_stack.enter_context(
+                        wlog.span(
+                            "worker.attempt",
+                            cell=list(key),
+                            run_kind=spec["run_kind"],
+                            attempt=spec["attempt"],
+                        )
+                    )
+                if injector is not None:
+                    result = injector.call(spec["run_kind"], key, execute)
+                else:
+                    result = execute()
+                validate_result(spec["run_kind"], result)
+            message = (
+                "ok", result, time.perf_counter() - start,
+                _obs_payload(wlog, base_state),
+            )
     except BaseException as exc:
         kind = "corrupt" if isinstance(exc, CorruptResult) else "crash"
         message = (

@@ -141,6 +141,37 @@ def test_result_dataclasses_hold_native_scalars_only(monkeypatch):
         _assert_native(simulate_gpu(gpu_config("AdvHet"), "DCT"), "gpu")
 
 
+def test_soa_buffers_hold_native_scalars_only():
+    """The cached SoA decode must hand the hot loop plain Python lists of
+    native scalars -- one boxed numpy value re-boxes every downstream op."""
+    from repro.cpu.soa import decode_trace, decode_trace_uncached
+
+    trace = cached_trace(cpu_app("canneal"), 3000, seed=0)
+    for soa in (decode_trace(trace), decode_trace_uncached(trace)):
+        for f in dataclasses.fields(soa):
+            values = getattr(soa, f.name)
+            assert isinstance(values, list), f"soa.{f.name} is not a list"
+            _assert_native(values[:64], f"soa.{f.name}")
+    assert decode_trace(trace) is decode_trace(trace)  # memoised on the trace
+
+
+def test_batch_driver_results_hold_native_scalars_only():
+    """Batched cell outcomes carry the same native-scalar guarantee as the
+    single-cell drivers, including the engine-side telemetry counters."""
+    from repro.core.simulate import simulate_cpu_batch, simulate_gpu_batch
+
+    cpu = simulate_cpu_batch(
+        [(cpu_config("BaseCMOS"), "lu"), (cpu_config("AdvHet"), "lu")],
+        instructions=3000, warmup=750,
+    )
+    gpu = simulate_gpu_batch(
+        [(gpu_config(name), "DCT") for name in ("BaseCMOS", "AdvHet")]
+    )
+    for i, out in enumerate(cpu + gpu):
+        assert out.error is None
+        _assert_native(out, f"batch[{i}]")
+
+
 # ---------------------------------------------------------------------
 # trace cache
 # ---------------------------------------------------------------------
@@ -387,6 +418,10 @@ def test_bench_report_shape_and_exactness():
         assert cell["speedup"] > 0
     assert report["trace_cache"]["amortization"] > 1
     assert report["sweep"]["cold_s"] > 0 and report["sweep"]["warm_s"] > 0
+    batched = report["batched_sweep"]
+    assert batched["equivalent"], "batch=N must byte-equal batch=1"
+    assert batched["cells"] > 0 and batched["vectorized_cells"] > 0
+    assert batched["single_instr_per_s"] > 0 and batched["batch_instr_per_s"] > 0
     reset_shared_cache()
 
 
